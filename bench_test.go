@@ -1,0 +1,284 @@
+// Package botdetect holds the repository-level benchmark harness: one
+// benchmark per table and figure of the paper's evaluation (each regenerates
+// the artifact from a synthetic workload and reports its headline numbers as
+// benchmark metrics), plus micro-benchmarks for the hot paths of the
+// detection pipeline (page rewriting, script generation, beacon handling,
+// session accounting, AdaBoost training).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package botdetect
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"botdetect/internal/adaboost"
+	"botdetect/internal/core"
+	"botdetect/internal/experiments"
+	"botdetect/internal/features"
+	"botdetect/internal/htmlmod"
+	"botdetect/internal/jsgen"
+	"botdetect/internal/logfmt"
+	"botdetect/internal/rng"
+	"botdetect/internal/session"
+	"botdetect/internal/webmodel"
+)
+
+// benchScale keeps the per-iteration experiment cost manageable while still
+// producing stable shapes; cmd/botbench runs the full default scale.
+func benchScale(i int) experiments.Scale {
+	return experiments.Scale{Sessions: 200, Seed: uint64(1000 + i)}
+}
+
+// BenchmarkTable1SessionBreakdown regenerates Table 1 (session breakdown and
+// the Section 3.1 bounds) once per iteration.
+func BenchmarkTable1SessionBreakdown(b *testing.B) {
+	var last experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Table1(benchScale(i))
+	}
+	b.ReportMetric(last.Breakdown.CSSFraction()*100, "css_%")
+	b.ReportMetric(last.Breakdown.MouseFraction()*100, "mouse_%")
+	b.ReportMetric(last.MaxFPR*100, "maxFPR_%")
+}
+
+// BenchmarkFigure2DetectionLatency regenerates the Figure 2 CDFs.
+func BenchmarkFigure2DetectionLatency(b *testing.B) {
+	var last experiments.Figure2Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure2(benchScale(i))
+	}
+	b.ReportMetric(last.Mouse80, "mouse_p80_reqs")
+	b.ReportMetric(last.Mouse95, "mouse_p95_reqs")
+	b.ReportMetric(last.CSS95, "css_p95_reqs")
+}
+
+// BenchmarkFigure3AbuseComplaints regenerates the Figure 3 complaint
+// timeline, including the enforcement-effectiveness calibration run.
+func BenchmarkFigure3AbuseComplaints(b *testing.B) {
+	var last experiments.Figure3Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure3(benchScale(i))
+	}
+	b.ReportMetric(float64(last.PeakBeforeDeployment), "peak_complaints")
+	b.ReportMetric(last.ReductionFactor, "reduction_x")
+}
+
+// BenchmarkFigure4AdaBoost regenerates the Figure 4 accuracy curve (AdaBoost
+// with 200 rounds at request prefixes 20..160).
+func BenchmarkFigure4AdaBoost(b *testing.B) {
+	var last experiments.Figure4Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure4(experiments.Scale{Sessions: 120, Seed: uint64(2000 + i)})
+	}
+	if len(last.Points) > 0 {
+		b.ReportMetric(last.Points[0].TestAccuracy*100, "acc20_%")
+		b.ReportMetric(last.Points[len(last.Points)-1].TestAccuracy*100, "acc160_%")
+	}
+}
+
+// BenchmarkOverheadJSGeneration measures the per-page cost of generating an
+// obfuscated beacon script (the paper's 1 KB / sub-millisecond claim).
+func BenchmarkOverheadJSGeneration(b *testing.B) {
+	gen := jsgen.NewGenerator()
+	src := rng.New(9)
+	decoys := []string{src.DigitKey(10), src.DigitKey(10), src.DigitKey(10), src.DigitKey(10)}
+	b.ResetTimer()
+	size := 0
+	for i := 0; i < b.N; i++ {
+		script := gen.Script(jsgen.Params{
+			BeaconBase:  "http://www.example.com",
+			RealKey:     "0729395160",
+			DecoyKeys:   decoys,
+			UAReportKey: "5550001111",
+			Obfuscate:   true,
+			Seed:        uint64(i),
+		})
+		size = len(script)
+	}
+	b.ReportMetric(float64(size), "script_bytes")
+}
+
+// BenchmarkOverheadBandwidth regenerates the Section 3.2 bandwidth-overhead
+// measurement from a workload run.
+func BenchmarkOverheadBandwidth(b *testing.B) {
+	var last experiments.OverheadResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.Overhead(experiments.Scale{Sessions: 120, Seed: uint64(3000 + i)})
+	}
+	b.ReportMetric(last.BandwidthOverhead*100, "overhead_%")
+}
+
+// BenchmarkAblationDecoys sweeps the decoy count and measures blind-fetcher
+// catch rates.
+func BenchmarkAblationDecoys(b *testing.B) {
+	var last experiments.AblationDecoysResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.AblationDecoys(experiments.Scale{Sessions: 300, Seed: uint64(4000 + i)})
+	}
+	if len(last.Rows) > 0 {
+		b.ReportMetric(last.Rows[len(last.Rows)-1].SinglePickCatchRate, "catch_rate_m16")
+	}
+}
+
+// BenchmarkAblationSignals evaluates the combining-rule variants (CSS only,
+// mouse only, union, full rule) against ground truth.
+func BenchmarkAblationSignals(b *testing.B) {
+	var last experiments.AblationSignalsResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.AblationSignals(experiments.Scale{Sessions: 150, Seed: uint64(6000 + i)})
+	}
+	if len(last.Rows) == 4 {
+		b.ReportMetric(last.Rows[3].Accuracy*100, "full_rule_acc_%")
+		b.ReportMetric(last.Rows[0].Accuracy*100, "css_only_acc_%")
+	}
+}
+
+// BenchmarkStagedDetection evaluates the Section 4.1 staged design
+// (fast rules first, AdaBoost for boundary cases).
+func BenchmarkStagedDetection(b *testing.B) {
+	var last experiments.StagedResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.Staged(experiments.Scale{Sessions: 120, Seed: uint64(7000 + i)})
+	}
+	if len(last.Rows) == 3 {
+		b.ReportMetric(last.Rows[2].Accuracy*100, "staged_acc_%")
+		b.ReportMetric(last.FastPathShare*100, "fast_path_%")
+	}
+}
+
+// BenchmarkBaselineComparison compares the combining rule against the
+// robots.txt / User-Agent heuristic baseline.
+func BenchmarkBaselineComparison(b *testing.B) {
+	var last experiments.BaselineComparisonResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.BaselineComparison(experiments.Scale{Sessions: 150, Seed: uint64(5000 + i)})
+	}
+	if len(last.Rows) > 0 {
+		b.ReportMetric(last.Rows[0].Accuracy*100, "rule_acc_%")
+		b.ReportMetric(last.Rows[1].Accuracy*100, "heuristic_acc_%")
+	}
+}
+
+// --- micro-benchmarks for the detection pipeline hot paths ------------------
+
+// BenchmarkInstrumentPage measures rewriting one origin page (key issue,
+// script generation, HTML injection).
+func BenchmarkInstrumentPage(b *testing.B) {
+	site := webmodel.Generate(webmodel.SiteConfig{Seed: 1, NumPages: 50})
+	det := core.New(core.Config{Seed: 1, ObfuscateJS: true})
+	page := site.Lookup("/").Body
+	b.SetBytes(int64(len(page)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ip := fmt.Sprintf("10.0.%d.%d", i/250%250, i%250)
+		det.InstrumentPage(ip, "Firefox/1.5", "/", page)
+	}
+}
+
+// BenchmarkHandleBeaconCSS measures serving a stylesheet beacon request.
+func BenchmarkHandleBeaconCSS(b *testing.B) {
+	det := core.New(core.Config{Seed: 2})
+	_, inst := det.InstrumentPage("10.0.0.1", "Firefox/1.5", "/", []byte("<html><head></head><body></body></html>"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.HandleBeacon("10.0.0.1", "Firefox/1.5", inst.CSSPath)
+	}
+}
+
+// BenchmarkHTMLRewrite measures the raw rewriter on a realistic page.
+func BenchmarkHTMLRewrite(b *testing.B) {
+	site := webmodel.Generate(webmodel.SiteConfig{Seed: 3, NumPages: 50})
+	page := site.Lookup("/").Body
+	inj := htmlmod.Injection{
+		CSSHref:      "/__bd/2031464296.css",
+		ScriptSrc:    "/__bd/index_0729395150.js",
+		InlineScript: "document.write('x');",
+		HandlerName:  "__bd_f",
+		HiddenHref:   "/__bd/hidden/1.html",
+		HiddenImgSrc: "/__bd/transp_1x1.gif",
+	}
+	b.SetBytes(int64(len(page)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		htmlmod.Rewrite(page, inj)
+	}
+}
+
+// BenchmarkSessionObserve measures per-request session accounting.
+func BenchmarkSessionObserve(b *testing.B) {
+	tracker := session.NewTracker(session.Config{})
+	entry := logfmt.Entry{
+		Time: time.Date(2006, 1, 6, 0, 0, 0, 0, time.UTC), ClientIP: "10.0.0.1",
+		UserAgent: "Firefox/1.5", Method: "GET", Path: "/page1.html", Status: 200,
+		Referer: "http://www.example.com/", Bytes: 4096, ContentType: "text/html",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tracker.Observe(entry)
+	}
+}
+
+// BenchmarkFeatureExtraction measures computing the Table 2 attribute vector.
+func BenchmarkFeatureExtraction(b *testing.B) {
+	counts := session.Counts{
+		Total: 100, Head: 2, Get: 95, Post: 3, HTML: 40, Image: 30, CGI: 10,
+		Favicon: 1, Embedded: 45, WithReferrer: 70, UnseenReferrer: 10,
+		LinkFollowing: 60, Status2xx: 85, Status3xx: 5, Status4xx: 8, Status5xx: 2,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = features.FromCounts(counts)
+	}
+}
+
+// BenchmarkAdaBoostTrain measures training the 200-round ensemble on a
+// moderately sized labelled set.
+func BenchmarkAdaBoostTrain(b *testing.B) {
+	src := rng.New(11)
+	examples := make([]features.Example, 0, 400)
+	for i := 0; i < 400; i++ {
+		human := i%2 == 0
+		var v features.Vector
+		if human {
+			v[features.ReferrerPct] = 0.6 + 0.2*src.Float64()
+			v[features.EmbeddedObjPct] = 0.5 + 0.3*src.Float64()
+		} else {
+			v[features.HTMLPct] = 0.7 + 0.3*src.Float64()
+			v[features.Resp4xxPct] = 0.2 * src.Float64()
+		}
+		examples = append(examples, features.Example{X: v, Human: human})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adaboost.Train(examples, adaboost.Config{Rounds: 200}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaBoostPredict measures single-vector prediction latency.
+func BenchmarkAdaBoostPredict(b *testing.B) {
+	src := rng.New(13)
+	examples := make([]features.Example, 0, 200)
+	for i := 0; i < 200; i++ {
+		var v features.Vector
+		for j := range v {
+			v[j] = src.Float64()
+		}
+		examples = append(examples, features.Example{X: v, Human: i%2 == 0})
+	}
+	model, err := adaboost.Train(examples, adaboost.Config{Rounds: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var probe features.Vector
+	probe[features.ReferrerPct] = 0.5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Predict(probe)
+	}
+}

@@ -1,0 +1,69 @@
+// Command botbench regenerates the paper's evaluation artifacts (tables and
+// figures) from synthetic CoDeeN-style workloads and prints them as text.
+//
+// Usage:
+//
+//	botbench [-exp all|table1|captcha|figure2|figure3|table2|figure4|overhead|decoys|baselines] [-sessions N] [-seed S]
+//
+// The -sessions flag scales the synthetic workload; larger values give more
+// stable percentages at higher runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"botdetect/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run: all, table1, captcha, figure2, figure3, table2, figure4, overhead, decoys, signals, staged, baselines")
+		sessions = flag.Int("sessions", experiments.DefaultScale().Sessions, "number of synthetic sessions per experiment")
+		seed     = flag.Uint64("seed", experiments.DefaultScale().Seed, "random seed")
+	)
+	flag.Parse()
+
+	scale := experiments.Scale{Sessions: *sessions, Seed: *seed}
+	selected := strings.Split(strings.ToLower(*exp), ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			if s == "all" || s == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	ran := 0
+	run := func(name string, f func() string) {
+		if !want(name) {
+			return
+		}
+		ran++
+		start := time.Now()
+		out := f()
+		fmt.Printf("==> %s (%.1fs)\n\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+
+	run("table1", func() string { return experiments.Table1(scale).Format() })
+	run("captcha", func() string { return experiments.CaptchaCross(scale).Format() })
+	run("figure2", func() string { return experiments.Figure2(scale).Format() })
+	run("figure3", func() string { return experiments.Figure3(scale).Format() })
+	run("table2", func() string { return experiments.Table2().Format() })
+	run("figure4", func() string { return experiments.Figure4(scale).Format() })
+	run("overhead", func() string { return experiments.Overhead(scale).Format() })
+	run("decoys", func() string { return experiments.AblationDecoys(scale).Format() })
+	run("signals", func() string { return experiments.AblationSignals(scale).Format() })
+	run("staged", func() string { return experiments.Staged(scale).Format() })
+	run("baselines", func() string { return experiments.BaselineComparison(scale).Format() })
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "botbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

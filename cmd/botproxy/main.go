@@ -1,0 +1,105 @@
+// Command botproxy runs the robot-detecting proxy. By default it serves a
+// built-in synthetic site through the detection middleware; with -origin it
+// instead acts as an instrumenting reverse proxy in front of an existing
+// origin server, the deployment shape the paper used on CoDeeN nodes.
+//
+// Usage:
+//
+//	botproxy [-addr :8080] [-origin http://upstream:9090] [-decoys 4]
+//	         [-obfuscate] [-policy] [-captcha] [-status /__bd/status]
+//
+// The /__bd/ path prefix is reserved for instrumentation (beacons, generated
+// stylesheets and scripts, hidden links, CAPTCHA endpoints) and a plain-text
+// status page listing live sessions and verdicts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+
+	"botdetect/internal/captcha"
+	"botdetect/internal/core"
+	"botdetect/internal/policy"
+	"botdetect/internal/proxy"
+	"botdetect/internal/webmodel"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		origin    = flag.String("origin", "", "upstream origin URL (empty: serve the built-in synthetic site)")
+		decoys    = flag.Int("decoys", 4, "decoy beacon functions per page")
+		obfuscate = flag.Bool("obfuscate", true, "lexically obfuscate the generated JavaScript")
+		withPol   = flag.Bool("policy", true, "enable rate limiting / blocking of robot sessions")
+		withCap   = flag.Bool("captcha", true, "enable CAPTCHA endpoints under /__bd/captcha/")
+		seed      = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed for keys and scripts")
+		pages     = flag.Int("pages", 200, "pages in the built-in synthetic site (ignored with -origin)")
+	)
+	flag.Parse()
+
+	det := core.New(core.Config{
+		Decoys:      *decoys,
+		ObfuscateJS: *obfuscate,
+		Seed:        *seed,
+	})
+	cfg := proxy.Config{Detector: det, TrustForwardedFor: true}
+	if *withPol {
+		cfg.Policy = policy.NewEngine(policy.Config{})
+	}
+	if *withCap {
+		cfg.Captcha = captcha.NewService(captcha.Config{Seed: *seed})
+	}
+
+	var mw *proxy.Middleware
+	if *origin != "" {
+		u, err := url.Parse(*origin)
+		if err != nil {
+			log.Fatalf("botproxy: bad -origin %q: %v", *origin, err)
+		}
+		mw = proxy.NewReverseProxy(u, cfg)
+		log.Printf("botproxy: reverse proxying %s on %s", *origin, *addr)
+	} else {
+		site := webmodel.Generate(webmodel.SiteConfig{Seed: *seed, NumPages: *pages})
+		mw = proxy.New(site.Handler(), cfg)
+		log.Printf("botproxy: serving built-in site (%d pages) on %s", site.NumPages(), *addr)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", mw)
+	mux.HandleFunc("/__bd/status", func(w http.ResponseWriter, r *http.Request) {
+		writeStatus(w, det)
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+// writeStatus renders a plain-text overview of live sessions and verdicts.
+func writeStatus(w http.ResponseWriter, det *core.Detector) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	stats := det.Stats()
+	fmt.Fprintf(w, "pages instrumented: %d\n", stats.PagesInstrumented)
+	fmt.Fprintf(w, "beacons: mouse=%d decoy=%d replay=%d exec=%d css=%d hidden=%d ua-mismatch=%d\n",
+		stats.MouseBeacons, stats.DecoyBeacons, stats.ReplayBeacons, stats.ExecBeacons,
+		stats.CSSBeacons, stats.HiddenHits, stats.UAMismatches)
+	sessions := det.Sessions()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].Counts.Total > sessions[j].Counts.Total })
+	fmt.Fprintf(w, "active sessions: %d\n\n", len(sessions))
+	for i, s := range sessions {
+		if i >= 50 {
+			fmt.Fprintf(w, "... and %d more\n", len(sessions)-i)
+			break
+		}
+		v := det.ClassifySnapshot(s)
+		fmt.Fprintf(w, "%-18s %-40.40s reqs=%-5d %s\n", s.Key.IP, s.Key.UserAgent, s.Counts.Total, v)
+	}
+}

@@ -1,0 +1,174 @@
+// Command loganalyze performs the offline analysis path: it replays an
+// extended combined access log (e.g. one produced by cmd/trafficgen or by a
+// botproxy deployment), reconstructs sessions keyed by <IP, User-Agent>,
+// re-derives the detection signals from the instrumentation requests present
+// in the log, and prints the Table 1 style breakdown, the combining-rule
+// bounds, and a per-session classification summary. With -truth it also
+// reports accuracy against ground-truth labels and trains the AdaBoost
+// classifier on the Table 2 attributes.
+//
+// Usage:
+//
+//	loganalyze -log access.log [-truth truth.tsv] [-min-requests 10]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"botdetect/internal/adaboost"
+	"botdetect/internal/core"
+	"botdetect/internal/features"
+	"botdetect/internal/logfmt"
+	"botdetect/internal/metrics"
+	"botdetect/internal/session"
+)
+
+func main() {
+	var (
+		logPath     = flag.String("log", "", "access log path (required; - for stdin)")
+		truthPath   = flag.String("truth", "", "optional ground-truth label file (IP\\tUser-Agent\\tkind)")
+		minRequests = flag.Int64("min-requests", 10, "only classify sessions with more than this many requests")
+	)
+	flag.Parse()
+	if *logPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var in io.Reader
+	if *logPath == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(*logPath)
+		if err != nil {
+			log.Fatalf("loganalyze: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	entries, err := logfmt.ReadAll(in)
+	if err != nil {
+		log.Fatalf("loganalyze: %v", err)
+	}
+	if len(entries) == 0 {
+		log.Fatal("loganalyze: log contains no entries")
+	}
+
+	tracker := session.NewTracker(session.Config{})
+	for _, e := range entries {
+		key := session.Key{IP: e.ClientIP, UserAgent: e.UserAgent}
+		if sig, ok := signalFromPath(e.Path); ok {
+			tracker.Mark(key, sig)
+			continue
+		}
+		tracker.Observe(e)
+	}
+	snaps := tracker.FlushAll()
+
+	// Table 1 style breakdown and combining-rule bounds.
+	b := core.Breakdown(snaps, *minRequests)
+	fmt.Println(b.Table().Format())
+	fmt.Printf("Human-share lower bound (mouse): %s%%\n", metrics.Pct(b.HumanLowerBound()))
+	fmt.Printf("Human-share upper bound (S_H):   %s%%\n", metrics.Pct(b.HumanUpperBound()))
+	fmt.Printf("Max false positive rate:         %s%%\n\n", metrics.Pct(b.MaxFalsePositiveRate()))
+
+	truth := loadTruth(*truthPath)
+	if truth == nil {
+		return
+	}
+
+	// Accuracy of the combining rule against the labels.
+	var cm metrics.ConfusionMatrix
+	var examples []features.Example
+	for _, s := range snaps {
+		if s.Counts.Total <= *minRequests {
+			continue
+		}
+		kind, ok := truth[s.Key]
+		if !ok {
+			continue
+		}
+		isHuman := strings.HasPrefix(kind, "human")
+		cm.Record(core.InHumanSet(s), isHuman)
+		examples = append(examples, features.Example{X: features.FromSnapshot(s), Human: isHuman})
+	}
+	fmt.Printf("Combining rule vs ground truth: %s\n", cm.String())
+
+	train, test := adaboost.Split(examples, 0.5, 2006)
+	model, err := adaboost.Train(train, adaboost.Config{Rounds: 200})
+	if err != nil {
+		fmt.Printf("AdaBoost training skipped: %v\n", err)
+		return
+	}
+	fmt.Printf("AdaBoost (200 rounds): train accuracy %.1f%%, test accuracy %.1f%%\n",
+		model.Accuracy(train)*100, model.Accuracy(test)*100)
+	top := model.TopFeatures(3)
+	names := make([]string, len(top))
+	for i, idx := range top {
+		names[i] = features.Names[idx]
+	}
+	fmt.Printf("Most contributing attributes: %s\n", strings.Join(names, ", "))
+}
+
+// signalFromPath re-derives a detection signal from an instrumentation
+// request path recorded in the log (offline equivalent of HandleBeacon; keys
+// cannot be re-validated offline, so mouse beacons are taken at face value).
+func signalFromPath(path string) (session.Signal, bool) {
+	clean := path
+	if i := strings.IndexByte(clean, '?'); i >= 0 {
+		clean = clean[:i]
+	}
+	if !strings.HasPrefix(clean, "/__bd/") {
+		return 0, false
+	}
+	rest := strings.TrimPrefix(clean, "/__bd/")
+	switch {
+	case strings.HasPrefix(rest, "js/"):
+		return session.SignalJS, true
+	case strings.HasPrefix(rest, "ua/"):
+		return session.SignalJS, true
+	case strings.HasPrefix(rest, "hidden/"):
+		return session.SignalHidden, true
+	case strings.HasPrefix(rest, "index_") && strings.HasSuffix(rest, ".js"):
+		return session.SignalJSFile, true
+	case strings.HasSuffix(rest, ".css"):
+		return session.SignalCSS, true
+	case strings.HasSuffix(rest, ".jpg"):
+		return session.SignalMouse, true
+	default:
+		return 0, false
+	}
+}
+
+// loadTruth reads the trafficgen ground-truth file.
+func loadTruth(path string) map[session.Key]string {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("loganalyze: %v", err)
+	}
+	defer f.Close()
+	truth := make(map[session.Key]string)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		parts := strings.SplitN(sc.Text(), "\t", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		truth[session.Key{IP: parts[0], UserAgent: parts[1]}] = parts[2]
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("loganalyze: reading truth: %v", err)
+	}
+	return truth
+}

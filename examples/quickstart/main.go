@@ -1,0 +1,135 @@
+// Quickstart: protect an existing http.Handler with the robot-detection
+// middleware in a few lines, then watch the detector classify a browser-like
+// client and a crawler-like client.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"botdetect/internal/core"
+	"botdetect/internal/htmlmod"
+	"botdetect/internal/proxy"
+	"botdetect/internal/session"
+)
+
+func main() {
+	// 1. Your existing application handler: any http.Handler works.
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, `<html><head><title>shop</title></head><body>
+<h1>Welcome</h1>
+<ul><li><a href="/catalog">Catalog</a></li><li><a href="/about">About</a></li></ul>
+<img src="/logo.png">
+</body></html>`)
+	})
+
+	// 2. Wrap it with the detector middleware.
+	detector := core.New(core.Config{ObfuscateJS: true, Seed: 42})
+	protected := proxy.New(app, proxy.Config{Detector: detector})
+
+	// 3. Serve it (httptest keeps this example self-contained; in production
+	//    pass `protected` to http.ListenAndServe).
+	server := httptest.NewServer(protected)
+	defer server.Close()
+	fmt.Println("protected application running at", server.URL)
+
+	// 4. A browser-like client: loads the page, fetches the injected
+	//    stylesheet and script, and fires the input-event beacon the way a
+	//    real browser executing the JavaScript would.
+	browserUA := "Mozilla/5.0 (Windows NT 5.1) Firefox/1.5"
+	page := get(server.URL+"/", browserUA)
+	sum := htmlmod.Extract([]byte(page))
+	fmt.Printf("\nbrowser client: page has %d injected stylesheets/scripts and a hidden trap link: %v\n",
+		len(sum.Stylesheets)+len(sum.Scripts), len(sum.HiddenLinks) == 1)
+	for _, css := range sum.Stylesheets {
+		get(server.URL+css, browserUA)
+	}
+	var script string
+	for _, js := range sum.Scripts {
+		script = get(server.URL+js, browserUA)
+	}
+	// "Execute" the script: extract the genuine handler beacon and fetch it.
+	if beacon := findBeacon(script); beacon != "" {
+		get(server.URL+beacon, browserUA)
+	}
+	browserKey := session.Key{IP: "127.0.0.1", UserAgent: browserUA}
+	fmt.Println("browser verdict:", detector.Classify(browserKey))
+
+	// 5. A crawler-like client: fetches pages only, follows the hidden link.
+	crawlerUA := "ExampleCrawler/1.0 (+http://example.org/bot)"
+	crawlerPage := get(server.URL+"/", crawlerUA)
+	crawlerSum := htmlmod.Extract([]byte(crawlerPage))
+	for _, l := range crawlerSum.HiddenLinks {
+		get(server.URL+l, crawlerUA)
+	}
+	crawlerKey := session.Key{IP: "127.0.0.1", UserAgent: crawlerUA}
+	fmt.Println("crawler verdict:", detector.Classify(crawlerKey))
+}
+
+// get fetches a URL with the given User-Agent and returns the body.
+func get(url, ua string) string {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("User-Agent", ua)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(body)
+}
+
+// findBeacon extracts the event-handler beacon URL from the generated script
+// (works for both plain and obfuscated scripts in this small example by
+// decoding String.fromCharCode sequences).
+func findBeacon(script string) string {
+	marker := "function __bd_f()"
+	i := strings.Index(script, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := script[i:]
+	j := strings.Index(rest, ".src = ")
+	if j < 0 {
+		return ""
+	}
+	expr := rest[j+len(".src = "):]
+	if nl := strings.IndexByte(expr, '\n'); nl >= 0 {
+		expr = expr[:nl]
+	}
+	expr = strings.TrimSuffix(strings.TrimSpace(expr), ";")
+	if strings.HasPrefix(expr, "'") {
+		return strings.Trim(expr, "'")
+	}
+	const fcc = "String.fromCharCode("
+	if strings.HasPrefix(expr, fcc) {
+		var b strings.Builder
+		for _, tok := range strings.Split(strings.TrimSuffix(strings.TrimPrefix(expr, fcc), ")"), ",") {
+			n := 0
+			for _, c := range strings.TrimSpace(tok) {
+				if c < '0' || c > '9' {
+					return ""
+				}
+				n = n*10 + int(c-'0')
+			}
+			b.WriteByte(byte(n))
+		}
+		return b.String()
+	}
+	return ""
+}

@@ -1,0 +1,264 @@
+package adaboost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"botdetect/internal/features"
+	"botdetect/internal/rng"
+)
+
+// syntheticExamples builds a linearly separable-ish data set: humans have
+// high referrer share and high image share; robots have high HTML share and
+// high 4xx share, with noise.
+func syntheticExamples(n int, noise float64, seed uint64) []features.Example {
+	src := rng.New(seed)
+	out := make([]features.Example, 0, n)
+	for i := 0; i < n; i++ {
+		human := i%2 == 0
+		var v features.Vector
+		if human {
+			v[features.ReferrerPct] = clamp01(0.7 + src.Normal(0, noise))
+			v[features.ImagePct] = clamp01(0.5 + src.Normal(0, noise))
+			v[features.EmbeddedObjPct] = clamp01(0.6 + src.Normal(0, noise))
+			v[features.HTMLPct] = clamp01(0.3 + src.Normal(0, noise))
+			v[features.Resp4xxPct] = clamp01(0.02 + src.Normal(0, noise/2))
+			v[features.Resp3xxPct] = clamp01(0.08 + src.Normal(0, noise/2))
+		} else {
+			v[features.ReferrerPct] = clamp01(0.1 + src.Normal(0, noise))
+			v[features.ImagePct] = clamp01(0.05 + src.Normal(0, noise))
+			v[features.EmbeddedObjPct] = clamp01(0.08 + src.Normal(0, noise))
+			v[features.HTMLPct] = clamp01(0.9 + src.Normal(0, noise))
+			v[features.Resp4xxPct] = clamp01(0.2 + src.Normal(0, noise/2))
+			v[features.Resp3xxPct] = clamp01(0.01 + src.Normal(0, noise/2))
+		}
+		v[features.Resp2xxPct] = clamp01(1 - v[features.Resp4xxPct] - v[features.Resp3xxPct])
+		out = append(out, features.Example{X: v, Human: human})
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, Config{}); err != ErrNoExamples {
+		t.Fatalf("empty training error = %v", err)
+	}
+	oneClass := []features.Example{{Human: true}, {Human: true}}
+	if _, err := Train(oneClass, Config{}); err != ErrSingleClass {
+		t.Fatalf("single-class error = %v", err)
+	}
+}
+
+func TestTrainSeparableReachesHighAccuracy(t *testing.T) {
+	ex := syntheticExamples(400, 0.05, 1)
+	m, err := Train(ex, Config{Rounds: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(ex); acc < 0.97 {
+		t.Fatalf("training accuracy = %f", acc)
+	}
+	if m.TrainingError > 0.03 {
+		t.Fatalf("training error = %f", m.TrainingError)
+	}
+	if m.Rounds() == 0 || m.Rounds() > 50 {
+		t.Fatalf("rounds = %d", m.Rounds())
+	}
+}
+
+func TestGeneralisationOnHeldOut(t *testing.T) {
+	all := syntheticExamples(1000, 0.12, 7)
+	train, test := Split(all, 0.5, 99)
+	m, err := Train(train, Config{Rounds: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accTrain := m.Accuracy(train)
+	accTest := m.Accuracy(test)
+	if accTest < 0.85 {
+		t.Fatalf("test accuracy = %f", accTest)
+	}
+	if accTrain < accTest-0.05 {
+		t.Fatalf("training accuracy (%f) should not be far below test accuracy (%f)", accTrain, accTest)
+	}
+}
+
+func TestSplitBalancedAndComplete(t *testing.T) {
+	all := syntheticExamples(200, 0.05, 3)
+	train, test := Split(all, 0.5, 5)
+	if len(train)+len(test) != len(all) {
+		t.Fatalf("split lost examples: %d + %d != %d", len(train), len(test), len(all))
+	}
+	count := func(ex []features.Example) (h, r int) {
+		for _, e := range ex {
+			if e.Human {
+				h++
+			} else {
+				r++
+			}
+		}
+		return
+	}
+	th, tr := count(train)
+	if math.Abs(float64(th-tr)) > 2 {
+		t.Fatalf("train split class imbalance: %d humans vs %d robots", th, tr)
+	}
+	// Extremes.
+	tr2, te2 := Split(all, 0, 5)
+	if len(tr2) != 0 || len(te2) != len(all) {
+		t.Fatal("trainFraction 0 should put everything in test")
+	}
+	tr3, te3 := Split(all, 1, 5)
+	if len(te3) != 0 || len(tr3) != len(all) {
+		t.Fatal("trainFraction 1 should put everything in train")
+	}
+	// Out-of-range fractions clamp.
+	tr4, _ := Split(all, -3, 5)
+	if len(tr4) != 0 {
+		t.Fatal("negative fraction should clamp to 0")
+	}
+}
+
+func TestSplitDeterministicPerSeed(t *testing.T) {
+	all := syntheticExamples(100, 0.1, 11)
+	a1, _ := Split(all, 0.5, 42)
+	a2, _ := Split(all, 0.5, 42)
+	if len(a1) != len(a2) {
+		t.Fatal("same-seed splits differ in size")
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same-seed splits differ in content")
+		}
+	}
+}
+
+func TestFeatureImportanceIdentifiesInformativeAttributes(t *testing.T) {
+	ex := syntheticExamples(600, 0.08, 13)
+	m, err := Train(ex, Config{Rounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportance()
+	sum := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatal("negative importance")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importance sums to %f", sum)
+	}
+	top := m.TopFeatures(4)
+	if len(top) != 4 {
+		t.Fatalf("TopFeatures length = %d", len(top))
+	}
+	// The informative attributes in the synthetic data are referrer/html/
+	// image/embedded; an uninformative one (HEAD %) must not rank first.
+	if top[0] == features.HeadPct || top[0] == features.FaviconPct {
+		t.Fatalf("uninformative attribute ranked first: %s", features.Names[top[0]])
+	}
+	if m.TopFeatures(100)[0] != top[0] {
+		t.Fatal("TopFeatures with large k should clamp")
+	}
+}
+
+func TestDegenerateIdenticalVectors(t *testing.T) {
+	ex := []features.Example{
+		{Human: true}, {Human: true}, {Human: true}, {Human: false},
+	}
+	m, err := Train(ex, Config{Rounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With identical vectors the model falls back to the majority class.
+	if !m.Predict(features.Vector{}) {
+		t.Fatal("majority-class fallback should predict human")
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	m := &Model{Stumps: []Stump{{Feature: 0, Threshold: 0.5, Polarity: 1}}, Alphas: []float64{1}}
+	if m.Accuracy(nil) != 0 {
+		t.Fatal("accuracy of empty set should be 0")
+	}
+}
+
+func TestStumpPredictPolarity(t *testing.T) {
+	var x features.Vector
+	x[2] = 0.8
+	sPos := Stump{Feature: 2, Threshold: 0.5, Polarity: 1}
+	sNeg := Stump{Feature: 2, Threshold: 0.5, Polarity: -1}
+	if sPos.predict(x) != 1 || sNeg.predict(x) != -1 {
+		t.Fatal("polarity semantics wrong")
+	}
+	x[2] = 0.2
+	if sPos.predict(x) != -1 || sNeg.predict(x) != 1 {
+		t.Fatal("polarity semantics wrong below threshold")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	ex := syntheticExamples(50, 0.05, 17)
+	m, _ := Train(ex, Config{Rounds: 5})
+	if !strings.Contains(m.String(), "adaboost.Model") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestMoreRoundsNeverHurtTrainingAccuracyMuch(t *testing.T) {
+	ex := syntheticExamples(300, 0.15, 23)
+	m10, err := Train(ex, Config{Rounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m100, err := Train(ex, Config{Rounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m100.Accuracy(ex)+1e-9 < m10.Accuracy(ex)-0.02 {
+		t.Fatalf("more rounds reduced training accuracy: %f vs %f", m100.Accuracy(ex), m10.Accuracy(ex))
+	}
+}
+
+func TestAlphasPositiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		ex := syntheticExamples(100, 0.2, seed)
+		m, err := Train(ex, Config{Rounds: 30})
+		if err != nil {
+			return false
+		}
+		for _, a := range m.Alphas {
+			// Each selected weak learner must beat chance, so alpha > 0.
+			if a <= 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+				return false
+			}
+		}
+		return len(m.Alphas) == len(m.Stumps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictConsistentWithScore(t *testing.T) {
+	ex := syntheticExamples(200, 0.1, 29)
+	m, _ := Train(ex, Config{Rounds: 40})
+	for _, e := range ex {
+		if m.Predict(e.X) != (m.Score(e.X) > 0) {
+			t.Fatal("Predict and Score disagree")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package agents
+
+import (
+	"strconv"
+	"strings"
+)
+
+// This file implements the tiny subset of "JavaScript execution" the human
+// and smart-bot agents need: given the generated beacon script, find the
+// beacon URL fetched by the genuine event handler (the function installed on
+// the body's onmousemove/onkeypress attributes) and the URL of the
+// script-load execution beacon. Real browsers execute the script; the
+// simulated browser understands the generator's two string encodings
+// (a plain single-quoted literal and String.fromCharCode(...)).
+
+// handlerBeaconURL extracts the beacon URL assigned inside the named handler
+// function. It returns "" when the script does not contain the handler or
+// the URL cannot be decoded.
+func handlerBeaconURL(script, handlerName string) string {
+	marker := "function " + handlerName + "()"
+	start := strings.Index(script, marker)
+	if start < 0 {
+		return ""
+	}
+	// The handler body ends at the next "}\n}" pair; searching for the
+	// ".src =" assignment within a bounded window is sufficient because the
+	// generator always emits the assignment inside the function.
+	window := script[start:]
+	if end := strings.Index(window, "return false;\n}"); end >= 0 {
+		window = window[:end]
+	}
+	idx := strings.Index(window, ".src = ")
+	if idx < 0 {
+		return ""
+	}
+	expr := window[idx+len(".src = "):]
+	if nl := strings.IndexByte(expr, '\n'); nl >= 0 {
+		expr = expr[:nl]
+	}
+	expr = strings.TrimSuffix(strings.TrimSpace(expr), ";")
+	return decodeJSStringExpr(expr)
+}
+
+// execBeaconURL extracts the script-load execution beacon URL (the statement
+// appended after the handler/decoy functions that reports the user agent).
+// It returns "" when the script carries no execution beacon.
+func execBeaconURL(script string) string {
+	idx := strings.Index(script, "?ua=' + encodeURIComponent")
+	if idx < 0 {
+		// The URL expression ends with  + '?ua=' + ... ; find the assignment
+		// feeding it instead (obfuscated scripts still contain this suffix).
+		idx = strings.Index(script, "'?ua='")
+		if idx < 0 {
+			return ""
+		}
+	}
+	// Walk back to the start of the statement: `<ident>.src = <expr> + '?ua='`.
+	stmtStart := strings.LastIndex(script[:idx], ".src = ")
+	if stmtStart < 0 {
+		return ""
+	}
+	expr := script[stmtStart+len(".src = ") : idx]
+	expr = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(expr), "+"))
+	return decodeJSStringExpr(expr)
+}
+
+// decodeJSStringExpr decodes either 'literal' or String.fromCharCode(65,66).
+func decodeJSStringExpr(expr string) string {
+	expr = strings.TrimSpace(expr)
+	if strings.HasPrefix(expr, "'") {
+		end := strings.Index(expr[1:], "'")
+		if end < 0 {
+			return ""
+		}
+		return expr[1 : 1+end]
+	}
+	const fcc = "String.fromCharCode("
+	if strings.HasPrefix(expr, fcc) {
+		end := strings.Index(expr, ")")
+		if end < 0 {
+			return ""
+		}
+		var b strings.Builder
+		for _, tok := range strings.Split(expr[len(fcc):end], ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 0 || n > 0x10ffff {
+				return ""
+			}
+			b.WriteByte(byte(n))
+		}
+		return b.String()
+	}
+	return ""
+}
+
+// allBeaconURLs extracts every beacon URL assigned anywhere in the script —
+// the behaviour of a robot that statically scrapes URLs out of scripts and
+// fetches them blindly (and therefore hits decoys).
+func allBeaconURLs(script string) []string {
+	var out []string
+	rest := script
+	for {
+		idx := strings.Index(rest, ".src = ")
+		if idx < 0 {
+			return out
+		}
+		expr := rest[idx+len(".src = "):]
+		if nl := strings.IndexByte(expr, '\n'); nl >= 0 {
+			expr = expr[:nl]
+		}
+		expr = strings.TrimSuffix(strings.TrimSpace(expr), ";")
+		// Strip a trailing "+ '?ua=' ..." concatenation if present.
+		if plus := strings.Index(expr, " + "); plus >= 0 {
+			expr = expr[:plus]
+		}
+		if u := decodeJSStringExpr(expr); u != "" {
+			out = append(out, u)
+		}
+		rest = rest[idx+len(".src = "):]
+	}
+}

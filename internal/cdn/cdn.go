@@ -1,0 +1,398 @@
+// Package cdn simulates the deployment environment of the paper's
+// evaluation: a CoDeeN-like content distribution network of proxy nodes,
+// each running the detection core in front of the synthetic origin site,
+// with per-node traffic accounting, policy enforcement, CAPTCHA service and
+// an abuse-complaint model that reproduces the operational timeline of
+// Figure 3.
+package cdn
+
+import (
+	"strings"
+	"sync"
+
+	"botdetect/internal/agents"
+	"botdetect/internal/captcha"
+	"botdetect/internal/core"
+	"botdetect/internal/logfmt"
+	"botdetect/internal/policy"
+	"botdetect/internal/rng"
+	"botdetect/internal/session"
+	"botdetect/internal/webmodel"
+)
+
+// NodeConfig controls one proxy node.
+type NodeConfig struct {
+	// Name identifies the node (e.g. "codeen-03").
+	Name string
+	// Site is the origin content the node serves; required.
+	Site *webmodel.Site
+	// Detector is the node's detection engine; required.
+	Detector *core.Detector
+	// Policy optionally enforces throttling/blocking.
+	Policy *policy.Engine
+	// Captcha optionally backs the CAPTCHA endpoints.
+	Captcha *captcha.Service
+	// LogWriter, when non-nil, receives every observed request.
+	LogWriter *logfmt.Writer
+	// RecordEntries keeps observed entries in memory for offline analysis.
+	RecordEntries bool
+}
+
+// NodeStats are per-node cumulative counters.
+type NodeStats struct {
+	Requests            int64
+	BlockedRequests     int64
+	ThrottledRequests   int64
+	OriginBytes         int64
+	InstrumentationHits int64
+	CaptchaSolved       int64
+}
+
+// Node is one proxy in the simulated CDN. It implements agents.Client.
+type Node struct {
+	cfg NodeConfig
+
+	mu      sync.Mutex
+	stats   NodeStats
+	entries []logfmt.Entry
+}
+
+// NewNode creates a Node. It panics when Site or Detector are missing since
+// the node cannot operate without them.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.Site == nil || cfg.Detector == nil {
+		panic("cdn: NodeConfig.Site and NodeConfig.Detector are required")
+	}
+	return &Node{cfg: cfg}
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Detector returns the node's detection engine.
+func (n *Node) Detector() *core.Detector { return n.cfg.Detector }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// SetRecording enables or disables in-memory recording of observed entries.
+func (n *Node) SetRecording(enabled bool) {
+	n.mu.Lock()
+	n.cfg.RecordEntries = enabled
+	n.mu.Unlock()
+}
+
+// Entries returns the recorded log entries (nil unless RecordEntries is set).
+func (n *Node) Entries() []logfmt.Entry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]logfmt.Entry, len(n.entries))
+	copy(out, n.entries)
+	return out
+}
+
+// Do implements agents.Client: it plays the role the instrumented CoDeeN
+// proxy plays for a real client request.
+func (n *Node) Do(req agents.Request) agents.Response {
+	n.mu.Lock()
+	n.stats.Requests++
+	n.mu.Unlock()
+
+	key := session.Key{IP: req.IP, UserAgent: req.UserAgent}
+	d := n.cfg.Detector
+
+	// The optional CAPTCHA participation pseudo-path: issue a challenge and
+	// have the (simulated) human solve it.
+	if req.Path == agents.CaptchaSolvePath {
+		if n.cfg.Captcha != nil {
+			ch := n.cfg.Captcha.Issue(key)
+			if answer, ok := n.cfg.Captcha.Answer(ch.ID); ok && n.cfg.Captcha.Verify(ch.ID, answer) {
+				d.MarkCaptchaPassed(key)
+				n.mu.Lock()
+				n.stats.CaptchaSolved++
+				n.mu.Unlock()
+			}
+		} else {
+			d.MarkCaptchaPassed(key)
+			n.mu.Lock()
+			n.stats.CaptchaSolved++
+			n.mu.Unlock()
+		}
+		return agents.Response{Status: 200, ContentType: "text/plain", Body: []byte("ok")}
+	}
+
+	// Instrumentation traffic (beacons, generated objects, hidden links).
+	// These requests are excluded from session request counting (HandleBeacon
+	// marks signals instead) but they do appear in the access log, exactly as
+	// they would in a real proxy's log.
+	if resp, ok := d.HandleBeacon(req.IP, req.UserAgent, req.Path); ok {
+		n.mu.Lock()
+		n.stats.InstrumentationHits++
+		if n.cfg.LogWriter != nil || n.cfg.RecordEntries {
+			entry := logfmt.Entry{
+				Time: req.Time, ClientIP: req.IP, UserAgent: req.UserAgent, Method: req.Method,
+				Path: req.Path, Status: resp.Status, Bytes: int64(len(resp.Body)),
+				Referer: req.Referer, ContentType: resp.ContentType,
+			}
+			if n.cfg.LogWriter != nil {
+				_ = n.cfg.LogWriter.Write(entry)
+			}
+			if n.cfg.RecordEntries {
+				n.entries = append(n.entries, entry)
+			}
+		}
+		n.mu.Unlock()
+		return agents.Response{Status: resp.Status, ContentType: resp.ContentType, Body: resp.Body}
+	}
+
+	// Policy enforcement before serving origin content.
+	if n.cfg.Policy != nil {
+		if snap, tracked := d.Session(key); tracked {
+			decision := n.cfg.Policy.Evaluate(snap, d.ClassifySnapshot(snap))
+			switch decision.Action {
+			case policy.Block:
+				n.mu.Lock()
+				n.stats.BlockedRequests++
+				n.mu.Unlock()
+				n.observe(req, 403, "text/html", 0)
+				return agents.Response{Status: 403, ContentType: "text/html", Body: []byte("<html><body>blocked</body></html>")}
+			case policy.Throttle:
+				n.mu.Lock()
+				n.stats.ThrottledRequests++
+				n.mu.Unlock()
+			}
+		}
+	}
+
+	obj := n.cfg.Site.Lookup(req.Path)
+	body := obj.Body
+	if strings.Contains(obj.ContentType, "text/html") && obj.Status == 200 && req.Method == "GET" {
+		body, _ = d.InstrumentPage(req.IP, req.UserAgent, req.Path, obj.Body)
+	}
+	n.observe(req, obj.Status, obj.ContentType, int64(len(obj.Body)))
+	n.mu.Lock()
+	n.stats.OriginBytes += int64(len(obj.Body))
+	n.mu.Unlock()
+	return agents.Response{Status: obj.Status, ContentType: obj.ContentType, Body: body, RedirectTo: obj.RedirectTo}
+}
+
+// observe records a non-instrumentation request with the detector's session
+// tracker and the node's log sinks.
+func (n *Node) observe(req agents.Request, status int, contentType string, bytes int64) {
+	entry := logfmt.Entry{
+		Time: req.Time, ClientIP: req.IP, UserAgent: req.UserAgent, Method: req.Method,
+		Path: req.Path, Status: status, Bytes: bytes, Referer: req.Referer, ContentType: contentType,
+	}
+	n.cfg.Detector.ObserveRequest(entry)
+	n.mu.Lock()
+	if n.cfg.LogWriter != nil {
+		_ = n.cfg.LogWriter.Write(entry)
+	}
+	if n.cfg.RecordEntries {
+		n.entries = append(n.entries, entry)
+	}
+	n.mu.Unlock()
+}
+
+// Network is a set of nodes sharing one origin site, with clients pinned to
+// nodes by hashing their IP (CoDeeN clients similarly stick to a nearby
+// proxy).
+type Network struct {
+	nodes []*Node
+}
+
+// NewNetwork builds a network of numNodes nodes, each with its own detector
+// (sharing the configuration) and optional policy/captcha services cloned
+// per node.
+func NewNetwork(numNodes int, site *webmodel.Site, detCfg core.Config, withPolicy bool, seed uint64) *Network {
+	if numNodes <= 0 {
+		numNodes = 1
+	}
+	src := rng.New(seed).Fork("cdn-network")
+	net := &Network{}
+	for i := 0; i < numNodes; i++ {
+		cfg := detCfg
+		cfg.Seed = src.Uint64()
+		var pol *policy.Engine
+		if withPolicy {
+			pol = policy.NewEngine(policy.Config{Clock: detCfg.Clock})
+		}
+		node := NewNode(NodeConfig{
+			Name:     nodeName(i),
+			Site:     site,
+			Detector: core.New(cfg),
+			Policy:   pol,
+			Captcha:  captcha.NewService(captcha.Config{Seed: src.Uint64(), Clock: detCfg.Clock}),
+		})
+		net.nodes = append(net.nodes, node)
+	}
+	return net
+}
+
+func nodeName(i int) string {
+	return "codeen-" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10))
+}
+
+// Nodes returns the network's nodes.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// NodeFor returns the node serving the given client IP.
+func (n *Network) NodeFor(ip string) *Node {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(ip); i++ {
+		h ^= uint64(ip[i])
+		h *= 1099511628211
+	}
+	return n.nodes[h%uint64(len(n.nodes))]
+}
+
+// Do implements agents.Client by routing to the client's node.
+func (n *Network) Do(req agents.Request) agents.Response {
+	return n.NodeFor(req.IP).Do(req)
+}
+
+// FlushSessions ends all sessions on all nodes and returns them.
+func (n *Network) FlushSessions() []core.ClassifiedSession {
+	var out []core.ClassifiedSession
+	for _, node := range n.nodes {
+		out = append(out, node.Detector().FlushSessions()...)
+	}
+	return out
+}
+
+// TotalStats aggregates node counters.
+func (n *Network) TotalStats() NodeStats {
+	var total NodeStats
+	for _, node := range n.nodes {
+		s := node.Stats()
+		total.Requests += s.Requests
+		total.BlockedRequests += s.BlockedRequests
+		total.ThrottledRequests += s.ThrottledRequests
+		total.OriginBytes += s.OriginBytes
+		total.InstrumentationHits += s.InstrumentationHits
+		total.CaptchaSolved += s.CaptchaSolved
+	}
+	return total
+}
+
+// DetectorStats aggregates detector counters across nodes.
+func (n *Network) DetectorStats() core.Stats {
+	var total core.Stats
+	for _, node := range n.nodes {
+		s := node.Detector().Stats()
+		total.PagesInstrumented += s.PagesInstrumented
+		total.OriginalBytes += s.OriginalBytes
+		total.AddedBytes += s.AddedBytes
+		total.MouseBeacons += s.MouseBeacons
+		total.DecoyBeacons += s.DecoyBeacons
+		total.ReplayBeacons += s.ReplayBeacons
+		total.UnknownBeacons += s.UnknownBeacons
+		total.ExecBeacons += s.ExecBeacons
+		total.CSSBeacons += s.CSSBeacons
+		total.ScriptServes += s.ScriptServes
+		total.HiddenHits += s.HiddenHits
+		total.UAReports += s.UAReports
+		total.UAMismatches += s.UAMismatches
+	}
+	return total
+}
+
+// ComplaintModel converts monthly robot-abuse volume into abuse complaints,
+// reproducing the causal structure behind Figure 3: operators of victim
+// sites complain in proportion to the un-throttled robot traffic that
+// reaches them, with diminishing returns (one very abusive robot produces a
+// bounded number of complaints). Complaint counts are drawn from a Poisson
+// distribution so month-to-month variation resembles the published curve.
+type ComplaintModel struct {
+	// RequestsPerComplaint is the expected un-throttled robot request volume
+	// that generates one complaint.
+	RequestsPerComplaint float64
+	// BaselineHuman is the expected number of complaints per month caused by
+	// non-robot issues (hackers exploiting PHP/SQL holes, in the paper's
+	// words); these do not go away when robot detection is deployed.
+	BaselineHuman float64
+	// Src drives the Poisson draws.
+	Src *rng.Source
+}
+
+// MonthlyComplaints is one month's outcome.
+type MonthlyComplaints struct {
+	// Month labels the month (e.g. "Jan").
+	Month string
+	// Robot is the number of robot-related complaints.
+	Robot int
+	// Human is the number of complaints attributable to human abusers.
+	Human int
+}
+
+// Total returns robot + human complaints.
+func (m MonthlyComplaints) Total() int { return m.Robot + m.Human }
+
+// Complaints maps allowed robot request volumes to complaint counts.
+func (cm ComplaintModel) Complaints(months []string, allowedRobotRequests []float64) []MonthlyComplaints {
+	src := cm.Src
+	if src == nil {
+		src = rng.New(2005)
+	}
+	rpc := cm.RequestsPerComplaint
+	if rpc <= 0 {
+		rpc = 50000
+	}
+	out := make([]MonthlyComplaints, 0, len(months))
+	for i, m := range months {
+		var vol float64
+		if i < len(allowedRobotRequests) {
+			vol = allowedRobotRequests[i]
+		}
+		robot := src.Poisson(vol / rpc)
+		human := src.Poisson(cm.BaselineHuman)
+		out = append(out, MonthlyComplaints{Month: m, Robot: robot, Human: human})
+	}
+	return out
+}
+
+// Months2005 is the Figure 3 x axis: the months of 2005 plus January 2006.
+var Months2005 = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec", "Jan06"}
+
+// DeploymentTimeline models the operational history behind Figure 3 and
+// returns the allowed (un-throttled) robot request volume per month.
+//
+// The network grows from smallNodes to largeNodes in expansionMonth
+// (CoDeeN's February 2005 expansion from 100 US nodes to 300+ worldwide);
+// robot traffic grows with the deployment and with robots discovering the
+// open proxies (a ramp peaking mid-year); the browser-test detector plus
+// aggressive rate limiting deploy in detectionMonth (late August 2005) and
+// cut the allowed robot volume by blockedFraction; mouse-movement detection
+// deploys in mouseMonth (January 2006) and cuts it further.
+func DeploymentTimeline(smallNodes, largeNodes int, expansionMonth, detectionMonth, mouseMonth int,
+	requestsPerNodePerMonth float64, robotShare, blockedFraction, mouseBlockedFraction float64) []float64 {
+	out := make([]float64, len(Months2005))
+	for i := range out {
+		nodes := smallNodes
+		if i >= expansionMonth {
+			nodes = largeNodes
+		}
+		// Robots discover the expanded network gradually and then saturate.
+		discovery := 1.0
+		if i >= expansionMonth {
+			ramp := float64(i-expansionMonth+1) / 4.0
+			if ramp > 2.0 {
+				ramp = 2.0
+			}
+			discovery = ramp
+		}
+		volume := float64(nodes) * requestsPerNodePerMonth * robotShare * discovery
+		if i >= detectionMonth {
+			volume *= 1 - blockedFraction
+		}
+		if i >= mouseMonth {
+			volume *= 1 - mouseBlockedFraction
+		}
+		out[i] = volume
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package cdn
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"botdetect/internal/agents"
+	"botdetect/internal/captcha"
+	"botdetect/internal/clock"
+	"botdetect/internal/core"
+	"botdetect/internal/policy"
+	"botdetect/internal/rng"
+	"botdetect/internal/session"
+	"botdetect/internal/webmodel"
+)
+
+func testNode(t *testing.T, withPolicy bool) (*Node, *clock.Virtual) {
+	t.Helper()
+	vc := clock.NewVirtual(time.Time{})
+	site := webmodel.Generate(webmodel.SiteConfig{Seed: 1, NumPages: 20})
+	det := core.New(core.Config{Seed: 2, Clock: vc, ObfuscateJS: true})
+	var pol *policy.Engine
+	if withPolicy {
+		pol = policy.NewEngine(policy.Config{Clock: vc})
+	}
+	return NewNode(NodeConfig{
+		Name: "codeen-test", Site: site, Detector: det, Policy: pol,
+		Captcha: captcha.NewService(captcha.Config{Seed: 3, Clock: vc}), RecordEntries: true,
+	}), vc
+}
+
+func TestNodeServesAndInstruments(t *testing.T) {
+	n, vc := testNode(t, false)
+	resp := n.Do(agents.Request{Time: vc.Now(), IP: "10.0.0.1", UserAgent: "Firefox", Method: "GET", Path: "/"})
+	if resp.Status != 200 || !strings.Contains(resp.ContentType, "text/html") {
+		t.Fatalf("response = %+v", resp)
+	}
+	if !strings.Contains(string(resp.Body), "/__bd/") {
+		t.Fatal("page not instrumented")
+	}
+	if n.Stats().Requests != 1 || n.Stats().OriginBytes == 0 {
+		t.Fatalf("stats = %+v", n.Stats())
+	}
+	if len(n.Entries()) != 1 {
+		t.Fatalf("entries = %d", len(n.Entries()))
+	}
+	if n.Name() != "codeen-test" || n.Detector() == nil {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestNodeBeaconHandling(t *testing.T) {
+	n, vc := testNode(t, false)
+	page := n.Do(agents.Request{Time: vc.Now(), IP: "10.0.0.2", UserAgent: "Firefox", Method: "GET", Path: "/"})
+	// Find the injected CSS path in the page and fetch it.
+	body := string(page.Body)
+	idx := strings.Index(body, "/__bd/")
+	end := strings.Index(body[idx:], ".css")
+	cssPath := body[idx : idx+end+4]
+	resp := n.Do(agents.Request{Time: vc.Now(), IP: "10.0.0.2", UserAgent: "Firefox", Method: "GET", Path: cssPath})
+	if resp.Status != 200 || resp.ContentType != "text/css" {
+		t.Fatalf("css beacon response = %+v", resp)
+	}
+	if n.Stats().InstrumentationHits != 1 {
+		t.Fatalf("stats = %+v", n.Stats())
+	}
+	snap, _ := n.Detector().Session(session.Key{IP: "10.0.0.2", UserAgent: "Firefox"})
+	if !snap.Has(session.SignalCSS) {
+		t.Fatal("CSS signal not recorded")
+	}
+}
+
+func TestNodeCaptchaSolvePath(t *testing.T) {
+	n, vc := testNode(t, false)
+	resp := n.Do(agents.Request{Time: vc.Now(), IP: "10.0.0.3", UserAgent: "Firefox", Method: "GET", Path: agents.CaptchaSolvePath})
+	if resp.Status != 200 {
+		t.Fatalf("captcha solve status = %d", resp.Status)
+	}
+	if n.Stats().CaptchaSolved != 1 {
+		t.Fatalf("stats = %+v", n.Stats())
+	}
+	snap, _ := n.Detector().Session(session.Key{IP: "10.0.0.3", UserAgent: "Firefox"})
+	if !snap.Has(session.SignalCaptcha) {
+		t.Fatal("captcha signal not recorded")
+	}
+}
+
+func TestNodePolicyBlocksAbusiveRobot(t *testing.T) {
+	n, vc := testNode(t, true)
+	ip, ua := "10.0.0.4", "Firefox"
+	blocked := 0
+	for i := 0; i < 80; i++ {
+		resp := n.Do(agents.Request{Time: vc.Now(), IP: ip, UserAgent: ua, Method: "GET",
+			Path: "/cgi-bin/app0.cgi?click=" + string(rune('a'+i%26))})
+		vc.Advance(100 * time.Millisecond)
+		if resp.Status == 403 {
+			blocked++
+		}
+	}
+	if blocked == 0 {
+		t.Fatalf("abusive robot never blocked; stats=%+v", n.Stats())
+	}
+	if n.Stats().BlockedRequests == 0 {
+		t.Fatal("blocked counter not incremented")
+	}
+}
+
+func TestNewNodePanicsWithoutDeps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNode(NodeConfig{})
+}
+
+func TestNetworkRoutingStableAndComplete(t *testing.T) {
+	vc := clock.NewVirtual(time.Time{})
+	site := webmodel.Generate(webmodel.SiteConfig{Seed: 5, NumPages: 10})
+	net := NewNetwork(5, site, core.Config{Clock: vc}, false, 7)
+	if len(net.Nodes()) != 5 {
+		t.Fatalf("nodes = %d", len(net.Nodes()))
+	}
+	a := net.NodeFor("10.1.2.3")
+	b := net.NodeFor("10.1.2.3")
+	if a != b {
+		t.Fatal("client not pinned to one node")
+	}
+	// Different IPs spread over multiple nodes.
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[net.NodeFor(string(rune('a'+i%26))+"."+string(rune('0'+i%10))).Name()] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("hashing does not spread clients across nodes")
+	}
+	// Do routes to the pinned node and still works end to end.
+	resp := net.Do(agents.Request{Time: vc.Now(), IP: "10.1.2.3", UserAgent: "UA", Method: "GET", Path: "/"})
+	if resp.Status != 200 {
+		t.Fatalf("network Do status = %d", resp.Status)
+	}
+	if net.TotalStats().Requests != 1 {
+		t.Fatalf("total stats = %+v", net.TotalStats())
+	}
+}
+
+func TestNetworkFlushAndDetectorStats(t *testing.T) {
+	vc := clock.NewVirtual(time.Time{})
+	site := webmodel.Generate(webmodel.SiteConfig{Seed: 9, NumPages: 10})
+	net := NewNetwork(3, site, core.Config{Clock: vc}, false, 11)
+	for i := 0; i < 30; i++ {
+		ip := "10.9.0." + string(rune('0'+i%10))
+		net.Do(agents.Request{Time: vc.Now(), IP: ip, UserAgent: "UA", Method: "GET", Path: "/"})
+	}
+	stats := net.DetectorStats()
+	if stats.PagesInstrumented != 30 {
+		t.Fatalf("PagesInstrumented = %d", stats.PagesInstrumented)
+	}
+	sessions := net.FlushSessions()
+	if len(sessions) != 10 {
+		t.Fatalf("flushed sessions = %d, want 10 distinct keys", len(sessions))
+	}
+}
+
+func TestComplaintModelShape(t *testing.T) {
+	// Volumes: high before detection, low after.
+	volumes := DeploymentTimeline(100, 300, 1, 8, 12, 2.0e6, 0.5, 0.9, 0.8)
+	if len(volumes) != len(Months2005) {
+		t.Fatalf("timeline length = %d", len(volumes))
+	}
+	// Volume grows after expansion and drops sharply after detection.
+	if volumes[0] >= volumes[6] {
+		t.Fatalf("volume should grow after expansion: Jan=%f Jul=%f", volumes[0], volumes[6])
+	}
+	if volumes[9] >= volumes[6]*0.5 {
+		t.Fatalf("volume should drop after detection: Jul=%f Oct=%f", volumes[6], volumes[9])
+	}
+	if volumes[12] >= volumes[9] {
+		t.Fatalf("volume should drop again after mouse detection: Oct=%f Jan06=%f", volumes[9], volumes[12])
+	}
+
+	cm := ComplaintModel{RequestsPerComplaint: 1e6, BaselineHuman: 0.5, Src: rng.New(42)}
+	months := cm.Complaints(Months2005, volumes)
+	if len(months) != len(Months2005) {
+		t.Fatalf("months = %d", len(months))
+	}
+	peak := 0
+	for _, m := range months[:8] {
+		if m.Robot > peak {
+			peak = m.Robot
+		}
+	}
+	var after int
+	for _, m := range months[9:] {
+		after += m.Robot
+	}
+	if peak == 0 {
+		t.Fatal("no robot complaints before detection deployment")
+	}
+	if after > peak {
+		t.Fatalf("complaints did not drop after deployment: peak=%d after-sum=%d", peak, after)
+	}
+	if months[0].Total() != months[0].Robot+months[0].Human {
+		t.Fatal("Total() broken")
+	}
+}
+
+func TestComplaintModelDefaults(t *testing.T) {
+	cm := ComplaintModel{}
+	months := cm.Complaints([]string{"Jan", "Feb"}, []float64{0})
+	if len(months) != 2 {
+		t.Fatalf("months = %d", len(months))
+	}
+	if months[1].Robot != 0 {
+		t.Fatal("missing volume entries should yield zero complaints")
+	}
+}
+
+func TestNodeNameGenerator(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		seen[nodeName(i)] = true
+	}
+	if len(seen) < 40 {
+		t.Fatalf("node names collide too much: %d distinct of 50", len(seen))
+	}
+}

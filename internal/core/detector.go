@@ -1,0 +1,612 @@
+// Package core implements the paper's robot-detection system: dynamic page
+// instrumentation (human activity detection plus standard-browser testing),
+// per-session signal accumulation, and the on-line classification rule that
+// separates human sessions from robot sessions
+//
+//	S_H = (S_CSS ∪ S_MM) − (S_JS − S_MM)
+//
+// The Detector is transport-agnostic: callers (the HTTP proxy middleware in
+// internal/proxy, the CoDeeN-scale simulator in internal/cdn, and the offline
+// log analyzer) feed it page bodies and request observations and receive
+// rewritten pages, beacon responses and per-session verdicts.
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"botdetect/internal/clock"
+	"botdetect/internal/htmlmod"
+	"botdetect/internal/jsgen"
+	"botdetect/internal/keystore"
+	"botdetect/internal/logfmt"
+	"botdetect/internal/rng"
+	"botdetect/internal/session"
+)
+
+// Class is the detector's decision about a session's traffic source.
+type Class int
+
+const (
+	// ClassUndecided means the detector has not yet seen enough evidence.
+	ClassUndecided Class = iota
+	// ClassHuman means the traffic source is a human user.
+	ClassHuman
+	// ClassRobot means the traffic source is an automated agent.
+	ClassRobot
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassHuman:
+		return "human"
+	case ClassRobot:
+		return "robot"
+	default:
+		return "undecided"
+	}
+}
+
+// Confidence qualifies a verdict.
+type Confidence int
+
+const (
+	// Tentative verdicts may flip as more requests arrive.
+	Tentative Confidence = iota
+	// Probable verdicts rest on behavioural evidence (browser testing).
+	Probable
+	// Definite verdicts rest on direct evidence (input events, decoy hits,
+	// hidden-link fetches, CAPTCHA).
+	Definite
+)
+
+// String returns the confidence name.
+func (c Confidence) String() string {
+	switch c {
+	case Definite:
+		return "definite"
+	case Probable:
+		return "probable"
+	default:
+		return "tentative"
+	}
+}
+
+// Verdict is the classification of one session.
+type Verdict struct {
+	// Class is the decision.
+	Class Class
+	// Confidence qualifies the decision.
+	Confidence Confidence
+	// Reason is a human-readable explanation of the dominant evidence.
+	Reason string
+	// AtRequest is the request count at which the dominant evidence was
+	// observed (0 when no evidence has been observed).
+	AtRequest int64
+}
+
+// ClassifiedSession pairs a finished session with its final verdict.
+type ClassifiedSession struct {
+	Snapshot session.Snapshot
+	Verdict  Verdict
+}
+
+// Response is the body the caller should serve for an intercepted
+// instrumentation request (beacon, generated stylesheet/script, hidden page).
+type Response struct {
+	// Status is the HTTP status code.
+	Status int
+	// ContentType is the response content type.
+	ContentType string
+	// Body is the response body.
+	Body []byte
+	// NoCache indicates the response must carry Cache-Control: no-cache,
+	// no-store (always true for generated instrumentation objects).
+	NoCache bool
+}
+
+// Config controls the Detector.
+type Config struct {
+	// BeaconPrefix is the path prefix reserved for instrumentation objects
+	// (default "/__bd"). It should not collide with origin content.
+	BeaconPrefix string
+	// BeaconBase is an optional absolute URL prefix for beacons (scheme and
+	// host); empty means site-relative beacons.
+	BeaconBase string
+	// Decoys is the number of decoy beacon functions per page (paper: m).
+	Decoys int
+	// KeyDigits is the length of generated keys in decimal digits.
+	KeyDigits int
+	// ObfuscateJS enables lexical obfuscation of the generated script.
+	ObfuscateJS bool
+	// MinRequests is the number of requests a session must reach before the
+	// behavioural (browser-test) rules classify it (paper: 10).
+	MinRequests int64
+	// SessionIdleTimeout ends a session after this inactivity (paper: 1 h).
+	SessionIdleTimeout time.Duration
+	// MaxSessions bounds concurrently tracked sessions.
+	MaxSessions int
+	// MaxScripts bounds retained generated scripts awaiting download.
+	MaxScripts int
+	// Seed drives key and script generation.
+	Seed uint64
+	// Clock supplies time; defaults to the wall clock.
+	Clock clock.Clock
+	// OnSessionEnd, when non-nil, receives every session that ends together
+	// with its final verdict.
+	OnSessionEnd func(ClassifiedSession)
+}
+
+func (c Config) withDefaults() Config {
+	if c.BeaconPrefix == "" {
+		c.BeaconPrefix = jsgen.DefaultBeaconPrefix
+	}
+	if c.Decoys <= 0 {
+		c.Decoys = 4
+	}
+	if c.KeyDigits <= 0 {
+		c.KeyDigits = 10
+	}
+	if c.MinRequests <= 0 {
+		c.MinRequests = 10
+	}
+	if c.SessionIdleTimeout <= 0 {
+		c.SessionIdleTimeout = time.Hour
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1 << 20
+	}
+	if c.MaxScripts <= 0 {
+		c.MaxScripts = 65536
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System
+	}
+	return c
+}
+
+// Stats are the detector's cumulative counters.
+type Stats struct {
+	// PagesInstrumented counts HTML pages rewritten.
+	PagesInstrumented int64
+	// OriginalBytes and AddedBytes track page sizes before rewriting and the
+	// instrumentation bytes added (rewritten HTML growth plus generated
+	// scripts and stylesheets actually served), for the overhead experiment.
+	OriginalBytes int64
+	AddedBytes    int64
+	// BeaconRequests counts intercepted instrumentation requests by kind.
+	MouseBeacons   int64
+	DecoyBeacons   int64
+	ReplayBeacons  int64
+	UnknownBeacons int64
+	ExecBeacons    int64
+	CSSBeacons     int64
+	ScriptServes   int64
+	HiddenHits     int64
+	UAReports      int64
+	UAMismatches   int64
+}
+
+type storedScript struct {
+	token   string
+	body    []byte
+	element *list.Element
+}
+
+// Detector is the robot-detection engine. It is safe for concurrent use.
+type Detector struct {
+	cfg  Config
+	keys *keystore.Store
+	gen  *jsgen.Generator
+
+	sessions *session.Tracker
+
+	mu      sync.Mutex
+	src     *rng.Source
+	scripts map[string]*storedScript
+	lru     *list.List
+	stats   Stats
+}
+
+// New creates a Detector.
+func New(cfg Config) *Detector {
+	cfg = cfg.withDefaults()
+	d := &Detector{
+		cfg: cfg,
+		gen: jsgen.NewGenerator(),
+		keys: keystore.New(keystore.Config{
+			Decoys:    cfg.Decoys,
+			KeyDigits: cfg.KeyDigits,
+			TTL:       cfg.SessionIdleTimeout,
+			Seed:      cfg.Seed,
+			Clock:     cfg.Clock,
+		}),
+		src:     rng.New(cfg.Seed).Fork("core"),
+		scripts: make(map[string]*storedScript),
+		lru:     list.New(),
+	}
+	d.sessions = session.NewTracker(session.Config{
+		IdleTimeout: cfg.SessionIdleTimeout,
+		MaxSessions: cfg.MaxSessions,
+		Clock:       cfg.Clock,
+		Evicted:     d.sessionEnded,
+	})
+	return d
+}
+
+// sessionEnded forwards finished sessions (with final verdicts) to the
+// configured callback.
+func (d *Detector) sessionEnded(snap session.Snapshot) {
+	if d.cfg.OnSessionEnd == nil {
+		return
+	}
+	d.cfg.OnSessionEnd(ClassifiedSession{Snapshot: snap, Verdict: d.ClassifySnapshot(snap)})
+}
+
+// Instrumented describes what InstrumentPage injected for one page view.
+type Instrumented struct {
+	// Issued carries the keys and tokens generated for the page.
+	Issued keystore.Issued
+	// ScriptPath, CSSPath, HiddenPath are the request paths of the injected
+	// objects.
+	ScriptPath string
+	CSSPath    string
+	HiddenPath string
+	// AddedBytes is the HTML size increase.
+	AddedBytes int
+}
+
+// InstrumentPage rewrites one HTML page served to clientIP/userAgent:
+// it issues fresh keys, generates the per-page obfuscated script, injects
+// the beacon stylesheet, the external script, the inline user-agent
+// reporter, the body event handlers, and the hidden trap link. The rewritten
+// page and a description of the injections are returned. Non-HTML bodies
+// should not be passed.
+func (d *Detector) InstrumentPage(clientIP, userAgent, pagePath string, html []byte) ([]byte, Instrumented) {
+	iss := d.keys.Issue(clientIP, pagePath)
+	prefix := d.cfg.BeaconPrefix
+
+	d.mu.Lock()
+	seed := d.src.Uint64()
+	d.mu.Unlock()
+
+	script := d.gen.Script(jsgen.Params{
+		BeaconBase:   d.cfg.BeaconBase,
+		BeaconPrefix: prefix,
+		RealKey:      iss.Key,
+		DecoyKeys:    iss.Decoys,
+		UAReportKey:  iss.ScriptToken,
+		Obfuscate:    d.cfg.ObfuscateJS,
+		Seed:         seed,
+	})
+	d.storeScript(iss.ScriptToken, []byte(script))
+
+	inj := htmlmod.Injection{
+		CSSHref:      d.cfg.BeaconBase + jsgen.CSSPath(prefix, iss.CSSToken),
+		ScriptSrc:    d.cfg.BeaconBase + jsgen.ScriptPath(prefix, iss.ScriptToken),
+		InlineScript: jsgen.InlineUAScript(d.cfg.BeaconBase, prefix, iss.ScriptToken),
+		HandlerName:  d.gen.HandlerName,
+		HiddenHref:   d.cfg.BeaconBase + jsgen.HiddenPath(prefix, iss.HiddenToken),
+		HiddenImgSrc: d.cfg.BeaconBase + jsgen.TransparentImagePath(prefix),
+	}
+	res := htmlmod.Rewrite(html, inj)
+
+	d.mu.Lock()
+	d.stats.PagesInstrumented++
+	d.stats.OriginalBytes += int64(len(html))
+	d.stats.AddedBytes += int64(res.AddedBytes)
+	d.mu.Unlock()
+
+	return res.HTML, Instrumented{
+		Issued:     iss,
+		ScriptPath: jsgen.ScriptPath(prefix, iss.ScriptToken),
+		CSSPath:    jsgen.CSSPath(prefix, iss.CSSToken),
+		HiddenPath: jsgen.HiddenPath(prefix, iss.HiddenToken),
+		AddedBytes: res.AddedBytes,
+	}
+}
+
+func (d *Detector) storeScript(token string, body []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if old, ok := d.scripts[token]; ok {
+		old.body = body
+		d.lru.MoveToFront(old.element)
+		return
+	}
+	s := &storedScript{token: token, body: body}
+	s.element = d.lru.PushFront(s)
+	d.scripts[token] = s
+	for len(d.scripts) > d.cfg.MaxScripts {
+		back := d.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*storedScript)
+		d.lru.Remove(back)
+		delete(d.scripts, victim.token)
+	}
+}
+
+func (d *Detector) loadScript(token string) ([]byte, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.scripts[token]
+	if !ok {
+		return nil, false
+	}
+	d.lru.MoveToFront(s.element)
+	return s.body, true
+}
+
+// ObserveRequest records one ordinary (non-instrumentation) request for
+// session tracking and returns the session's snapshot.
+func (d *Detector) ObserveRequest(e logfmt.Entry) session.Snapshot {
+	return d.sessions.Observe(e)
+}
+
+// IsInstrumentationPath reports whether the request path belongs to the
+// detector's reserved prefix and should be routed to HandleBeacon instead of
+// the origin.
+func (d *Detector) IsInstrumentationPath(path string) bool {
+	clean := path
+	if i := strings.IndexByte(clean, '?'); i >= 0 {
+		clean = clean[:i]
+	}
+	return strings.HasPrefix(clean, d.cfg.BeaconPrefix+"/")
+}
+
+var (
+	emptyCSS   = []byte("/* */\n")
+	tinyGIF    = []byte("GIF89a\x01\x00\x01\x00\x80\x00\x00\x00\x00\x00\xff\xff\xff!\xf9\x04\x01\x00\x00\x00\x00,\x00\x00\x00\x00\x01\x00\x01\x00\x00\x02\x02D\x01\x00;")
+	tinyJPEG   = []byte("\xff\xd8\xff\xe0\x00\x10JFIF\x00\x01\x01\x00\x00\x01\x00\x01\x00\x00\xff\xd9")
+	hiddenPage = []byte("<html><head><title>ok</title></head><body></body></html>")
+	fallbackJS = []byte("// expired\n")
+)
+
+// HandleBeacon processes a request under the instrumentation prefix for the
+// given client, updating the session's detection signals, and returns the
+// response to serve. ok is false when the path is not an instrumentation
+// path (the caller should forward it to the origin instead).
+func (d *Detector) HandleBeacon(clientIP, userAgent, path string) (Response, bool) {
+	if !d.IsInstrumentationPath(path) {
+		return Response{}, false
+	}
+	key := session.Key{IP: clientIP, UserAgent: userAgent}
+	rest := strings.TrimPrefix(path, d.cfg.BeaconPrefix+"/")
+	query := ""
+	if i := strings.IndexByte(rest, '?'); i >= 0 {
+		query = rest[i+1:]
+		rest = rest[:i]
+	}
+
+	switch {
+	case strings.HasPrefix(rest, "js/") && strings.HasSuffix(rest, ".gif"):
+		// JavaScript-execution beacon with the reported user agent.
+		d.sessions.Mark(key, session.SignalJS)
+		d.bump(func(s *Stats) { s.ExecBeacons++ })
+		if agent := queryParam(query, "ua"); agent != "" {
+			d.checkUAMismatch(key, userAgent, agent)
+		}
+		return Response{Status: 200, ContentType: "image/gif", Body: tinyGIF, NoCache: true}, true
+
+	case strings.HasPrefix(rest, "ua/"):
+		// document.write stylesheet report: ua/<token>/<agent>.css
+		d.sessions.Mark(key, session.SignalJS)
+		d.bump(func(s *Stats) { s.UAReports++ })
+		parts := strings.SplitN(rest, "/", 3)
+		if len(parts) == 3 {
+			agent := strings.TrimSuffix(parts[2], ".css")
+			d.checkUAMismatch(key, userAgent, agent)
+		}
+		return Response{Status: 200, ContentType: "text/css", Body: emptyCSS, NoCache: true}, true
+
+	case strings.HasPrefix(rest, "hidden/"):
+		d.sessions.Mark(key, session.SignalHidden)
+		d.bump(func(s *Stats) { s.HiddenHits++ })
+		return Response{Status: 200, ContentType: "text/html", Body: hiddenPage, NoCache: true}, true
+
+	case rest == "transp_1x1.gif":
+		return Response{Status: 200, ContentType: "image/gif", Body: tinyGIF, NoCache: true}, true
+
+	case strings.HasPrefix(rest, "index_") && strings.HasSuffix(rest, ".js"):
+		token := strings.TrimSuffix(strings.TrimPrefix(rest, "index_"), ".js")
+		d.sessions.Mark(key, session.SignalJSFile)
+		d.bump(func(s *Stats) { s.ScriptServes++ })
+		body, ok := d.loadScript(token)
+		if !ok {
+			body = fallbackJS
+		}
+		d.bump(func(s *Stats) { s.AddedBytes += int64(len(body)) })
+		return Response{Status: 200, ContentType: "application/javascript", Body: body, NoCache: true}, true
+
+	case strings.HasSuffix(rest, ".css"):
+		d.sessions.Mark(key, session.SignalCSS)
+		d.bump(func(s *Stats) { s.CSSBeacons++; s.AddedBytes += int64(len(emptyCSS)) })
+		return Response{Status: 200, ContentType: "text/css", Body: emptyCSS, NoCache: true}, true
+
+	case strings.HasSuffix(rest, ".jpg"):
+		keyStr := strings.TrimSuffix(rest, ".jpg")
+		verdict := d.keys.Validate(clientIP, keyStr)
+		switch verdict {
+		case keystore.Human:
+			d.sessions.Mark(key, session.SignalMouse)
+			d.bump(func(s *Stats) { s.MouseBeacons++ })
+		case keystore.Decoy:
+			d.sessions.Mark(key, session.SignalDecoy)
+			d.bump(func(s *Stats) { s.DecoyBeacons++ })
+		case keystore.Replayed:
+			d.sessions.Mark(key, session.SignalReplay)
+			d.bump(func(s *Stats) { s.ReplayBeacons++ })
+		default:
+			// A key the server never issued: a guess or a stale replay.
+			d.sessions.Mark(key, session.SignalDecoy)
+			d.bump(func(s *Stats) { s.UnknownBeacons++ })
+		}
+		return Response{Status: 200, ContentType: "image/jpeg", Body: tinyJPEG, NoCache: true}, true
+
+	default:
+		return Response{Status: 404, ContentType: "text/plain", Body: []byte("not found\n"), NoCache: true}, true
+	}
+}
+
+// checkUAMismatch compares the JavaScript-reported agent string with the
+// User-Agent header (both normalised the way the injected script normalises
+// them) and marks the session on mismatch.
+func (d *Detector) checkUAMismatch(key session.Key, headerUA, reported string) {
+	if unescaped, err := url.PathUnescape(reported); err == nil {
+		reported = unescaped
+	}
+	if unescaped, err := url.QueryUnescape(reported); err == nil {
+		reported = unescaped
+	}
+	want := normalizeUA(headerUA)
+	got := normalizeUA(reported)
+	if want == "" || got == "" {
+		return
+	}
+	if want != got {
+		d.sessions.Mark(key, session.SignalUAMismatch)
+		d.bump(func(s *Stats) { s.UAMismatches++ })
+	}
+}
+
+func normalizeUA(ua string) string {
+	return strings.ReplaceAll(strings.ToLower(ua), " ", "")
+}
+
+// queryParam extracts a single query parameter value without url.Values
+// allocation overhead for the common single-parameter beacon case.
+func queryParam(query, name string) string {
+	for query != "" {
+		var pair string
+		if i := strings.IndexByte(query, '&'); i >= 0 {
+			pair, query = query[:i], query[i+1:]
+		} else {
+			pair, query = query, ""
+		}
+		if eq := strings.IndexByte(pair, '='); eq >= 0 && pair[:eq] == name {
+			return pair[eq+1:]
+		}
+	}
+	return ""
+}
+
+// MarkCaptchaPassed records that the session solved a CAPTCHA challenge.
+func (d *Detector) MarkCaptchaPassed(key session.Key) {
+	d.sessions.Mark(key, session.SignalCaptcha)
+}
+
+// Classify returns the current verdict for the session, or an undecided
+// verdict when the session is unknown.
+func (d *Detector) Classify(key session.Key) Verdict {
+	snap, ok := d.sessions.Get(key)
+	if !ok {
+		return Verdict{Class: ClassUndecided, Confidence: Tentative, Reason: "unknown session"}
+	}
+	return d.ClassifySnapshot(snap)
+}
+
+// ClassifySnapshot applies the detection rules to a session snapshot.
+//
+// Direct robot evidence comes first (Definite): decoy fetches, replayed
+// keys, hidden-link fetches, and a forged User-Agent can only be produced by
+// automation — a browser driven by a human never calls the decoy functions
+// or follows invisible links — so they outrank everything else. This also
+// catches robots that blindly fetch every URL in the script and therefore
+// happen to hit the real key as well.
+//
+// Direct human evidence is next (Definite): a valid input-event beacon or a
+// passed CAPTCHA.
+//
+// Behavioural evidence (Probable, only after MinRequests requests): running
+// the injected JavaScript without ever producing an input event indicates a
+// robot (the S_JS − S_MM term); fetching the injected stylesheet without
+// contrary evidence indicates a standard browser, hence a human (the S_CSS
+// term); fetching neither indicates a robot.
+func (d *Detector) ClassifySnapshot(snap session.Snapshot) Verdict {
+	if at, ok := snap.SignalAt(session.SignalDecoy); ok {
+		return Verdict{ClassRobot, Definite, "fetched a decoy beacon URL without executing the script", at}
+	}
+	if at, ok := snap.SignalAt(session.SignalReplay); ok {
+		return Verdict{ClassRobot, Definite, "replayed an already consumed beacon key", at}
+	}
+	if at, ok := snap.SignalAt(session.SignalHidden); ok {
+		return Verdict{ClassRobot, Definite, "followed a link invisible to human users", at}
+	}
+	if at, ok := snap.SignalAt(session.SignalUAMismatch); ok {
+		return Verdict{ClassRobot, Definite, "User-Agent header does not match the script-reported agent", at}
+	}
+	if at, ok := snap.SignalAt(session.SignalMouse); ok {
+		return Verdict{ClassHuman, Definite, "input event beacon carried a valid key", at}
+	}
+	if at, ok := snap.SignalAt(session.SignalCaptcha); ok {
+		return Verdict{ClassHuman, Definite, "passed CAPTCHA challenge", at}
+	}
+
+	total := snap.Counts.Total
+	if total < d.cfg.MinRequests {
+		return Verdict{ClassUndecided, Tentative, "fewer requests than the classification threshold", 0}
+	}
+	jsAt, hasJS := snap.SignalAt(session.SignalJS)
+	if hasJS {
+		// Ran the script but never produced an input event over a full
+		// session prefix: S_JS − S_MM.
+		return Verdict{ClassRobot, Probable, "executed JavaScript but produced no input events", jsAt}
+	}
+	if cssAt, ok := snap.SignalAt(session.SignalCSS); ok {
+		return Verdict{ClassHuman, Probable, "fetched the embedded stylesheet like a standard browser", cssAt}
+	}
+	// The "no presentation objects" rule first becomes decidable at the
+	// classification threshold; report that point so downstream consumers
+	// (rate limiting, the complaint model) know when enforcement could start.
+	return Verdict{ClassRobot, Probable, "ignored all embedded presentation objects", d.cfg.MinRequests}
+}
+
+// Sessions returns snapshots of all active sessions.
+func (d *Detector) Sessions() []session.Snapshot { return d.sessions.Snapshots() }
+
+// Session returns the snapshot of one active session, if it is tracked.
+func (d *Detector) Session(key session.Key) (session.Snapshot, bool) { return d.sessions.Get(key) }
+
+// SessionCount returns the number of active sessions.
+func (d *Detector) SessionCount() int { return d.sessions.Active() }
+
+// ExpireIdle ends idle sessions as of now, reporting them via OnSessionEnd.
+func (d *Detector) ExpireIdle(now time.Time) int { return d.sessions.ExpireIdle(now) }
+
+// FlushSessions ends all sessions and returns them with their final verdicts.
+func (d *Detector) FlushSessions() []ClassifiedSession {
+	snaps := d.sessions.FlushAll()
+	out := make([]ClassifiedSession, len(snaps))
+	for i, s := range snaps {
+		out[i] = ClassifiedSession{Snapshot: s, Verdict: d.ClassifySnapshot(s)}
+	}
+	return out
+}
+
+// Stats returns a copy of the cumulative counters.
+func (d *Detector) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Config returns the effective configuration (with defaults applied).
+func (d *Detector) Config() Config { return d.cfg }
+
+func (d *Detector) bump(f func(*Stats)) {
+	d.mu.Lock()
+	f(&d.stats)
+	d.mu.Unlock()
+}
+
+// String renders a verdict compactly.
+func (v Verdict) String() string {
+	return fmt.Sprintf("%s (%s, request %d): %s", v.Class, v.Confidence, v.AtRequest, v.Reason)
+}

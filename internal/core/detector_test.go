@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"botdetect/internal/clock"
+	"botdetect/internal/htmlmod"
+	"botdetect/internal/logfmt"
+	"botdetect/internal/session"
+	"botdetect/internal/webmodel"
+)
+
+func newTestDetector(cfg Config) (*Detector, *clock.Virtual) {
+	vc := clock.NewVirtual(time.Time{})
+	cfg.Clock = vc
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return New(cfg), vc
+}
+
+func pageHTML() []byte {
+	site := webmodel.Generate(webmodel.SiteConfig{Seed: 5, NumPages: 10})
+	return site.Lookup("/").Body
+}
+
+func observe(d *Detector, ip, ua, method, path string, status int, ref string, at time.Time) session.Snapshot {
+	return d.ObserveRequest(logfmt.Entry{
+		Time: at, ClientIP: ip, UserAgent: ua, Method: method, Path: path,
+		Status: status, Referer: ref, Bytes: 1024,
+	})
+}
+
+func TestInstrumentPageInjectsEverything(t *testing.T) {
+	d, _ := newTestDetector(Config{ObfuscateJS: true})
+	html := pageHTML()
+	out, inst := d.InstrumentPage("10.0.0.1", "Firefox", "/", html)
+	body := string(out)
+	if !strings.Contains(body, inst.CSSPath) {
+		t.Fatal("CSS beacon path not present in rewritten page")
+	}
+	if !strings.Contains(body, inst.ScriptPath) {
+		t.Fatal("script path not present in rewritten page")
+	}
+	if !strings.Contains(body, inst.HiddenPath) {
+		t.Fatal("hidden link not present in rewritten page")
+	}
+	if !strings.Contains(body, "onmousemove=") {
+		t.Fatal("mouse handler attribute missing")
+	}
+	if inst.AddedBytes <= 0 || len(out) <= len(html) {
+		t.Fatal("instrumentation did not grow the page")
+	}
+	if len(inst.Issued.Decoys) != d.Config().Decoys {
+		t.Fatalf("decoys = %d", len(inst.Issued.Decoys))
+	}
+	st := d.Stats()
+	if st.PagesInstrumented != 1 || st.OriginalBytes != int64(len(html)) || st.AddedBytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The structural extraction must see the instrumentation as a browser would.
+	sum := htmlmod.Extract(out)
+	if !sum.BodyMouseHandler {
+		t.Fatal("rewritten page lacks body mouse handler")
+	}
+	if len(sum.HiddenLinks) != 1 {
+		t.Fatalf("hidden links = %v", sum.HiddenLinks)
+	}
+}
+
+func TestBeaconServesScriptAndMarksSignals(t *testing.T) {
+	d, _ := newTestDetector(Config{ObfuscateJS: false})
+	ip, ua := "10.0.0.2", "Firefox"
+	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
+
+	// Script download.
+	resp, ok := d.HandleBeacon(ip, ua, inst.ScriptPath)
+	if !ok || resp.Status != 200 || resp.ContentType != "application/javascript" || !resp.NoCache {
+		t.Fatalf("script response = %+v, %v", resp, ok)
+	}
+	if !strings.Contains(string(resp.Body), inst.Issued.Key) {
+		t.Fatal("served script does not contain the issued key (unobfuscated mode)")
+	}
+	// CSS beacon.
+	resp, ok = d.HandleBeacon(ip, ua, inst.CSSPath)
+	if !ok || resp.ContentType != "text/css" {
+		t.Fatalf("css response = %+v", resp)
+	}
+	// Mouse beacon with the real key.
+	resp, ok = d.HandleBeacon(ip, ua, d.Config().BeaconPrefix+"/"+inst.Issued.Key+".jpg")
+	if !ok || resp.ContentType != "image/jpeg" {
+		t.Fatalf("mouse beacon response = %+v", resp)
+	}
+
+	snap, found := d.sessions.Get(session.Key{IP: ip, UserAgent: ua})
+	if !found {
+		t.Fatal("session not tracked")
+	}
+	if !snap.Has(session.SignalJSFile) || !snap.Has(session.SignalCSS) || !snap.Has(session.SignalMouse) {
+		t.Fatalf("signals = %v", snap.Signals)
+	}
+	st := d.Stats()
+	if st.ScriptServes != 1 || st.CSSBeacons != 1 || st.MouseBeacons != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBeaconDecoyAndReplayAndUnknown(t *testing.T) {
+	d, _ := newTestDetector(Config{})
+	ip, ua := "10.0.0.3", "BadBot"
+	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
+	prefix := d.Config().BeaconPrefix
+
+	// Decoy fetch.
+	d.HandleBeacon(ip, ua, prefix+"/"+inst.Issued.Decoys[0]+".jpg")
+	// Real key, twice: second is a replay.
+	d.HandleBeacon(ip, ua, prefix+"/"+inst.Issued.Key+".jpg")
+	d.HandleBeacon(ip, ua, prefix+"/"+inst.Issued.Key+".jpg")
+	// Guessed key.
+	d.HandleBeacon(ip, ua, prefix+"/0000000000.jpg")
+
+	snap, _ := d.sessions.Get(session.Key{IP: ip, UserAgent: ua})
+	if !snap.Has(session.SignalDecoy) || !snap.Has(session.SignalReplay) || !snap.Has(session.SignalMouse) {
+		t.Fatalf("signals = %v", snap.Signals)
+	}
+	st := d.Stats()
+	if st.DecoyBeacons != 1 || st.ReplayBeacons != 1 || st.MouseBeacons != 1 || st.UnknownBeacons != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Direct robot evidence outranks the mouse signal: a client that fetched
+	// decoy URLs is automation even if it also hit the real key (blind
+	// fetchers grab every URL in the script).
+	v := d.ClassifySnapshot(snap)
+	if v.Class != ClassRobot || v.Confidence != Definite {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestExecBeaconAndUAMismatch(t *testing.T) {
+	d, _ := newTestDetector(Config{})
+	ip := "10.0.0.4"
+	headerUA := "Mozilla/5.0 (Windows NT 5.1) Firefox/1.5"
+	_, inst := d.InstrumentPage(ip, headerUA, "/", pageHTML())
+	prefix := d.Config().BeaconPrefix
+
+	// Exec beacon reporting an agent matching the header.
+	reported := strings.ReplaceAll(strings.ToLower(headerUA), " ", "")
+	path := prefix + "/js/" + inst.Issued.ScriptToken + ".gif?ua=" + reported
+	if _, ok := d.HandleBeacon(ip, headerUA, path); !ok {
+		t.Fatal("exec beacon not handled")
+	}
+	snap, _ := d.sessions.Get(session.Key{IP: ip, UserAgent: headerUA})
+	if !snap.Has(session.SignalJS) {
+		t.Fatal("JS signal not set")
+	}
+	if snap.Has(session.SignalUAMismatch) {
+		t.Fatal("matching agent flagged as mismatch")
+	}
+
+	// A second client forges the header User-Agent: the script reports the
+	// truth and the mismatch is detected.
+	ip2 := "10.0.0.5"
+	forgedHeader := "Googlebot/2.1"
+	_, inst2 := d.InstrumentPage(ip2, forgedHeader, "/", pageHTML())
+	real := "mozilla/5.0(windowsnt5.1)firefox/1.5"
+	d.HandleBeacon(ip2, forgedHeader, prefix+"/js/"+inst2.Issued.ScriptToken+".gif?ua="+real)
+	snap2, _ := d.sessions.Get(session.Key{IP: ip2, UserAgent: forgedHeader})
+	if !snap2.Has(session.SignalUAMismatch) {
+		t.Fatal("forged User-Agent not detected")
+	}
+	if d.Stats().UAMismatches != 1 {
+		t.Fatalf("UAMismatches = %d", d.Stats().UAMismatches)
+	}
+}
+
+func TestUAReportViaStylesheetPath(t *testing.T) {
+	d, _ := newTestDetector(Config{})
+	ip, ua := "10.0.0.6", "Opera/9.0"
+	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
+	prefix := d.Config().BeaconPrefix
+	path := prefix + "/ua/" + inst.Issued.ScriptToken + "/opera%2f9.0.css"
+	resp, ok := d.HandleBeacon(ip, ua, path)
+	if !ok || resp.ContentType != "text/css" {
+		t.Fatalf("ua-report response = %+v", resp)
+	}
+	snap, _ := d.sessions.Get(session.Key{IP: ip, UserAgent: ua})
+	if !snap.Has(session.SignalJS) {
+		t.Fatal("ua-report should imply JS execution")
+	}
+	if snap.Has(session.SignalUAMismatch) {
+		t.Fatal("matching agent flagged as mismatch")
+	}
+	if d.Stats().UAReports != 1 {
+		t.Fatalf("UAReports = %d", d.Stats().UAReports)
+	}
+}
+
+func TestHiddenLinkBeacon(t *testing.T) {
+	d, _ := newTestDetector(Config{})
+	ip, ua := "10.0.0.7", "Crawler"
+	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
+	resp, ok := d.HandleBeacon(ip, ua, inst.HiddenPath)
+	if !ok || resp.Status != 200 {
+		t.Fatalf("hidden response = %+v", resp)
+	}
+	snap, _ := d.sessions.Get(session.Key{IP: ip, UserAgent: ua})
+	if !snap.Has(session.SignalHidden) {
+		t.Fatal("hidden-link signal not set")
+	}
+	v := d.ClassifySnapshot(snap)
+	if v.Class != ClassRobot || v.Confidence != Definite {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestTransparentImageAndUnknownPath(t *testing.T) {
+	d, _ := newTestDetector(Config{})
+	prefix := d.Config().BeaconPrefix
+	resp, ok := d.HandleBeacon("1.2.3.4", "UA", prefix+"/transp_1x1.gif")
+	if !ok || resp.ContentType != "image/gif" {
+		t.Fatalf("transparent image response = %+v", resp)
+	}
+	resp, ok = d.HandleBeacon("1.2.3.4", "UA", prefix+"/whatever.bin")
+	if !ok || resp.Status != 404 {
+		t.Fatalf("unknown instrumentation path response = %+v", resp)
+	}
+	if _, ok := d.HandleBeacon("1.2.3.4", "UA", "/ordinary/page.html"); ok {
+		t.Fatal("ordinary path must not be handled as a beacon")
+	}
+}
+
+func TestIsInstrumentationPath(t *testing.T) {
+	d, _ := newTestDetector(Config{})
+	if !d.IsInstrumentationPath("/__bd/123.css") || !d.IsInstrumentationPath("/__bd/js/1.gif?ua=x") {
+		t.Fatal("instrumentation paths not recognised")
+	}
+	if d.IsInstrumentationPath("/index.html") || d.IsInstrumentationPath("/__bdx/1.css") {
+		t.Fatal("non-instrumentation path recognised")
+	}
+}
+
+func TestScriptFallbackWhenEvicted(t *testing.T) {
+	d, _ := newTestDetector(Config{MaxScripts: 2})
+	ip, ua := "10.0.0.8", "UA"
+	var paths []string
+	for i := 0; i < 5; i++ {
+		_, inst := d.InstrumentPage(ip, ua, fmt.Sprintf("/p%d.html", i), pageHTML())
+		paths = append(paths, inst.ScriptPath)
+	}
+	// The earliest generated script was evicted: the detector still serves a
+	// harmless fallback body and records the download signal.
+	resp, ok := d.HandleBeacon(ip, ua, paths[0])
+	if !ok || resp.Status != 200 || len(resp.Body) == 0 {
+		t.Fatalf("fallback script response = %+v", resp)
+	}
+	// The most recent one is still the real generated script.
+	resp, _ = d.HandleBeacon(ip, ua, paths[4])
+	if !strings.Contains(string(resp.Body), "function __bd_f()") {
+		t.Fatal("recent script should be the generated handler script")
+	}
+}
+
+func TestClassificationLifecycleHumanWithJS(t *testing.T) {
+	d, vc := newTestDetector(Config{MinRequests: 10})
+	ip, ua := "10.1.0.1", "Firefox"
+	key := session.Key{IP: ip, UserAgent: ua}
+	now := vc.Now()
+
+	// First page: before any signals, the verdict is undecided.
+	observe(d, ip, ua, "GET", "/", 200, "", now)
+	if v := d.Classify(key); v.Class != ClassUndecided {
+		t.Fatalf("verdict after 1 request = %+v", v)
+	}
+	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
+	d.HandleBeacon(ip, ua, inst.CSSPath)
+	d.HandleBeacon(ip, ua, inst.ScriptPath)
+	d.HandleBeacon(ip, ua, d.Config().BeaconPrefix+"/js/"+inst.Issued.ScriptToken+".gif?ua="+normalizeUA(ua))
+	// Human moves the mouse: the real key arrives.
+	d.HandleBeacon(ip, ua, d.Config().BeaconPrefix+"/"+inst.Issued.Key+".jpg")
+	v := d.Classify(key)
+	if v.Class != ClassHuman || v.Confidence != Definite {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestClassificationRobotRunningJSWithoutMouse(t *testing.T) {
+	d, vc := newTestDetector(Config{MinRequests: 10})
+	ip, ua := "10.1.0.2", "SmartBot"
+	key := session.Key{IP: ip, UserAgent: ua}
+	now := vc.Now()
+	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
+	d.HandleBeacon(ip, ua, d.Config().BeaconPrefix+"/js/"+inst.Issued.ScriptToken+".gif?ua="+normalizeUA(ua))
+	for i := 0; i < 12; i++ {
+		observe(d, ip, ua, "GET", fmt.Sprintf("/p%d.html", i), 200, "", now)
+	}
+	v := d.Classify(key)
+	if v.Class != ClassRobot || v.Confidence != Probable {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if !strings.Contains(v.Reason, "no input events") {
+		t.Fatalf("reason = %q", v.Reason)
+	}
+}
+
+func TestClassificationHumanCSSOnlyNoJS(t *testing.T) {
+	// A JavaScript-disabled human: fetches CSS, never runs the script.
+	d, vc := newTestDetector(Config{MinRequests: 10})
+	ip, ua := "10.1.0.3", "Firefox-NoJS"
+	key := session.Key{IP: ip, UserAgent: ua}
+	now := vc.Now()
+	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
+	d.HandleBeacon(ip, ua, inst.CSSPath)
+	for i := 0; i < 11; i++ {
+		observe(d, ip, ua, "GET", fmt.Sprintf("/p%d.html", i), 200, "", now)
+	}
+	v := d.Classify(key)
+	if v.Class != ClassHuman || v.Confidence != Probable {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestClassificationRobotIgnoresPresentation(t *testing.T) {
+	d, vc := newTestDetector(Config{MinRequests: 10})
+	ip, ua := "10.1.0.4", "EmailHarvester"
+	key := session.Key{IP: ip, UserAgent: ua}
+	now := vc.Now()
+	for i := 0; i < 15; i++ {
+		observe(d, ip, ua, "GET", fmt.Sprintf("/p%d.html", i), 200, "", now)
+	}
+	v := d.Classify(key)
+	if v.Class != ClassRobot {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestClassificationCaptcha(t *testing.T) {
+	d, _ := newTestDetector(Config{})
+	key := session.Key{IP: "10.1.0.5", UserAgent: "NoScriptBrowser"}
+	d.MarkCaptchaPassed(key)
+	v := d.Classify(key)
+	if v.Class != ClassHuman || v.Confidence != Definite {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestClassifyUnknownSession(t *testing.T) {
+	d, _ := newTestDetector(Config{})
+	v := d.Classify(session.Key{IP: "none", UserAgent: "none"})
+	if v.Class != ClassUndecided {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestOnSessionEndCallback(t *testing.T) {
+	var ended []ClassifiedSession
+	vc := clock.NewVirtual(time.Time{})
+	d := New(Config{Seed: 3, Clock: vc, OnSessionEnd: func(cs ClassifiedSession) { ended = append(ended, cs) }})
+	ip, ua := "10.1.0.6", "Firefox"
+	now := vc.Now()
+	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
+	observe(d, ip, ua, "GET", "/", 200, "", now)
+	d.HandleBeacon(ip, ua, d.Config().BeaconPrefix+"/"+inst.Issued.Key+".jpg")
+	vc.Advance(2 * time.Hour)
+	if n := d.ExpireIdle(vc.Now()); n != 1 {
+		t.Fatalf("ExpireIdle = %d", n)
+	}
+	if len(ended) != 1 || ended[0].Verdict.Class != ClassHuman {
+		t.Fatalf("ended = %+v", ended)
+	}
+	if d.SessionCount() != 0 {
+		t.Fatal("session still active after expiry")
+	}
+}
+
+func TestFlushSessions(t *testing.T) {
+	d, vc := newTestDetector(Config{})
+	now := vc.Now()
+	for i := 0; i < 3; i++ {
+		observe(d, fmt.Sprintf("10.2.0.%d", i), "UA", "GET", "/", 200, "", now)
+	}
+	out := d.FlushSessions()
+	if len(out) != 3 {
+		t.Fatalf("FlushSessions = %d", len(out))
+	}
+	if d.SessionCount() != 0 {
+		t.Fatal("sessions remain")
+	}
+}
+
+func TestVerdictAndEnumStrings(t *testing.T) {
+	v := Verdict{Class: ClassRobot, Confidence: Definite, Reason: "followed hidden link", AtRequest: 7}
+	s := v.String()
+	if !strings.Contains(s, "robot") || !strings.Contains(s, "definite") || !strings.Contains(s, "7") {
+		t.Fatalf("Verdict.String = %q", s)
+	}
+	if ClassHuman.String() != "human" || ClassUndecided.String() != "undecided" || Class(9).String() != "undecided" {
+		t.Fatal("Class names wrong")
+	}
+	if Tentative.String() != "tentative" || Probable.String() != "probable" || Definite.String() != "definite" {
+		t.Fatal("Confidence names wrong")
+	}
+}
+
+func TestQueryParam(t *testing.T) {
+	if queryParam("ua=abc&x=1", "ua") != "abc" {
+		t.Fatal("queryParam simple")
+	}
+	if queryParam("x=1&ua=abc", "ua") != "abc" {
+		t.Fatal("queryParam second")
+	}
+	if queryParam("x=1", "ua") != "" {
+		t.Fatal("queryParam missing")
+	}
+	if queryParam("", "ua") != "" {
+		t.Fatal("queryParam empty")
+	}
+	if queryParam("ua", "ua") != "" {
+		t.Fatal("queryParam no value")
+	}
+}

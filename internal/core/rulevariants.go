@@ -1,0 +1,61 @@
+package core
+
+import "botdetect/internal/session"
+
+// Rule selects which evidence a combining-rule variant may use. It exists so
+// the benchmark harness can ablate the contribution of each signal family —
+// in particular the value of the S_JS − S_MM subtraction, which is the
+// paper's refinement over "anything browser-like is human".
+type Rule struct {
+	// UseCSS admits the stylesheet-download signal (the S_CSS term).
+	UseCSS bool
+	// UseMouse admits the input-event signal (the S_MM term).
+	UseMouse bool
+	// SubtractJSWithoutMouse removes sessions that executed JavaScript but
+	// produced no input events (the S_JS − S_MM term).
+	SubtractJSWithoutMouse bool
+}
+
+// FullRule is the paper's rule: S_H = (S_CSS ∪ S_MM) − (S_JS − S_MM).
+func FullRule() Rule {
+	return Rule{UseCSS: true, UseMouse: true, SubtractJSWithoutMouse: true}
+}
+
+// CSSOnlyRule is the browser-test-only variant: S_H = S_CSS.
+func CSSOnlyRule() Rule { return Rule{UseCSS: true} }
+
+// MouseOnlyRule is the human-activity-only variant: S_H = S_MM.
+func MouseOnlyRule() Rule { return Rule{UseMouse: true} }
+
+// UnionOnlyRule keeps the union but drops the subtraction:
+// S_H = S_CSS ∪ S_MM.
+func UnionOnlyRule() Rule { return Rule{UseCSS: true, UseMouse: true} }
+
+// Name returns a short human-readable name for the variant.
+func (r Rule) Name() string {
+	switch r {
+	case FullRule():
+		return "(CSS ∪ MM) − (JS − MM)"
+	case CSSOnlyRule():
+		return "CSS only"
+	case MouseOnlyRule():
+		return "MM only"
+	case UnionOnlyRule():
+		return "CSS ∪ MM"
+	default:
+		return "custom"
+	}
+}
+
+// InHumanSet applies the rule variant to one session snapshot.
+func (r Rule) InHumanSet(s session.Snapshot) bool {
+	css := r.UseCSS && s.Has(session.SignalCSS)
+	mouse := r.UseMouse && s.Has(session.SignalMouse)
+	if !css && !mouse {
+		return false
+	}
+	if r.SubtractJSWithoutMouse && s.Has(session.SignalJS) && !s.Has(session.SignalMouse) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"botdetect/internal/session"
+)
+
+func variantSnap(css, mouse, js bool) session.Snapshot {
+	sigs := map[session.Signal]int64{}
+	if css {
+		sigs[session.SignalCSS] = 1
+	}
+	if mouse {
+		sigs[session.SignalMouse] = 2
+	}
+	if js {
+		sigs[session.SignalJS] = 3
+	}
+	return session.Snapshot{Counts: session.Counts{Total: 20}, Signals: sigs}
+}
+
+func TestFullRuleMatchesInHumanSet(t *testing.T) {
+	rule := FullRule()
+	for _, css := range []bool{false, true} {
+		for _, mouse := range []bool{false, true} {
+			for _, js := range []bool{false, true} {
+				s := variantSnap(css, mouse, js)
+				if rule.InHumanSet(s) != InHumanSet(s) {
+					t.Fatalf("FullRule diverges from InHumanSet for css=%v mouse=%v js=%v", css, mouse, js)
+				}
+			}
+		}
+	}
+}
+
+func TestRuleVariantSemantics(t *testing.T) {
+	smartBot := variantSnap(true, false, true)   // fetches CSS, runs JS, no input events
+	noJSHuman := variantSnap(true, false, false) // JS disabled human
+	jsHuman := variantSnap(true, true, true)
+	bareBot := variantSnap(false, false, false)
+
+	cases := []struct {
+		rule Rule
+		name string
+		want map[*session.Snapshot]bool
+	}{
+		{CSSOnlyRule(), "css-only", map[*session.Snapshot]bool{&smartBot: true, &noJSHuman: true, &jsHuman: true, &bareBot: false}},
+		{MouseOnlyRule(), "mouse-only", map[*session.Snapshot]bool{&smartBot: false, &noJSHuman: false, &jsHuman: true, &bareBot: false}},
+		{UnionOnlyRule(), "union", map[*session.Snapshot]bool{&smartBot: true, &noJSHuman: true, &jsHuman: true, &bareBot: false}},
+		{FullRule(), "full", map[*session.Snapshot]bool{&smartBot: false, &noJSHuman: true, &jsHuman: true, &bareBot: false}},
+	}
+	for _, tc := range cases {
+		for snap, want := range tc.want {
+			if got := tc.rule.InHumanSet(*snap); got != want {
+				t.Errorf("%s: got %v, want %v for %v", tc.name, got, want, snap.Signals)
+			}
+		}
+	}
+}
+
+func TestRuleNames(t *testing.T) {
+	if FullRule().Name() == "custom" || CSSOnlyRule().Name() == "custom" ||
+		MouseOnlyRule().Name() == "custom" || UnionOnlyRule().Name() == "custom" {
+		t.Fatal("named variants should not be 'custom'")
+	}
+	if (Rule{UseCSS: true, SubtractJSWithoutMouse: true}).Name() != "custom" {
+		t.Fatal("unnamed variant should be 'custom'")
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"botdetect/internal/jsgen"
+	"botdetect/internal/metrics"
+	"botdetect/internal/rng"
+	"botdetect/internal/workload"
+)
+
+// OverheadResult is the Section 3.2 cost study: how long it takes to
+// generate an obfuscated beacon script and how much extra bandwidth the
+// instrumentation consumes relative to origin traffic.
+type OverheadResult struct {
+	// ScriptBytes is the size of one generated obfuscated script.
+	ScriptBytes int
+	// ScriptGenTime is the mean wall-clock time to generate one script.
+	ScriptGenTime time.Duration
+	// ScriptsPerSecond is the derived generation throughput.
+	ScriptsPerSecond float64
+	// OriginBytes is the origin payload served during the measurement run.
+	OriginBytes int64
+	// AddedBytes is the instrumentation payload (HTML growth plus generated
+	// scripts and stylesheets served).
+	AddedBytes int64
+	// BandwidthOverhead is AddedBytes / (OriginBytes + AddedBytes).
+	BandwidthOverhead float64
+	// PaperBandwidthOverhead is the published 0.3% figure. The paper's
+	// denominator is CoDeeN's total traffic (dominated by large media
+	// objects); the synthetic site is smaller, so the measured share is
+	// expected to sit above the published one while remaining a small
+	// fraction.
+	PaperBandwidthOverhead float64
+}
+
+// Overhead measures script-generation cost directly and bandwidth overhead
+// from a workload run.
+func Overhead(scale Scale) OverheadResult {
+	scale = scale.withDefaults()
+	out := OverheadResult{PaperBandwidthOverhead: 0.003}
+
+	// Script generation timing: the same code path the detector uses.
+	gen := jsgen.NewGenerator()
+	src := rng.New(scale.Seed ^ 0x0f)
+	params := func(i int) jsgen.Params {
+		return jsgen.Params{
+			BeaconBase:  "http://www.example.com",
+			RealKey:     src.DigitKey(10),
+			DecoyKeys:   []string{src.DigitKey(10), src.DigitKey(10), src.DigitKey(10), src.DigitKey(10)},
+			UAReportKey: src.DigitKey(10),
+			Obfuscate:   true,
+			Seed:        uint64(i) + scale.Seed,
+		}
+	}
+	warm := gen.Script(params(0))
+	out.ScriptBytes = len(warm)
+
+	const iterations = 2000
+	start := time.Now()
+	for i := 1; i <= iterations; i++ {
+		_ = gen.Script(params(i))
+	}
+	elapsed := time.Since(start)
+	out.ScriptGenTime = elapsed / iterations
+	if out.ScriptGenTime > 0 {
+		out.ScriptsPerSecond = float64(time.Second) / float64(out.ScriptGenTime)
+	}
+
+	// Bandwidth overhead from a calibrated workload run.
+	res := workload.Run(workload.Config{Sessions: scale.Sessions / 2, Seed: scale.Seed ^ 0x0f0f})
+	stats := res.Network.DetectorStats()
+	nodeStats := res.Network.TotalStats()
+	out.OriginBytes = nodeStats.OriginBytes
+	out.AddedBytes = stats.AddedBytes
+	total := out.OriginBytes + out.AddedBytes
+	if total > 0 {
+		out.BandwidthOverhead = float64(out.AddedBytes) / float64(total)
+	}
+	return out
+}
+
+// Format renders the result as text.
+func (r OverheadResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Overhead (Section 3.2)\n")
+	fmt.Fprintf(&sb, "  obfuscated script size:        %d bytes (paper ~1 KB)\n", r.ScriptBytes)
+	fmt.Fprintf(&sb, "  script generation time:        %v per script (%.0f scripts/s)\n", r.ScriptGenTime, r.ScriptsPerSecond)
+	fmt.Fprintf(&sb, "  origin bytes served:           %d\n", r.OriginBytes)
+	fmt.Fprintf(&sb, "  instrumentation bytes added:   %d\n", r.AddedBytes)
+	fmt.Fprintf(&sb, "  bandwidth overhead:            %s%% (paper 0.3%% of CoDeeN's much larger traffic)\n", metrics.Pct(r.BandwidthOverhead))
+	return sb.String()
+}
+
+// ShapeHolds reports whether the qualitative overhead claim holds: script
+// generation is far below one millisecond and instrumentation is a small
+// fraction of served bytes.
+func (r OverheadResult) ShapeHolds() bool {
+	return r.ScriptGenTime < time.Millisecond && r.BandwidthOverhead < 0.15 && r.ScriptBytes > 200
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationSignals(t *testing.T) {
+	r := AblationSignals(Scale{Sessions: 200, Seed: 23})
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]SignalRuleRow{}
+	for _, row := range r.Rows {
+		byName[row.Rule] = row
+	}
+	full := byName["(CSS ∪ MM) − (JS − MM)"]
+	cssOnly := byName["CSS only"]
+	mouseOnly := byName["MM only"]
+	union := byName["CSS ∪ MM"]
+
+	// The S_JS − S_MM subtraction exists to remove JavaScript-capable robots
+	// that a CSS/union rule would admit: the full rule must have a lower (or
+	// equal) false positive rate than both CSS-only and the plain union.
+	if full.FPR > cssOnly.FPR+1e-9 || full.FPR > union.FPR+1e-9 {
+		t.Errorf("full rule FPR %.3f should not exceed css-only %.3f or union %.3f", full.FPR, cssOnly.FPR, union.FPR)
+	}
+	// Mouse-only misses JavaScript-disabled humans, so its FNR must be the
+	// highest of the variants that use the mouse signal.
+	if mouseOnly.FNR+1e-9 < full.FNR {
+		t.Errorf("mouse-only FNR %.3f should be at least the full rule's %.3f", mouseOnly.FNR, full.FNR)
+	}
+	// The full rule should be the most accurate (or tied).
+	for name, row := range byName {
+		if row.Accuracy > full.Accuracy+1e-9 {
+			t.Errorf("variant %s accuracy %.3f exceeds full rule %.3f", name, row.Accuracy, full.Accuracy)
+		}
+	}
+	if !strings.Contains(r.Format(), "combining-rule variants") {
+		t.Fatal("Format incomplete")
+	}
+}
+
+func TestStagedDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("staged detection trains AdaBoost twice")
+	}
+	r := Staged(Scale{Sessions: 150, Seed: 29})
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	staged := r.Rows[2]
+	rules := r.Rows[0]
+	if staged.Accuracy < 0.9 {
+		t.Errorf("staged accuracy = %.3f", staged.Accuracy)
+	}
+	// The staged configuration must not be worse than rules alone by more
+	// than a small margin (it only changes what rules could not decide
+	// definitively).
+	if staged.Accuracy+0.05 < rules.Accuracy {
+		t.Errorf("staged accuracy %.3f far below rules-only %.3f", staged.Accuracy, rules.Accuracy)
+	}
+	if r.FastPathShare <= 0 || r.FastPathShare > 1 {
+		t.Errorf("fast path share = %.3f", r.FastPathShare)
+	}
+	if !strings.Contains(r.Format(), "Staged detection") {
+		t.Fatal("Format incomplete")
+	}
+}

@@ -1,0 +1,364 @@
+package htmlmod
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Injection describes the content the rewriter adds to one HTML page. All
+// URL fields are request paths or absolute URLs; empty fields disable the
+// corresponding injection.
+type Injection struct {
+	// CSSHref is the uniquely named empty stylesheet (browser test).
+	CSSHref string
+	// ScriptSrc is the external event-handler script (human activity test).
+	ScriptSrc string
+	// InlineScript is the inline user-agent reporter body (without tags).
+	InlineScript string
+	// HandlerName is the JavaScript function invoked by the injected
+	// onmousemove/onkeypress attributes; it must match the generated script.
+	HandlerName string
+	// HiddenHref is the invisible trap link target (browser test).
+	HiddenHref string
+	// HiddenImgSrc is the 1x1 transparent image anchoring the trap link.
+	HiddenImgSrc string
+}
+
+// RewriteResult reports what the rewriter managed to inject.
+type RewriteResult struct {
+	// HTML is the rewritten document.
+	HTML []byte
+	// InjectedCSS, InjectedScript, InjectedHandlers, InjectedInline and
+	// InjectedHidden report which injections were applied.
+	InjectedCSS      bool
+	InjectedScript   bool
+	InjectedHandlers bool
+	InjectedInline   bool
+	InjectedHidden   bool
+	// AddedBytes is the size increase of the document.
+	AddedBytes int
+}
+
+// Rewrite injects the instrumentation into the document. It never fails:
+// documents without a <head> get head-level injections right after <body>
+// (or prepended), documents without a <body> get body-level injections
+// appended, and non-HTML input is returned with only appended content when
+// nothing can be located safely.
+func Rewrite(doc []byte, inj Injection) RewriteResult {
+	tokens := Tokenize(doc)
+
+	var headStart *Token // the <head> start tag
+	var bodyStart *Token // the <body> start tag
+	var bodyEnd *Token   // the </body> end tag
+	var htmlStart *Token // the <html> start tag
+	for idx := range tokens {
+		t := &tokens[idx]
+		switch {
+		case t.Type == StartTagToken && t.Name == "head" && headStart == nil:
+			headStart = t
+		case t.Type == StartTagToken && t.Name == "body" && bodyStart == nil:
+			bodyStart = t
+		case t.Type == EndTagToken && t.Name == "body":
+			bodyEnd = t // keep the last one
+		case t.Type == StartTagToken && t.Name == "html" && htmlStart == nil:
+			htmlStart = t
+		}
+	}
+
+	headInsert := buildHeadInsert(inj)
+	bodyTopInsert := buildBodyTopInsert(inj)
+	bodyBottomInsert := buildBodyBottomInsert(inj)
+
+	// Decide insertion offsets in the original document.
+	var inserts []insertion
+
+	res := RewriteResult{}
+
+	if headInsert != "" {
+		switch {
+		case headStart != nil:
+			inserts = append(inserts, insertion{headStart.End, headInsert})
+		case bodyStart != nil:
+			inserts = append(inserts, insertion{bodyStart.End, headInsert})
+		case htmlStart != nil:
+			inserts = append(inserts, insertion{htmlStart.End, headInsert})
+		default:
+			inserts = append(inserts, insertion{0, headInsert})
+		}
+		res.InjectedCSS = inj.CSSHref != ""
+		res.InjectedScript = inj.ScriptSrc != ""
+	}
+
+	if bodyTopInsert != "" {
+		switch {
+		case bodyStart != nil:
+			inserts = append(inserts, insertion{bodyStart.End, bodyTopInsert})
+		case htmlStart != nil:
+			inserts = append(inserts, insertion{htmlStart.End, bodyTopInsert})
+		default:
+			inserts = append(inserts, insertion{len(doc), bodyTopInsert})
+		}
+		res.InjectedInline = inj.InlineScript != ""
+	}
+
+	if bodyBottomInsert != "" {
+		switch {
+		case bodyEnd != nil:
+			inserts = append(inserts, insertion{bodyEnd.Start, bodyBottomInsert})
+		default:
+			inserts = append(inserts, insertion{len(doc), bodyBottomInsert})
+		}
+		res.InjectedHidden = inj.HiddenHref != ""
+	}
+
+	// Event-handler attributes on the <body> tag itself.
+	var bodyTagReplacement string
+	if inj.HandlerName != "" && bodyStart != nil {
+		bodyTagReplacement = rewriteBodyTag(doc, *bodyStart, inj.HandlerName)
+		if bodyTagReplacement != "" {
+			res.InjectedHandlers = true
+		}
+	}
+
+	out := applyEdits(doc, bodyStart, bodyTagReplacement, inserts)
+	res.HTML = out
+	res.AddedBytes = len(out) - len(doc)
+	return res
+}
+
+// buildHeadInsert renders the stylesheet link and external script tags.
+func buildHeadInsert(inj Injection) string {
+	var b strings.Builder
+	if inj.CSSHref != "" {
+		fmt.Fprintf(&b, "\n<link rel=\"stylesheet\" type=\"text/css\" href=\"%s\">", htmlEscape(inj.CSSHref))
+	}
+	if inj.ScriptSrc != "" {
+		fmt.Fprintf(&b, "\n<script language=\"javascript\" type=\"text/javascript\" src=\"%s\"></script>", htmlEscape(inj.ScriptSrc))
+	}
+	if b.Len() > 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// buildBodyTopInsert renders the inline user-agent reporter script.
+func buildBodyTopInsert(inj Injection) string {
+	if inj.InlineScript == "" {
+		return ""
+	}
+	return "\n<script type=\"text/javascript\">\n" + inj.InlineScript + "</script>\n"
+}
+
+// buildBodyBottomInsert renders the hidden trap link.
+func buildBodyBottomInsert(inj Injection) string {
+	if inj.HiddenHref == "" {
+		return ""
+	}
+	img := inj.HiddenImgSrc
+	if img == "" {
+		img = inj.HiddenHref
+	}
+	return fmt.Sprintf("\n<a href=\"%s\"><img src=\"%s\" width=\"1\" height=\"1\" border=\"0\" alt=\"\"></a>\n",
+		htmlEscape(inj.HiddenHref), htmlEscape(img))
+}
+
+// rewriteBodyTag returns the replacement text for the original <body ...>
+// tag with onmousemove/onkeypress handlers added. Handlers already present
+// on the page are preserved by chaining ours in front. It returns "" when
+// the tag cannot be rebuilt safely.
+func rewriteBodyTag(doc []byte, body Token, handler string) string {
+	call := fmt.Sprintf("return %s();", handler)
+	var b strings.Builder
+	b.WriteString("<body")
+	seenMouse, seenKey := false, false
+	for _, a := range body.Attrs {
+		val := a.Value
+		switch a.Name {
+		case "onmousemove":
+			val = call + " " + val
+			seenMouse = true
+		case "onkeypress":
+			val = call + " " + val
+			seenKey = true
+		}
+		if val == "" && a.Value == "" {
+			fmt.Fprintf(&b, " %s", a.Name)
+			continue
+		}
+		fmt.Fprintf(&b, " %s=\"%s\"", a.Name, htmlEscape(val))
+	}
+	if !seenMouse {
+		fmt.Fprintf(&b, " onmousemove=\"%s\"", htmlEscape(call))
+	}
+	if !seenKey {
+		fmt.Fprintf(&b, " onkeypress=\"%s\"", htmlEscape(call))
+	}
+	if body.SelfClosing {
+		b.WriteString("/>")
+	} else {
+		b.WriteString(">")
+	}
+	return b.String()
+}
+
+// insertion is one positional text insertion into the original document.
+type insertion struct {
+	at   int
+	text string
+}
+
+// applyEdits rebuilds the document applying the body-tag replacement and the
+// positional insertions in one pass.
+func applyEdits(doc []byte, bodyStart *Token, bodyReplacement string, inserts []insertion) []byte {
+	// Sort insertions by offset (stable for equal offsets: insertion order).
+	for i := 1; i < len(inserts); i++ {
+		for j := i; j > 0 && inserts[j].at < inserts[j-1].at; j-- {
+			inserts[j], inserts[j-1] = inserts[j-1], inserts[j]
+		}
+	}
+	var b strings.Builder
+	b.Grow(len(doc) + 1024)
+	pos := 0
+	nextInsert := 0
+	emitUpTo := func(end int) {
+		for nextInsert < len(inserts) && inserts[nextInsert].at <= end {
+			at := inserts[nextInsert].at
+			if at > pos {
+				b.Write(doc[pos:at])
+				pos = at
+			}
+			b.WriteString(inserts[nextInsert].text)
+			nextInsert++
+		}
+		if end > pos {
+			b.Write(doc[pos:end])
+			pos = end
+		}
+	}
+	if bodyReplacement != "" && bodyStart != nil {
+		emitUpTo(bodyStart.Start)
+		b.WriteString(bodyReplacement)
+		pos = bodyStart.End
+	}
+	emitUpTo(len(doc))
+	return []byte(b.String())
+}
+
+// htmlEscape escapes the characters that would break out of a double-quoted
+// attribute value or element context.
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "\"", "&quot;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// PageSummary is the structure of a page as seen by a client: the navigation
+// links, embedded objects and event handlers. Traffic agents use it to decide
+// what a browser or a robot would fetch next.
+type PageSummary struct {
+	// Links are anchor targets considered visible to a human user.
+	Links []string
+	// HiddenLinks are anchor targets wrapped around 1x1/transparent images
+	// or styled invisible, which humans cannot see but naive crawlers follow.
+	HiddenLinks []string
+	// Images are <img> sources.
+	Images []string
+	// Stylesheets are <link rel=stylesheet> hrefs.
+	Stylesheets []string
+	// Scripts are external <script src> values.
+	Scripts []string
+	// InlineScripts is the number of inline script blocks.
+	InlineScripts int
+	// BodyMouseHandler reports whether the <body> tag has an onmousemove
+	// handler (i.e. the page is instrumented for human activity detection).
+	BodyMouseHandler bool
+}
+
+// Extract summarises a page. The hidden-link heuristic mirrors the paper's
+// construction: an anchor whose only content is an <img> with width and
+// height of 1 (or a transparent beacon image) is treated as invisible.
+func Extract(doc []byte) PageSummary {
+	tokens := Tokenize(doc)
+	var sum PageSummary
+
+	for i := 0; i < len(tokens); i++ {
+		t := tokens[i]
+		if t.Type != StartTagToken {
+			continue
+		}
+		switch t.Name {
+		case "a", "area":
+			href, ok := t.Get("href")
+			if !ok || href == "" || strings.HasPrefix(href, "#") ||
+				strings.HasPrefix(strings.ToLower(href), "javascript:") ||
+				strings.HasPrefix(strings.ToLower(href), "mailto:") {
+				continue
+			}
+			if isHiddenAnchor(tokens, i) {
+				sum.HiddenLinks = append(sum.HiddenLinks, href)
+			} else {
+				sum.Links = append(sum.Links, href)
+			}
+		case "img":
+			if src, ok := t.Get("src"); ok && src != "" {
+				sum.Images = append(sum.Images, src)
+			}
+		case "link":
+			rel, _ := t.Get("rel")
+			if strings.Contains(strings.ToLower(rel), "stylesheet") {
+				if href, ok := t.Get("href"); ok && href != "" {
+					sum.Stylesheets = append(sum.Stylesheets, href)
+				}
+			}
+		case "script":
+			if src, ok := t.Get("src"); ok && src != "" {
+				sum.Scripts = append(sum.Scripts, src)
+			} else if !t.SelfClosing {
+				sum.InlineScripts++
+			}
+		case "body":
+			if _, ok := t.Get("onmousemove"); ok {
+				sum.BodyMouseHandler = true
+			}
+		}
+	}
+	return sum
+}
+
+// isHiddenAnchor reports whether the anchor starting at tokens[i] wraps only
+// a 1x1 or transparent image (and no visible text).
+func isHiddenAnchor(tokens []Token, i int) bool {
+	sawTinyImage := false
+	for j := i + 1; j < len(tokens); j++ {
+		t := tokens[j]
+		switch t.Type {
+		case EndTagToken:
+			if t.Name == "a" || t.Name == "area" {
+				return sawTinyImage
+			}
+		case StartTagToken:
+			if t.Name == "img" {
+				w, _ := t.Get("width")
+				h, _ := t.Get("height")
+				src, _ := t.Get("src")
+				lsrc := strings.ToLower(src)
+				if (w == "1" && h == "1") || strings.Contains(lsrc, "transp") || strings.Contains(lsrc, "1x1") {
+					sawTinyImage = true
+				} else {
+					return false // a real image: the link is visible
+				}
+			} else if t.Name != "br" {
+				return false
+			}
+		case TextToken:
+			// Any visible text makes the link visible; we cannot see the
+			// original bytes here, so treat non-empty ranges conservatively:
+			// the caller's injected hidden link carries no text at all, and
+			// whitespace-only runs are common in real markup. Ranges longer
+			// than a few bytes are assumed to be visible text.
+			if t.End-t.Start > 6 {
+				return false
+			}
+		}
+	}
+	return false
+}

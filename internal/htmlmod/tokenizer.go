@@ -1,0 +1,319 @@
+// Package htmlmod provides the HTML scanning and rewriting machinery behind
+// the paper's dynamic page modification (Sections 2.1 and 2.2): locating the
+// head and body of a served page, injecting the beacon stylesheet, the
+// external event-handler script, the inline user-agent reporter, the
+// onmousemove/onkeypress attributes, and the hidden trap link.
+//
+// The same scanner also powers link and embedded-object extraction, which
+// the synthetic traffic agents use to browse pages exactly the way the
+// detector observes real clients browsing them.
+//
+// The scanner is deliberately not a full HTML5 parser: the rewriter only
+// needs tag boundaries, attribute lists, comments and raw-text elements
+// (script/style), and it must never reorder or re-serialise untouched
+// content, so it operates on byte offsets into the original document.
+package htmlmod
+
+import (
+	"bytes"
+	"strings"
+)
+
+// TokenType identifies a scanned token.
+type TokenType int
+
+const (
+	// TextToken is character data between tags.
+	TextToken TokenType = iota
+	// StartTagToken is an opening tag, possibly self-closing.
+	StartTagToken
+	// EndTagToken is a closing tag.
+	EndTagToken
+	// CommentToken is an HTML comment.
+	CommentToken
+	// DeclToken is a <!DOCTYPE ...> or similar declaration.
+	DeclToken
+)
+
+// Token is one scanned region of the document.
+type Token struct {
+	// Type is the token type.
+	Type TokenType
+	// Name is the lowercase tag name for start/end tags.
+	Name string
+	// Start and End are byte offsets of the token in the original document
+	// (End is exclusive).
+	Start, End int
+	// SelfClosing reports whether a start tag ends with "/>".
+	SelfClosing bool
+	// Attrs are the tag's attributes in document order (start tags only).
+	Attrs []Attr
+}
+
+// Attr is one tag attribute.
+type Attr struct {
+	// Name is the lowercase attribute name.
+	Name string
+	// Value is the unquoted attribute value ("" for value-less attributes).
+	Value string
+}
+
+// Get returns the value of the named attribute and whether it is present.
+func (t Token) Get(name string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// rawTextElements are elements whose content is scanned as raw text up to
+// the matching end tag.
+var rawTextElements = map[string]bool{
+	"script": true, "style": true, "textarea": true, "title": true,
+}
+
+// Tokenize scans the document and returns its tokens. The scan is
+// best-effort: malformed markup never causes an error, the scanner simply
+// treats unparseable regions as text, which is the safe behaviour for a
+// rewriter (it will inject less rather than corrupt output).
+func Tokenize(doc []byte) []Token {
+	var tokens []Token
+	i := 0
+	n := len(doc)
+	textStart := 0
+
+	flushText := func(end int) {
+		if end > textStart {
+			tokens = append(tokens, Token{Type: TextToken, Start: textStart, End: end})
+		}
+	}
+
+	for i < n {
+		if doc[i] != '<' {
+			i++
+			continue
+		}
+		// Comment?
+		if hasPrefixAt(doc, i, "<!--") {
+			end := indexFrom(doc, i+4, "-->")
+			if end < 0 {
+				// Unterminated comment: treat the rest as a comment.
+				flushText(i)
+				tokens = append(tokens, Token{Type: CommentToken, Start: i, End: n})
+				textStart = n
+				i = n
+				break
+			}
+			flushText(i)
+			tokens = append(tokens, Token{Type: CommentToken, Start: i, End: end + 3})
+			i = end + 3
+			textStart = i
+			continue
+		}
+		// Declaration (<!DOCTYPE ...>, <![CDATA[...)?
+		if i+1 < n && (doc[i+1] == '!' || doc[i+1] == '?') {
+			end := indexFrom(doc, i+1, ">")
+			if end < 0 {
+				i++
+				continue
+			}
+			flushText(i)
+			tokens = append(tokens, Token{Type: DeclToken, Start: i, End: end + 1})
+			i = end + 1
+			textStart = i
+			continue
+		}
+		// End tag?
+		if i+1 < n && doc[i+1] == '/' {
+			end := indexFrom(doc, i+2, ">")
+			if end < 0 {
+				i++
+				continue
+			}
+			name := strings.ToLower(strings.TrimSpace(string(doc[i+2 : end])))
+			// Tag names stop at the first space.
+			if sp := strings.IndexAny(name, " \t\r\n"); sp >= 0 {
+				name = name[:sp]
+			}
+			flushText(i)
+			tokens = append(tokens, Token{Type: EndTagToken, Name: name, Start: i, End: end + 1})
+			i = end + 1
+			textStart = i
+			continue
+		}
+		// Start tag.
+		tok, next, ok := scanStartTag(doc, i)
+		if !ok {
+			i++
+			continue
+		}
+		flushText(i)
+		tokens = append(tokens, tok)
+		i = next
+		textStart = i
+
+		// Raw-text elements: skip to their end tag so "<a href=...>" inside a
+		// script string is not mistaken for markup.
+		if rawTextElements[tok.Name] && !tok.SelfClosing {
+			closing := "</" + tok.Name
+			idx := indexFoldFrom(doc, i, closing)
+			if idx < 0 {
+				continue
+			}
+			if idx > i {
+				tokens = append(tokens, Token{Type: TextToken, Start: i, End: idx})
+			}
+			end := indexFrom(doc, idx, ">")
+			if end < 0 {
+				i = n
+				textStart = n
+				break
+			}
+			tokens = append(tokens, Token{Type: EndTagToken, Name: tok.Name, Start: idx, End: end + 1})
+			i = end + 1
+			textStart = i
+		}
+	}
+	flushText(n)
+	return tokens
+}
+
+// scanStartTag scans an opening tag beginning at doc[i] == '<'. It returns
+// the token, the offset just past the closing '>', and whether the scan
+// succeeded.
+func scanStartTag(doc []byte, i int) (Token, int, bool) {
+	n := len(doc)
+	j := i + 1
+	nameStart := j
+	for j < n && isNameByte(doc[j]) {
+		j++
+	}
+	if j == nameStart {
+		return Token{}, 0, false // "<" not followed by a tag name
+	}
+	tok := Token{Type: StartTagToken, Name: strings.ToLower(string(doc[nameStart:j])), Start: i}
+
+	// Scan attributes respecting quotes.
+	for j < n {
+		// Skip whitespace.
+		for j < n && isSpaceByte(doc[j]) {
+			j++
+		}
+		if j >= n {
+			return Token{}, 0, false
+		}
+		if doc[j] == '>' {
+			tok.End = j + 1
+			return tok, j + 1, true
+		}
+		if doc[j] == '/' && j+1 < n && doc[j+1] == '>' {
+			tok.SelfClosing = true
+			tok.End = j + 2
+			return tok, j + 2, true
+		}
+		// Attribute name.
+		attrStart := j
+		for j < n && doc[j] != '=' && doc[j] != '>' && doc[j] != '/' && !isSpaceByte(doc[j]) {
+			j++
+		}
+		if j >= n {
+			return Token{}, 0, false
+		}
+		name := strings.ToLower(string(doc[attrStart:j]))
+		if name == "" {
+			j++
+			continue
+		}
+		// Optional value.
+		for j < n && isSpaceByte(doc[j]) {
+			j++
+		}
+		if j < n && doc[j] == '=' {
+			j++
+			for j < n && isSpaceByte(doc[j]) {
+				j++
+			}
+			if j < n && (doc[j] == '"' || doc[j] == '\'') {
+				quote := doc[j]
+				j++
+				valStart := j
+				for j < n && doc[j] != quote {
+					j++
+				}
+				if j >= n {
+					return Token{}, 0, false
+				}
+				tok.Attrs = append(tok.Attrs, Attr{Name: name, Value: string(doc[valStart:j])})
+				j++
+			} else {
+				valStart := j
+				for j < n && !isSpaceByte(doc[j]) && doc[j] != '>' {
+					j++
+				}
+				tok.Attrs = append(tok.Attrs, Attr{Name: name, Value: string(doc[valStart:j])})
+			}
+		} else {
+			tok.Attrs = append(tok.Attrs, Attr{Name: name})
+		}
+	}
+	return Token{}, 0, false
+}
+
+func isNameByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '-' || b == ':'
+}
+
+func isSpaceByte(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\f'
+}
+
+func hasPrefixAt(doc []byte, i int, prefix string) bool {
+	if i+len(prefix) > len(doc) {
+		return false
+	}
+	return string(doc[i:i+len(prefix)]) == prefix
+}
+
+func indexFrom(doc []byte, i int, sub string) int {
+	idx := bytes.Index(doc[i:], []byte(sub))
+	if idx < 0 {
+		return -1
+	}
+	return i + idx
+}
+
+// indexFoldFrom finds sub case-insensitively starting at i without copying
+// the remainder of the document.
+func indexFoldFrom(doc []byte, i int, sub string) int {
+	lsub := strings.ToLower(sub)
+	if lsub == "" {
+		return i
+	}
+	first := lsub[0]
+	firstUpper := first
+	if first >= 'a' && first <= 'z' {
+		firstUpper = first - 'a' + 'A'
+	}
+	for j := i; j+len(lsub) <= len(doc); j++ {
+		if doc[j] != first && doc[j] != firstUpper {
+			continue
+		}
+		match := true
+		for k := 1; k < len(lsub); k++ {
+			c := doc[j+k]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != lsub[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return j
+		}
+	}
+	return -1
+}

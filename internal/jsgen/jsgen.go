@@ -1,0 +1,278 @@
+// Package jsgen generates the JavaScript that the proxy embeds into
+// rewritten HTML pages for human activity detection (Section 2.1).
+//
+// The generated external script defines an event-handler function that, on
+// the first mouse movement or key press, fetches a beacon image whose URL
+// carries the real per-page key. To defeat robots that statically extract
+// URLs from scripts, the script also contains m decoy functions fetching
+// beacon URLs with wrong keys, is lexically obfuscated (randomised
+// identifiers, junk declarations, shuffled function order, character-encoded
+// string literals), and is served uncacheable so every page view gets fresh
+// keys.
+package jsgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"botdetect/internal/rng"
+)
+
+// Params controls script generation for one rewritten page.
+type Params struct {
+	// BeaconBase is the URL prefix for beacon fetches, e.g.
+	// "http://www.example.com" or "" for site-relative beacons.
+	BeaconBase string
+	// BeaconPrefix is the path prefix under which beacon objects live
+	// (default "/__bd"). The proxy intercepts requests under this prefix.
+	BeaconPrefix string
+	// RealKey is the key embedded in the genuine event-handler beacon.
+	RealKey string
+	// DecoyKeys are the keys embedded in the decoy functions.
+	DecoyKeys []string
+	// UAReportKey, when non-empty, adds a statement that immediately fetches
+	// a "JavaScript executed" beacon carrying this key, so the server learns
+	// that the client runs JavaScript even if no input event ever happens.
+	UAReportKey string
+	// Obfuscate enables lexical obfuscation.
+	Obfuscate bool
+	// Seed drives identifier randomisation; the same seed yields the same
+	// script text.
+	Seed uint64
+}
+
+// DefaultBeaconPrefix is the path prefix used when Params.BeaconPrefix is empty.
+const DefaultBeaconPrefix = "/__bd"
+
+// BeaconPath returns the request path of the beacon image carrying key.
+func BeaconPath(prefix, key string) string {
+	if prefix == "" {
+		prefix = DefaultBeaconPrefix
+	}
+	return prefix + "/" + key + ".jpg"
+}
+
+// ExecBeaconPath returns the request path of the "JavaScript executed"
+// beacon carrying key.
+func ExecBeaconPath(prefix, key string) string {
+	if prefix == "" {
+		prefix = DefaultBeaconPrefix
+	}
+	return prefix + "/js/" + key + ".gif"
+}
+
+// CSSPath returns the request path of the uniquely named empty stylesheet.
+func CSSPath(prefix, token string) string {
+	if prefix == "" {
+		prefix = DefaultBeaconPrefix
+	}
+	return prefix + "/" + token + ".css"
+}
+
+// HiddenPath returns the request path of the hidden trap link.
+func HiddenPath(prefix, token string) string {
+	if prefix == "" {
+		prefix = DefaultBeaconPrefix
+	}
+	return prefix + "/hidden/" + token + ".html"
+}
+
+// TransparentImagePath returns the request path of the 1x1 transparent image
+// that anchors the hidden link.
+func TransparentImagePath(prefix string) string {
+	if prefix == "" {
+		prefix = DefaultBeaconPrefix
+	}
+	return prefix + "/transp_1x1.gif"
+}
+
+// ScriptPath returns the request path of the generated external script.
+func ScriptPath(prefix, token string) string {
+	if prefix == "" {
+		prefix = DefaultBeaconPrefix
+	}
+	return prefix + "/index_" + token + ".js"
+}
+
+// Generator produces beacon scripts. It is stateless apart from its
+// configuration and safe for concurrent use.
+type Generator struct {
+	// HandlerName is the global function installed as the event handler.
+	// It must match the attribute injected by the HTML rewriter.
+	HandlerName string
+}
+
+// NewGenerator returns a Generator with the default handler name "__bd_f".
+func NewGenerator() *Generator { return &Generator{HandlerName: "__bd_f"} }
+
+// namer allocates deterministic pseudo-random identifiers.
+type namer struct {
+	src  *rng.Source
+	used map[string]bool
+}
+
+func newNamer(seed uint64) *namer {
+	return &namer{src: rng.New(seed).Fork("jsgen"), used: map[string]bool{}}
+}
+
+const identAlphabet = "abcdefghijklmnopqrstuvwxyz"
+
+func (n *namer) next() string {
+	for {
+		var b strings.Builder
+		b.WriteByte('_')
+		length := 5 + n.src.Intn(6)
+		for i := 0; i < length; i++ {
+			b.WriteByte(identAlphabet[n.src.Intn(len(identAlphabet))])
+		}
+		name := b.String()
+		if !n.used[name] {
+			n.used[name] = true
+			return name
+		}
+	}
+}
+
+// Script returns the external JavaScript file body for one rewritten page.
+func (g *Generator) Script(p Params) string {
+	prefix := p.BeaconPrefix
+	if prefix == "" {
+		prefix = DefaultBeaconPrefix
+	}
+	nm := newNamer(p.Seed)
+
+	handler := g.HandlerName
+	if handler == "" {
+		handler = "__bd_f"
+	}
+
+	realURL := p.BeaconBase + BeaconPath(prefix, p.RealKey)
+
+	type fn struct{ text string }
+	var fns []fn
+
+	// The genuine handler: fire once, fetch the real beacon.
+	guard := nm.next()
+	img := nm.next()
+	var real strings.Builder
+	fmt.Fprintf(&real, "var %s = false;\n", guard)
+	fmt.Fprintf(&real, "function %s() {\n", handler)
+	fmt.Fprintf(&real, "  if (%s == false) {\n", guard)
+	fmt.Fprintf(&real, "    var %s = new Image();\n", img)
+	fmt.Fprintf(&real, "    %s = true;\n", guard)
+	fmt.Fprintf(&real, "    %s.src = %s;\n", img, encodeString(realURL, p.Obfuscate, nm))
+	real.WriteString("    return true;\n  }\n  return false;\n}\n")
+	fns = append(fns, fn{real.String()})
+
+	// Decoy functions: same shape, wrong keys, never wired to any event.
+	for _, d := range p.DecoyKeys {
+		dguard := nm.next()
+		dimg := nm.next()
+		dname := nm.next()
+		durl := p.BeaconBase + BeaconPath(prefix, d)
+		var b strings.Builder
+		fmt.Fprintf(&b, "var %s = false;\n", dguard)
+		fmt.Fprintf(&b, "function %s() {\n", dname)
+		fmt.Fprintf(&b, "  if (%s == false) {\n", dguard)
+		fmt.Fprintf(&b, "    var %s = new Image();\n", dimg)
+		fmt.Fprintf(&b, "    %s = true;\n", dguard)
+		fmt.Fprintf(&b, "    %s.src = %s;\n", dimg, encodeString(durl, p.Obfuscate, nm))
+		b.WriteString("    return true;\n  }\n  return false;\n}\n")
+		fns = append(fns, fn{b.String()})
+	}
+
+	// Shuffle function order so the genuine handler's position is random.
+	if p.Obfuscate && len(fns) > 1 {
+		nm.src.Shuffle(len(fns), func(i, j int) { fns[i], fns[j] = fns[j], fns[i] })
+	}
+
+	var out strings.Builder
+	out.WriteString("// dynamically generated; do not cache\n")
+	if p.Obfuscate {
+		out.WriteString(junkStatements(nm, 3+nm.src.Intn(4)))
+	}
+	for _, f := range fns {
+		out.WriteString(f.text)
+		if p.Obfuscate && nm.src.Bool(0.5) {
+			out.WriteString(junkStatements(nm, 1+nm.src.Intn(3)))
+		}
+	}
+
+	// JS-execution report: runs as soon as the script loads, proving the
+	// client executes JavaScript even if no mouse/key event follows.
+	if p.UAReportKey != "" {
+		execImg := nm.next()
+		execURL := p.BeaconBase + ExecBeaconPath(prefix, p.UAReportKey)
+		fmt.Fprintf(&out, "var %s = new Image();\n", execImg)
+		fmt.Fprintf(&out, "%s.src = %s + '?ua=' + encodeURIComponent(navigator.userAgent.toLowerCase().replace(/ /g, ''));\n",
+			execImg, encodeString(execURL, p.Obfuscate, nm))
+	}
+	return out.String()
+}
+
+// encodeString renders a JavaScript string literal; under obfuscation it is
+// emitted as a String.fromCharCode call so the beacon URL does not appear
+// verbatim in the script text.
+func encodeString(s string, obfuscate bool, nm *namer) string {
+	if !obfuscate {
+		return "'" + s + "'"
+	}
+	var b strings.Builder
+	b.WriteString("String.fromCharCode(")
+	for i := 0; i < len(s); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(s[i])))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// junkStatements emits harmless declarations that vary per page to defeat
+// signature matching on the script body.
+func junkStatements(nm *namer, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		switch nm.src.Intn(3) {
+		case 0:
+			fmt.Fprintf(&b, "var %s = %d;\n", nm.next(), nm.src.Intn(100000))
+		case 1:
+			fmt.Fprintf(&b, "var %s = '%s';\n", nm.next(), nm.src.HexKey(8))
+		default:
+			a, c := nm.next(), nm.src.Intn(997)+1
+			fmt.Fprintf(&b, "function %s(x) { return (x * %d) %% 65537; }\n", a, c)
+		}
+	}
+	return b.String()
+}
+
+// InlineUAScript returns the inline <script> body that reports the browser's
+// user agent string back to the server by constructing a stylesheet link, as
+// in Figure 1 of the paper. The report arrives as a request for
+// <prefix>/ua/<token>/<agent>.css, letting the server compare the
+// JavaScript-visible agent with the User-Agent header (the "browser type
+// mismatch" signal in Table 1).
+func InlineUAScript(base, prefix, token string) string {
+	if prefix == "" {
+		prefix = DefaultBeaconPrefix
+	}
+	var b strings.Builder
+	b.WriteString("function getuseragnt() {\n")
+	b.WriteString("  var agt = navigator.userAgent.toLowerCase();\n")
+	b.WriteString("  agt = agt.replace(/ /g, \"\");\n")
+	b.WriteString("  return agt;\n}\n")
+	fmt.Fprintf(&b, "document.write(\"<link rel='stylesheet' type='text/css' href='%s%s/ua/%s/\" + encodeURIComponent(getuseragnt()) + \".css'>\");\n",
+		base, prefix, token)
+	return b.String()
+}
+
+// UAReportPrefix returns the path prefix of user-agent report requests for
+// the given token; the reported agent follows as the final path element.
+func UAReportPrefix(prefix, token string) string {
+	if prefix == "" {
+		prefix = DefaultBeaconPrefix
+	}
+	return prefix + "/ua/" + token + "/"
+}

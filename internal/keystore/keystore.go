@@ -1,0 +1,354 @@
+// Package keystore implements the server-side table of per-client random
+// keys that backs human activity detection (Section 2.1 of the paper).
+//
+// When the proxy rewrites page foo.html for a client, it asks the store to
+// issue a fresh random key k together with m decoy keys. The real key is
+// embedded in the mouse/keyboard event handler's beacon URL; the decoys are
+// embedded in obfuscation functions that a human's browser never calls. When
+// a beacon request arrives, the store validates the carried key:
+//
+//   - a matching, unconsumed real key proves an input event (human),
+//   - a decoy key identifies a robot that blindly fetched embedded URLs,
+//   - an unknown key is a replay or a guess.
+//
+// Keys expire after a TTL and the table is capped per client and globally so
+// a flood of page fetches cannot exhaust proxy memory.
+package keystore
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"botdetect/internal/clock"
+	"botdetect/internal/rng"
+)
+
+// Verdict is the result of validating a beacon key.
+type Verdict int
+
+const (
+	// Unknown means the key was never issued (guess, replay of an expired
+	// key, or corruption).
+	Unknown Verdict = iota
+	// Human means the key is a real key issued to this client and not yet
+	// consumed: the client executed the event handler.
+	Human
+	// Decoy means the key is one of the decoy keys: the client fetched
+	// beacon URLs blindly without executing the script.
+	Decoy
+	// Replayed means the real key was already consumed once before.
+	Replayed
+)
+
+// String returns a short name for the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Human:
+		return "human"
+	case Decoy:
+		return "decoy"
+	case Replayed:
+		return "replayed"
+	default:
+		return "unknown"
+	}
+}
+
+// Issued is the set of keys generated for one rewritten page.
+type Issued struct {
+	// Page is the page path the keys were issued for.
+	Page string
+	// Key is the real key carried by the genuine event-handler beacon.
+	Key string
+	// Decoys are the m decoy keys embedded in obfuscation functions.
+	Decoys []string
+	// CSSToken names the uniquely generated empty stylesheet for the page.
+	CSSToken string
+	// ScriptToken names the uniquely generated external JavaScript file.
+	ScriptToken string
+	// HiddenToken names the hidden (invisible) trap link target.
+	HiddenToken string
+	// IssuedAt is when the keys were generated.
+	IssuedAt time.Time
+}
+
+// Config controls Store behaviour.
+type Config struct {
+	// Decoys is the number of decoy keys per page (m in the paper). A blind
+	// fetcher is caught with probability Decoys/(Decoys+1).
+	Decoys int
+	// KeyDigits is the length of each key in decimal digits (the paper's
+	// example beacons carry 10-digit numbers; 30 digits ≈ the 2^128 space).
+	KeyDigits int
+	// TTL is how long issued keys stay valid.
+	TTL time.Duration
+	// MaxPerClient caps outstanding issues per client IP.
+	MaxPerClient int
+	// MaxClients caps the number of distinct client IPs tracked.
+	MaxClients int
+	// Seed drives key generation.
+	Seed uint64
+	// Clock supplies time; defaults to the wall clock.
+	Clock clock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Decoys <= 0 {
+		c.Decoys = 4
+	}
+	if c.KeyDigits <= 0 {
+		c.KeyDigits = 10
+	}
+	if c.TTL <= 0 {
+		c.TTL = time.Hour
+	}
+	if c.MaxPerClient <= 0 {
+		c.MaxPerClient = 64
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 100000
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System
+	}
+	return c
+}
+
+type keyKind int8
+
+const (
+	kindReal keyKind = iota
+	kindDecoy
+)
+
+type keyRecord struct {
+	kind     keyKind
+	page     string
+	issuedAt time.Time
+	consumed bool
+}
+
+type clientState struct {
+	ip      string
+	keys    map[string]*keyRecord // key string -> record
+	queue   []string              // issue order of real keys, for per-client eviction
+	element *list.Element         // position in the store's LRU list
+}
+
+// Stats are cumulative counters exposed for monitoring and experiments.
+type Stats struct {
+	Issued         int64
+	HumanHits      int64
+	DecoyHits      int64
+	ReplayHits     int64
+	UnknownHits    int64
+	ExpiredDropped int64
+	EvictedClients int64
+}
+
+// Store is the key table. It is safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	src     *rng.Source
+	clients map[string]*clientState
+	lru     *list.List // front = most recently used clientState
+	stats   Stats
+}
+
+// New creates a Store with the given configuration.
+func New(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	return &Store{
+		cfg:     cfg,
+		src:     rng.New(cfg.Seed).Fork("keystore"),
+		clients: make(map[string]*clientState),
+		lru:     list.New(),
+	}
+}
+
+// Issue generates a real key, decoys and the per-page object tokens for the
+// given client and page, recording the real key and decoys for later
+// validation.
+func (s *Store) Issue(clientIP, page string) Issued {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	now := s.cfg.Clock.Now()
+	cs := s.client(clientIP)
+	s.touch(cs)
+	s.expireClientLocked(cs, now)
+
+	iss := Issued{
+		Page:        page,
+		Key:         s.uniqueKeyLocked(cs),
+		CSSToken:    s.src.DigitKey(s.cfg.KeyDigits),
+		ScriptToken: s.src.DigitKey(s.cfg.KeyDigits),
+		HiddenToken: s.src.DigitKey(s.cfg.KeyDigits),
+		IssuedAt:    now,
+	}
+	cs.keys[iss.Key] = &keyRecord{kind: kindReal, page: page, issuedAt: now}
+	cs.queue = append(cs.queue, iss.Key)
+	for i := 0; i < s.cfg.Decoys; i++ {
+		d := s.uniqueKeyLocked(cs)
+		iss.Decoys = append(iss.Decoys, d)
+		cs.keys[d] = &keyRecord{kind: kindDecoy, page: page, issuedAt: now}
+	}
+	s.stats.Issued++
+
+	s.enforcePerClientLocked(cs)
+	s.enforceClientCapLocked()
+	return iss
+}
+
+// uniqueKeyLocked draws a key not already present for the client.
+func (s *Store) uniqueKeyLocked(cs *clientState) string {
+	for {
+		k := s.src.DigitKey(s.cfg.KeyDigits)
+		if _, exists := cs.keys[k]; !exists {
+			return k
+		}
+	}
+}
+
+func (s *Store) client(ip string) *clientState {
+	cs, ok := s.clients[ip]
+	if !ok {
+		cs = &clientState{ip: ip, keys: make(map[string]*keyRecord)}
+		cs.element = s.lru.PushFront(cs)
+		s.clients[ip] = cs
+	}
+	return cs
+}
+
+func (s *Store) touch(cs *clientState) {
+	s.lru.MoveToFront(cs.element)
+}
+
+// expireClientLocked drops keys older than the TTL for one client.
+func (s *Store) expireClientLocked(cs *clientState, now time.Time) {
+	for k, rec := range cs.keys {
+		if now.Sub(rec.issuedAt) > s.cfg.TTL {
+			delete(cs.keys, k)
+			s.stats.ExpiredDropped++
+		}
+	}
+	// Compact the real-key queue lazily.
+	if len(cs.queue) > 0 {
+		keep := cs.queue[:0]
+		for _, k := range cs.queue {
+			if _, ok := cs.keys[k]; ok {
+				keep = append(keep, k)
+			}
+		}
+		cs.queue = keep
+	}
+}
+
+// enforcePerClientLocked bounds the number of outstanding real keys for one
+// client by discarding the oldest issues (and their decoys become unknowns
+// once their records are eventually expired by TTL; we drop them eagerly by
+// page match to bound memory precisely).
+func (s *Store) enforcePerClientLocked(cs *clientState) {
+	for len(cs.queue) > s.cfg.MaxPerClient {
+		oldest := cs.queue[0]
+		cs.queue = cs.queue[1:]
+		rec, ok := cs.keys[oldest]
+		if !ok {
+			continue
+		}
+		page := rec.page
+		issuedAt := rec.issuedAt
+		delete(cs.keys, oldest)
+		// Drop decoys issued alongside the evicted real key.
+		for k, r := range cs.keys {
+			if r.kind == kindDecoy && r.page == page && r.issuedAt.Equal(issuedAt) {
+				delete(cs.keys, k)
+			}
+		}
+	}
+}
+
+// enforceClientCapLocked bounds the number of distinct clients tracked.
+func (s *Store) enforceClientCapLocked() {
+	for len(s.clients) > s.cfg.MaxClients {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		victim := back.Value.(*clientState)
+		s.lru.Remove(back)
+		delete(s.clients, victim.ip)
+		s.stats.EvictedClients++
+	}
+}
+
+// Validate checks a beacon key presented by the given client. Real keys are
+// consumed on first use so replays are detected.
+func (s *Store) Validate(clientIP, key string) Verdict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	cs, ok := s.clients[clientIP]
+	if !ok {
+		s.stats.UnknownHits++
+		return Unknown
+	}
+	s.touch(cs)
+	now := s.cfg.Clock.Now()
+	rec, ok := cs.keys[key]
+	if !ok {
+		s.stats.UnknownHits++
+		return Unknown
+	}
+	if now.Sub(rec.issuedAt) > s.cfg.TTL {
+		delete(cs.keys, key)
+		s.stats.ExpiredDropped++
+		s.stats.UnknownHits++
+		return Unknown
+	}
+	switch rec.kind {
+	case kindDecoy:
+		s.stats.DecoyHits++
+		return Decoy
+	default:
+		if rec.consumed {
+			s.stats.ReplayHits++
+			return Replayed
+		}
+		rec.consumed = true
+		s.stats.HumanHits++
+		return Human
+	}
+}
+
+// OutstandingKeys returns the number of unexpired keys currently stored for
+// the client (real plus decoys). It is primarily for tests and monitoring.
+func (s *Store) OutstandingKeys(clientIP string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.clients[clientIP]
+	if !ok {
+		return 0
+	}
+	return len(cs.keys)
+}
+
+// Clients returns the number of distinct client IPs currently tracked.
+func (s *Store) Clients() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// Stats returns a copy of the cumulative counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Decoys returns the configured number of decoy keys per page.
+func (s *Store) Decoys() int { return s.cfg.Decoys }

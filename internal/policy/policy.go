@@ -1,0 +1,284 @@
+// Package policy implements the enforcement stage the paper deployed on
+// CoDeeN after classification (Section 3.2): once a session is classified as
+// a robot, its behaviour is watched against per-behaviour thresholds (CGI
+// request rate, GET request rate, error-response share) and traffic is
+// rate-limited or blocked as soon as a threshold is exceeded. Human sessions
+// can be given a higher bandwidth allowance (the CAPTCHA incentive).
+package policy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"botdetect/internal/clock"
+	"botdetect/internal/core"
+	"botdetect/internal/session"
+)
+
+// Action is the policy decision for a request or session.
+type Action int
+
+const (
+	// Allow lets the traffic through at the normal service level.
+	Allow Action = iota
+	// Throttle lets the traffic through at a reduced rate.
+	Throttle
+	// Block rejects the traffic.
+	Block
+)
+
+// String returns the action name.
+func (a Action) String() string {
+	switch a {
+	case Throttle:
+		return "throttle"
+	case Block:
+		return "block"
+	default:
+		return "allow"
+	}
+}
+
+// Decision explains a policy outcome.
+type Decision struct {
+	// Action is what the engine decided.
+	Action Action
+	// Reason explains the dominant rule.
+	Reason string
+}
+
+// Thresholds are the per-session behaviour limits applied to robot-classified
+// sessions.
+type Thresholds struct {
+	// MaxRequestRate is the maximum sustained requests/second for a robot
+	// session before throttling (0 disables).
+	MaxRequestRate float64
+	// MaxCGIRate is the maximum CGI requests/second before blocking.
+	MaxCGIRate float64
+	// MaxErrorShare is the maximum share of 4xx+5xx responses before
+	// blocking (robots probing for vulnerabilities trip this).
+	MaxErrorShare float64
+	// MinRequestsForShare is the minimum request count before the error
+	// share rule applies (avoids blocking on one early 404).
+	MinRequestsForShare int64
+}
+
+// DefaultThresholds mirror the aggressive post-classification limits the
+// paper describes deploying on CoDeeN.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		MaxRequestRate:      2.0,
+		MaxCGIRate:          0.2,
+		MaxErrorShare:       0.3,
+		MinRequestsForShare: 20,
+	}
+}
+
+// Config controls the engine.
+type Config struct {
+	// Thresholds are the robot-session limits.
+	Thresholds Thresholds
+	// BlockDuration is how long a blocked session stays blocked.
+	BlockDuration time.Duration
+	// HumanBandwidthBonus is a multiplicative bandwidth allowance granted to
+	// CAPTCHA-verified humans (informational; the proxy applies it).
+	HumanBandwidthBonus float64
+	// Clock supplies time; defaults to the wall clock.
+	Clock clock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Thresholds == (Thresholds{}) {
+		c.Thresholds = DefaultThresholds()
+	}
+	if c.BlockDuration <= 0 {
+		c.BlockDuration = time.Hour
+	}
+	if c.HumanBandwidthBonus <= 0 {
+		c.HumanBandwidthBonus = 2.0
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System
+	}
+	return c
+}
+
+// Stats are cumulative counters.
+type Stats struct {
+	Evaluations int64
+	Allowed     int64
+	Throttled   int64
+	Blocked     int64
+	Unblocked   int64
+}
+
+// Engine applies the policy. It is safe for concurrent use.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	blocked map[session.Key]time.Time // key -> block expiry
+	stats   Stats
+}
+
+// NewEngine creates an Engine.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), blocked: make(map[session.Key]time.Time)}
+}
+
+// Thresholds returns the effective thresholds.
+func (e *Engine) Thresholds() Thresholds { return e.cfg.Thresholds }
+
+// HumanBandwidthBonus returns the bandwidth multiplier for verified humans.
+func (e *Engine) HumanBandwidthBonus() float64 { return e.cfg.HumanBandwidthBonus }
+
+// Evaluate decides what to do with the session given its current snapshot
+// and the detector's verdict. It also updates the engine's block list.
+func (e *Engine) Evaluate(snap session.Snapshot, verdict core.Verdict) Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Evaluations++
+	now := e.cfg.Clock.Now()
+
+	// Existing block still in force?
+	if until, ok := e.blocked[snap.Key]; ok {
+		if now.Before(until) {
+			e.stats.Blocked++
+			return Decision{Action: Block, Reason: "session is blocked"}
+		}
+		delete(e.blocked, snap.Key)
+		e.stats.Unblocked++
+	}
+
+	if verdict.Class != core.ClassRobot {
+		e.stats.Allowed++
+		return Decision{Action: Allow, Reason: "session not classified as robot"}
+	}
+
+	th := e.cfg.Thresholds
+	dur := snap.Duration().Seconds()
+	if dur < 1 {
+		dur = 1
+	}
+	c := snap.Counts
+
+	if th.MaxCGIRate > 0 {
+		if rate := float64(c.CGI) / dur; rate > th.MaxCGIRate {
+			e.blockLocked(snap.Key, now)
+			return Decision{Action: Block, Reason: fmt.Sprintf("robot CGI rate %.2f/s exceeds %.2f/s", rate, th.MaxCGIRate)}
+		}
+	}
+	if th.MaxErrorShare > 0 && c.Total >= th.MinRequestsForShare {
+		errShare := float64(c.Status4xx+c.Status5xx) / float64(c.Total)
+		if errShare > th.MaxErrorShare {
+			e.blockLocked(snap.Key, now)
+			return Decision{Action: Block, Reason: fmt.Sprintf("robot error share %.0f%% exceeds %.0f%%", errShare*100, th.MaxErrorShare*100)}
+		}
+	}
+	if th.MaxRequestRate > 0 {
+		if rate := float64(c.Total) / dur; rate > th.MaxRequestRate {
+			e.stats.Throttled++
+			return Decision{Action: Throttle, Reason: fmt.Sprintf("robot request rate %.2f/s exceeds %.2f/s", rate, th.MaxRequestRate)}
+		}
+	}
+	e.stats.Allowed++
+	return Decision{Action: Allow, Reason: "robot within behavioural thresholds"}
+}
+
+func (e *Engine) blockLocked(key session.Key, now time.Time) {
+	e.blocked[key] = now.Add(e.cfg.BlockDuration)
+	e.stats.Blocked++
+}
+
+// BlockNow explicitly blocks a session (e.g. after an operator decision).
+func (e *Engine) BlockNow(key session.Key) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.blockLocked(key, e.cfg.Clock.Now())
+}
+
+// IsBlocked reports whether a session is currently blocked.
+func (e *Engine) IsBlocked(key session.Key) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	until, ok := e.blocked[key]
+	if !ok {
+		return false
+	}
+	if e.cfg.Clock.Now().Before(until) {
+		return true
+	}
+	delete(e.blocked, key)
+	e.stats.Unblocked++
+	return false
+}
+
+// BlockedCount returns the number of sessions currently on the block list
+// (including entries whose expiry has passed but has not been observed yet).
+func (e *Engine) BlockedCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.blocked)
+}
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Limiter is a token-bucket rate limiter used by the proxy to throttle
+// robot-classified sessions. It is safe for concurrent use.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	clk    clock.Clock
+}
+
+// NewLimiter creates a token bucket admitting rate requests/second with the
+// given burst. Non-positive values are clamped to small positives.
+func NewLimiter(rate, burst float64, clk clock.Clock) *Limiter {
+	if rate <= 0 {
+		rate = 0.1
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Limiter{rate: rate, burst: burst, tokens: burst, last: clk.Now(), clk: clk}
+}
+
+// Allow consumes one token if available and reports whether the request may
+// proceed.
+func (l *Limiter) Allow() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.clk.Now()
+	elapsed := now.Sub(l.last).Seconds()
+	if elapsed > 0 {
+		l.tokens += elapsed * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		l.last = now
+	}
+	if l.tokens >= 1 {
+		l.tokens--
+		return true
+	}
+	return false
+}
+
+// Tokens returns the current token count (for tests and monitoring).
+func (l *Limiter) Tokens() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tokens
+}

@@ -1,0 +1,204 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"botdetect/internal/clock"
+	"botdetect/internal/core"
+	"botdetect/internal/session"
+)
+
+func newTestEngine(cfg Config) (*Engine, *clock.Virtual) {
+	vc := clock.NewVirtual(time.Time{})
+	cfg.Clock = vc
+	return NewEngine(cfg), vc
+}
+
+func robotVerdict() core.Verdict {
+	return core.Verdict{Class: core.ClassRobot, Confidence: core.Definite, Reason: "test"}
+}
+
+func humanVerdict() core.Verdict {
+	return core.Verdict{Class: core.ClassHuman, Confidence: core.Definite, Reason: "test"}
+}
+
+func snapshotWith(key session.Key, counts session.Counts, dur time.Duration, start time.Time) session.Snapshot {
+	return session.Snapshot{Key: key, FirstSeen: start, LastSeen: start.Add(dur), Counts: counts}
+}
+
+func TestHumanAlwaysAllowed(t *testing.T) {
+	e, vc := newTestEngine(Config{})
+	key := session.Key{IP: "1.1.1.1", UserAgent: "Firefox"}
+	snap := snapshotWith(key, session.Counts{Total: 1000, CGI: 900, Status4xx: 500}, time.Minute, vc.Now())
+	d := e.Evaluate(snap, humanVerdict())
+	if d.Action != Allow {
+		t.Fatalf("decision = %+v", d)
+	}
+	if e.Stats().Allowed != 1 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+}
+
+func TestRobotWithinThresholdsAllowed(t *testing.T) {
+	e, vc := newTestEngine(Config{})
+	key := session.Key{IP: "2.2.2.2", UserAgent: "Bot"}
+	snap := snapshotWith(key, session.Counts{Total: 30, CGI: 1, Status2xx: 30}, 10*time.Minute, vc.Now())
+	d := e.Evaluate(snap, robotVerdict())
+	if d.Action != Allow {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestRobotCGIRateBlocks(t *testing.T) {
+	e, vc := newTestEngine(Config{})
+	key := session.Key{IP: "3.3.3.3", UserAgent: "ClickBot"}
+	// 300 CGI requests in 60 seconds = 5/s, above the 0.2/s default.
+	snap := snapshotWith(key, session.Counts{Total: 320, CGI: 300, Status2xx: 320}, time.Minute, vc.Now())
+	d := e.Evaluate(snap, robotVerdict())
+	if d.Action != Block || !strings.Contains(d.Reason, "CGI rate") {
+		t.Fatalf("decision = %+v", d)
+	}
+	if !e.IsBlocked(key) {
+		t.Fatal("session should be on the block list")
+	}
+	// A later evaluation stays blocked even if the verdict were to change.
+	d = e.Evaluate(snap, humanVerdict())
+	if d.Action != Block {
+		t.Fatalf("blocked session later allowed: %+v", d)
+	}
+}
+
+func TestRobotErrorShareBlocks(t *testing.T) {
+	e, vc := newTestEngine(Config{})
+	key := session.Key{IP: "4.4.4.4", UserAgent: "VulnScanner"}
+	snap := snapshotWith(key, session.Counts{Total: 50, Status4xx: 30, Status2xx: 20}, 10*time.Minute, vc.Now())
+	d := e.Evaluate(snap, robotVerdict())
+	if d.Action != Block || !strings.Contains(d.Reason, "error share") {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestErrorShareNeedsMinimumRequests(t *testing.T) {
+	e, vc := newTestEngine(Config{})
+	key := session.Key{IP: "5.5.5.5", UserAgent: "Bot"}
+	// 100% errors but only 5 requests: below MinRequestsForShare.
+	snap := snapshotWith(key, session.Counts{Total: 5, Status4xx: 5}, 10*time.Minute, vc.Now())
+	d := e.Evaluate(snap, robotVerdict())
+	if d.Action == Block {
+		t.Fatalf("blocked on too few requests: %+v", d)
+	}
+}
+
+func TestRobotRequestRateThrottles(t *testing.T) {
+	e, vc := newTestEngine(Config{})
+	key := session.Key{IP: "6.6.6.6", UserAgent: "Crawler"}
+	// 600 requests in 60 seconds = 10/s, above 2/s: throttle (no CGI, no errors).
+	snap := snapshotWith(key, session.Counts{Total: 600, Status2xx: 600}, time.Minute, vc.Now())
+	d := e.Evaluate(snap, robotVerdict())
+	if d.Action != Throttle {
+		t.Fatalf("decision = %+v", d)
+	}
+	if e.Stats().Throttled != 1 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+}
+
+func TestBlockExpiry(t *testing.T) {
+	e, vc := newTestEngine(Config{BlockDuration: 30 * time.Minute})
+	key := session.Key{IP: "7.7.7.7", UserAgent: "Bot"}
+	e.BlockNow(key)
+	if !e.IsBlocked(key) {
+		t.Fatal("BlockNow did not block")
+	}
+	vc.Advance(31 * time.Minute)
+	if e.IsBlocked(key) {
+		t.Fatal("block did not expire")
+	}
+	if e.Stats().Unblocked != 1 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+}
+
+func TestBlockExpiryViaEvaluate(t *testing.T) {
+	e, vc := newTestEngine(Config{BlockDuration: 10 * time.Minute})
+	key := session.Key{IP: "8.8.8.8", UserAgent: "Bot"}
+	e.BlockNow(key)
+	vc.Advance(11 * time.Minute)
+	snap := snapshotWith(key, session.Counts{Total: 30, Status2xx: 30}, 10*time.Minute, vc.Now())
+	d := e.Evaluate(snap, robotVerdict())
+	if d.Action != Allow {
+		t.Fatalf("decision after expiry = %+v", d)
+	}
+	if e.BlockedCount() != 0 {
+		t.Fatalf("BlockedCount = %d", e.BlockedCount())
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	e, _ := newTestEngine(Config{})
+	th := e.Thresholds()
+	if th != DefaultThresholds() {
+		t.Fatalf("thresholds = %+v", th)
+	}
+	if e.HumanBandwidthBonus() != 2.0 {
+		t.Fatalf("bonus = %f", e.HumanBandwidthBonus())
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Allow.String() != "allow" || Throttle.String() != "throttle" || Block.String() != "block" || Action(9).String() != "allow" {
+		t.Fatal("Action names wrong")
+	}
+}
+
+func TestLimiterBasics(t *testing.T) {
+	vc := clock.NewVirtual(time.Time{})
+	l := NewLimiter(1, 3, vc) // 1 req/s, burst 3
+	allowed := 0
+	for i := 0; i < 5; i++ {
+		if l.Allow() {
+			allowed++
+		}
+	}
+	if allowed != 3 {
+		t.Fatalf("burst allowed %d, want 3", allowed)
+	}
+	vc.Advance(2 * time.Second)
+	allowed = 0
+	for i := 0; i < 5; i++ {
+		if l.Allow() {
+			allowed++
+		}
+	}
+	if allowed != 2 {
+		t.Fatalf("after refill allowed %d, want 2", allowed)
+	}
+}
+
+func TestLimiterTokenCapAndDefaults(t *testing.T) {
+	vc := clock.NewVirtual(time.Time{})
+	l := NewLimiter(10, 5, vc)
+	vc.Advance(time.Hour)
+	l.Allow()
+	if l.Tokens() > 5 {
+		t.Fatalf("tokens exceeded burst: %f", l.Tokens())
+	}
+	d := NewLimiter(-1, -1, nil)
+	if !d.Allow() {
+		t.Fatal("defaulted limiter should allow the first request")
+	}
+}
+
+func TestZeroThresholdsDisableRules(t *testing.T) {
+	e, vc := newTestEngine(Config{Thresholds: Thresholds{MaxRequestRate: 0, MaxCGIRate: 0, MaxErrorShare: 0, MinRequestsForShare: 1}})
+	// All-zero would be replaced by defaults, so set one harmless field. The
+	// per-rule zero values disable individual rules.
+	key := session.Key{IP: "9.9.9.9", UserAgent: "Bot"}
+	snap := snapshotWith(key, session.Counts{Total: 100000, CGI: 100000, Status4xx: 100000}, time.Second, vc.Now())
+	d := e.Evaluate(snap, robotVerdict())
+	if d.Action != Allow {
+		t.Fatalf("disabled rules still fired: %+v", d)
+	}
+}

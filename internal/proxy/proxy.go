@@ -1,0 +1,255 @@
+// Package proxy adapts the detection core to net/http: it is the deployment
+// vehicle corresponding to the instrumented CoDeeN proxies in the paper. The
+// middleware intercepts instrumentation requests (beacons, generated
+// stylesheets and scripts, hidden links, CAPTCHA endpoints), observes
+// ordinary requests for session tracking, rewrites HTML responses on the way
+// to the client, and enforces the policy engine's decisions on
+// robot-classified sessions.
+package proxy
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"botdetect/internal/captcha"
+	"botdetect/internal/core"
+	"botdetect/internal/logfmt"
+	"botdetect/internal/policy"
+	"botdetect/internal/session"
+)
+
+// Config controls the middleware.
+type Config struct {
+	// Detector is the detection engine; required.
+	Detector *core.Detector
+	// Policy optionally enforces throttling/blocking on robot sessions.
+	Policy *policy.Engine
+	// Captcha optionally serves challenge/verify endpoints under the
+	// instrumentation prefix.
+	Captcha *captcha.Service
+	// MaxRewriteBytes caps the size of HTML bodies buffered for rewriting;
+	// larger responses are passed through unmodified (default 2 MiB).
+	MaxRewriteBytes int
+	// TrustForwardedFor uses the first X-Forwarded-For address as the client
+	// IP when present (for deployments behind another proxy).
+	TrustForwardedFor bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRewriteBytes <= 0 {
+		c.MaxRewriteBytes = 2 << 20
+	}
+	return c
+}
+
+// Middleware wraps an origin handler with detection and enforcement.
+type Middleware struct {
+	cfg    Config
+	origin http.Handler
+}
+
+// New creates the middleware around the given origin handler. It panics if
+// cfg.Detector is nil, since the middleware is useless without it.
+func New(origin http.Handler, cfg Config) *Middleware {
+	if cfg.Detector == nil {
+		panic("proxy: Config.Detector is required")
+	}
+	return &Middleware{cfg: cfg.withDefaults(), origin: origin}
+}
+
+// Detector returns the wrapped detection engine.
+func (m *Middleware) Detector() *core.Detector { return m.cfg.Detector }
+
+// ServeHTTP implements http.Handler.
+func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	clientIP := m.clientIP(r)
+	ua := r.UserAgent()
+	key := session.Key{IP: clientIP, UserAgent: ua}
+	d := m.cfg.Detector
+
+	// CAPTCHA endpoints live under the instrumentation prefix but are
+	// handled before generic beacon dispatch.
+	if m.cfg.Captcha != nil && m.handleCaptcha(w, r, key) {
+		return
+	}
+
+	// Instrumentation traffic: beacons, generated objects, hidden links.
+	if resp, ok := d.HandleBeacon(clientIP, ua, r.URL.RequestURI()); ok {
+		writeDetectorResponse(w, resp)
+		return
+	}
+
+	// Policy enforcement for already-blocked or newly classified robots.
+	if m.cfg.Policy != nil {
+		if snap, tracked := d.Session(key); tracked {
+			decision := m.cfg.Policy.Evaluate(snap, d.ClassifySnapshot(snap))
+			switch decision.Action {
+			case policy.Block:
+				http.Error(w, "blocked: "+decision.Reason, http.StatusForbidden)
+				return
+			case policy.Throttle:
+				// Throttling is implemented as a constant service delay, the
+				// cheapest fair approximation without per-session queues.
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}
+
+	// Serve from origin, buffering so HTML can be rewritten and the response
+	// status/size can be observed for session tracking.
+	rec := &bufferingWriter{header: make(http.Header), limit: m.cfg.MaxRewriteBytes}
+	m.origin.ServeHTTP(rec, r)
+
+	entry := logfmt.Entry{
+		Time:        time.Now(),
+		ClientIP:    clientIP,
+		Method:      r.Method,
+		Path:        r.URL.RequestURI(),
+		Protocol:    r.Proto,
+		Status:      rec.status(),
+		Bytes:       int64(rec.body.Len()),
+		Referer:     r.Referer(),
+		UserAgent:   ua,
+		ContentType: rec.header.Get("Content-Type"),
+	}
+	d.ObserveRequest(entry)
+
+	body := rec.body.Bytes()
+	isHTML := strings.Contains(strings.ToLower(rec.header.Get("Content-Type")), "text/html")
+	if isHTML && rec.status() == http.StatusOK && !rec.overflowed && r.Method == http.MethodGet {
+		rewritten, _ := d.InstrumentPage(clientIP, ua, r.URL.Path, body)
+		body = rewritten
+	}
+
+	copyHeader(w.Header(), rec.header)
+	w.Header().Del("Content-Length")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	if isHTML {
+		// Rewritten pages carry per-view keys and must not be cached.
+		w.Header().Set("Cache-Control", "no-cache, no-store")
+	}
+	w.WriteHeader(rec.status())
+	if r.Method != http.MethodHead {
+		_, _ = w.Write(body)
+	}
+}
+
+// handleCaptcha serves GET <prefix>/captcha/new and POST <prefix>/captcha/verify.
+// It returns true when the request was a CAPTCHA endpoint.
+func (m *Middleware) handleCaptcha(w http.ResponseWriter, r *http.Request, key session.Key) bool {
+	prefix := m.cfg.Detector.Config().BeaconPrefix + "/captcha/"
+	if !strings.HasPrefix(r.URL.Path, prefix) {
+		return false
+	}
+	switch strings.TrimPrefix(r.URL.Path, prefix) {
+	case "new":
+		ch := m.cfg.Captcha.Issue(key)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-cache, no-store")
+		fmt.Fprintf(w, "id=%s\nquestion=%s\n", ch.ID, ch.Question)
+	case "verify":
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, "bad form", http.StatusBadRequest)
+			return true
+		}
+		id := r.Form.Get("id")
+		answer := r.Form.Get("answer")
+		if m.cfg.Captcha.Verify(id, answer) {
+			m.cfg.Detector.MarkCaptchaPassed(key)
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		} else {
+			http.Error(w, "wrong answer", http.StatusForbidden)
+		}
+	default:
+		http.NotFound(w, r)
+	}
+	return true
+}
+
+// clientIP extracts the client address.
+func (m *Middleware) clientIP(r *http.Request) string {
+	if m.cfg.TrustForwardedFor {
+		if fwd := r.Header.Get("X-Forwarded-For"); fwd != "" {
+			first := strings.TrimSpace(strings.Split(fwd, ",")[0])
+			if first != "" {
+				return first
+			}
+		}
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// writeDetectorResponse writes a core.Response to the client.
+func writeDetectorResponse(w http.ResponseWriter, resp core.Response) {
+	w.Header().Set("Content-Type", resp.ContentType)
+	if resp.NoCache {
+		w.Header().Set("Cache-Control", "no-cache, no-store")
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp.Body)))
+	w.WriteHeader(resp.Status)
+	_, _ = w.Write(resp.Body)
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// bufferingWriter captures the origin's response for observation and
+// rewriting. Bodies beyond the limit mark the writer as overflowed; content
+// is still captured (callers skip rewriting but still serve it).
+type bufferingWriter struct {
+	header     http.Header
+	statusCode int
+	body       bytes.Buffer
+	limit      int
+	overflowed bool
+}
+
+func (b *bufferingWriter) Header() http.Header { return b.header }
+
+func (b *bufferingWriter) WriteHeader(code int) {
+	if b.statusCode == 0 {
+		b.statusCode = code
+	}
+}
+
+func (b *bufferingWriter) Write(p []byte) (int, error) {
+	if b.statusCode == 0 {
+		b.statusCode = http.StatusOK
+	}
+	if b.body.Len()+len(p) > b.limit {
+		b.overflowed = true
+	}
+	return b.body.Write(p)
+}
+
+func (b *bufferingWriter) status() int {
+	if b.statusCode == 0 {
+		return http.StatusOK
+	}
+	return b.statusCode
+}
+
+// NewReverseProxy builds a middleware that forwards to the given upstream
+// origin URL, protecting an existing site without modifying it (the
+// "protect an origin you do not control" deployment).
+func NewReverseProxy(upstream *url.URL, cfg Config) *Middleware {
+	rp := httputil.NewSingleHostReverseProxy(upstream)
+	return New(rp, cfg)
+}

@@ -1,0 +1,273 @@
+package proxy
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"botdetect/internal/captcha"
+	"botdetect/internal/core"
+	"botdetect/internal/htmlmod"
+	"botdetect/internal/policy"
+	"botdetect/internal/session"
+	"botdetect/internal/webmodel"
+)
+
+func newTestStack(t *testing.T, pol *policy.Engine, cap *captcha.Service) (*Middleware, *core.Detector, *webmodel.Site) {
+	t.Helper()
+	site := webmodel.Generate(webmodel.SiteConfig{Seed: 3, NumPages: 20})
+	det := core.New(core.Config{Seed: 9, ObfuscateJS: false})
+	mw := New(site.Handler(), Config{Detector: det, Policy: pol, Captcha: cap, TrustForwardedFor: true})
+	return mw, det, site
+}
+
+func doReq(t *testing.T, mw http.Handler, method, target, ip, ua string, form url.Values) *httptest.ResponseRecorder {
+	t.Helper()
+	var body io.Reader
+	if form != nil {
+		body = strings.NewReader(form.Encode())
+	}
+	req := httptest.NewRequest(method, target, body)
+	req.RemoteAddr = ip + ":54321"
+	req.Header.Set("User-Agent", ua)
+	if form != nil {
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	}
+	rec := httptest.NewRecorder()
+	mw.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHTMLRewrittenOnTheWayOut(t *testing.T) {
+	mw, det, _ := newTestStack(t, nil, nil)
+	rec := doReq(t, mw, http.MethodGet, "/", "10.0.0.1", "Firefox/1.5", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "/__bd/") {
+		t.Fatal("instrumentation not injected into HTML response")
+	}
+	if cc := rec.Header().Get("Cache-Control"); !strings.Contains(cc, "no-store") {
+		t.Fatalf("Cache-Control = %q", cc)
+	}
+	sum := htmlmod.Extract(rec.Body.Bytes())
+	if !sum.BodyMouseHandler || len(sum.HiddenLinks) != 1 {
+		t.Fatal("rewritten page structure incomplete")
+	}
+	if det.Stats().PagesInstrumented != 1 {
+		t.Fatalf("PagesInstrumented = %d", det.Stats().PagesInstrumented)
+	}
+	// The session observed exactly one request (the page itself).
+	snap, ok := det.Session(session.Key{IP: "10.0.0.1", UserAgent: "Firefox/1.5"})
+	if !ok || snap.Counts.Total != 1 {
+		t.Fatalf("session = %+v, %v", snap, ok)
+	}
+}
+
+func TestNonHTMLPassThrough(t *testing.T) {
+	mw, _, site := newTestStack(t, nil, nil)
+	cssPath := site.Pages()[1].CSS
+	rec := doReq(t, mw, http.MethodGet, cssPath, "10.0.0.2", "Firefox/1.5", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if strings.Contains(rec.Body.String(), "/__bd/") {
+		t.Fatal("non-HTML response was rewritten")
+	}
+	if got := rec.Header().Get("Content-Type"); got != "text/css" {
+		t.Fatalf("content type = %q", got)
+	}
+}
+
+func TestBeaconRoundTripThroughMiddleware(t *testing.T) {
+	mw, det, _ := newTestStack(t, nil, nil)
+	ip, ua := "10.0.0.3", "Firefox/1.5"
+	rec := doReq(t, mw, http.MethodGet, "/", ip, ua, nil)
+	sum := htmlmod.Extract(rec.Body.Bytes())
+
+	// Fetch the injected stylesheet and script like a browser would.
+	var cssPath, scriptPath string
+	for _, s := range sum.Stylesheets {
+		if strings.Contains(s, "/__bd/") {
+			cssPath = s
+		}
+	}
+	for _, s := range sum.Scripts {
+		if strings.Contains(s, "/__bd/") {
+			scriptPath = s
+		}
+	}
+	if cssPath == "" || scriptPath == "" {
+		t.Fatal("instrumentation paths not found in page")
+	}
+	if rec := doReq(t, mw, http.MethodGet, cssPath, ip, ua, nil); rec.Code != http.StatusOK {
+		t.Fatalf("css beacon status = %d", rec.Code)
+	}
+	scriptRec := doReq(t, mw, http.MethodGet, scriptPath, ip, ua, nil)
+	if scriptRec.Code != http.StatusOK || !strings.Contains(scriptRec.Body.String(), "function __bd_f()") {
+		t.Fatal("script beacon not served")
+	}
+	// Extract the real beacon key from the unobfuscated script and fire it.
+	script := scriptRec.Body.String()
+	idx := strings.Index(script, "/__bd/")
+	end := strings.Index(script[idx:], ".jpg")
+	beacon := script[idx : idx+end+len(".jpg")]
+	if rec := doReq(t, mw, http.MethodGet, beacon, ip, ua, nil); rec.Code != http.StatusOK {
+		t.Fatalf("mouse beacon status = %d", rec.Code)
+	}
+
+	v := det.Classify(session.Key{IP: ip, UserAgent: ua})
+	if v.Class != core.ClassHuman || v.Confidence != core.Definite {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestPolicyBlocksAbusiveRobot(t *testing.T) {
+	pol := policy.NewEngine(policy.Config{BlockDuration: time.Hour})
+	mw, det, _ := newTestStack(t, pol, nil)
+	ip, ua := "10.0.0.4", "Firefox/1.5" // forged agent; behaviour gives it away
+	key := session.Key{IP: ip, UserAgent: ua}
+
+	// A CGI-hammering robot that never fetches instrumentation.
+	blocked := false
+	for i := 0; i < 60 && !blocked; i++ {
+		rec := doReq(t, mw, http.MethodGet, "/cgi-bin/app0.cgi?run="+strings.Repeat("x", i%5), ip, ua, nil)
+		if rec.Code == http.StatusForbidden {
+			blocked = true
+		}
+	}
+	if !blocked {
+		t.Fatalf("abusive robot was never blocked; verdict=%+v stats=%+v", det.Classify(key), pol.Stats())
+	}
+	if !pol.IsBlocked(key) {
+		t.Fatal("policy engine does not list the session as blocked")
+	}
+}
+
+func TestCaptchaEndpoints(t *testing.T) {
+	cap := captcha.NewService(captcha.Config{Seed: 5})
+	mw, det, _ := newTestStack(t, nil, cap)
+	ip, ua := "10.0.0.5", "NoJS-Browser"
+
+	rec := doReq(t, mw, http.MethodGet, "/__bd/captcha/new", ip, ua, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("captcha new status = %d", rec.Code)
+	}
+	var id string
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if strings.HasPrefix(line, "id=") {
+			id = strings.TrimPrefix(line, "id=")
+		}
+	}
+	if id == "" {
+		t.Fatalf("no challenge id in response %q", rec.Body.String())
+	}
+	answer, ok := cap.Answer(id)
+	if !ok {
+		t.Fatal("challenge not stored")
+	}
+	form := url.Values{"id": {id}, "answer": {answer}}
+	rec = doReq(t, mw, http.MethodPost, "/__bd/captcha/verify", ip, ua, form)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("captcha verify status = %d: %s", rec.Code, rec.Body.String())
+	}
+	v := det.Classify(session.Key{IP: ip, UserAgent: ua})
+	if v.Class != core.ClassHuman {
+		t.Fatalf("verdict after captcha = %+v", v)
+	}
+
+	// Wrong answer is rejected.
+	rec = doReq(t, mw, http.MethodGet, "/__bd/captcha/new", ip, ua, nil)
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if strings.HasPrefix(line, "id=") {
+			id = strings.TrimPrefix(line, "id=")
+		}
+	}
+	form = url.Values{"id": {id}, "answer": {"wrong"}}
+	if rec := doReq(t, mw, http.MethodPost, "/__bd/captcha/verify", ip, ua, form); rec.Code != http.StatusForbidden {
+		t.Fatalf("wrong answer status = %d", rec.Code)
+	}
+	// Unknown captcha path 404s.
+	if rec := doReq(t, mw, http.MethodGet, "/__bd/captcha/bogus", ip, ua, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("bogus captcha path status = %d", rec.Code)
+	}
+}
+
+func TestXForwardedForTrusted(t *testing.T) {
+	mw, det, _ := newTestStack(t, nil, nil)
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	req.RemoteAddr = "192.0.2.1:9999"
+	req.Header.Set("User-Agent", "Firefox/1.5")
+	req.Header.Set("X-Forwarded-For", "203.0.113.7, 192.0.2.1")
+	rec := httptest.NewRecorder()
+	mw.ServeHTTP(rec, req)
+	if _, ok := det.Session(session.Key{IP: "203.0.113.7", UserAgent: "Firefox/1.5"}); !ok {
+		t.Fatal("X-Forwarded-For client address not used")
+	}
+}
+
+func TestHeadRequestNoBody(t *testing.T) {
+	mw, _, _ := newTestStack(t, nil, nil)
+	rec := doReq(t, mw, http.MethodHead, "/", "10.0.0.6", "Firefox/1.5", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("HEAD response has %d body bytes", rec.Body.Len())
+	}
+}
+
+func TestNotFoundPassthrough(t *testing.T) {
+	mw, det, _ := newTestStack(t, nil, nil)
+	rec := doReq(t, mw, http.MethodGet, "/definitely-missing.html", "10.0.0.7", "Firefox/1.5", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	snap, _ := det.Session(session.Key{IP: "10.0.0.7", UserAgent: "Firefox/1.5"})
+	if snap.Counts.Status4xx != 1 {
+		t.Fatalf("404 not observed: %+v", snap.Counts)
+	}
+}
+
+func TestNewPanicsWithoutDetector(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(http.NotFoundHandler(), Config{})
+}
+
+func TestReverseProxyConstruction(t *testing.T) {
+	origin := httptest.NewServer(webmodel.Generate(webmodel.SiteConfig{Seed: 7, NumPages: 5}).Handler())
+	defer origin.Close()
+	u, err := url.Parse(origin.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.New(core.Config{Seed: 11})
+	mw := NewReverseProxy(u, Config{Detector: det})
+	front := httptest.NewServer(mw)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "/__bd/") {
+		t.Fatal("reverse proxy did not instrument the upstream page")
+	}
+	if mw.Detector() != det {
+		t.Fatal("Detector accessor broken")
+	}
+}

@@ -1,0 +1,384 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"botdetect/internal/clock"
+	"botdetect/internal/logfmt"
+)
+
+func entry(ip, ua, method, path string, status int, referer string, at time.Time) logfmt.Entry {
+	return logfmt.Entry{
+		Time: at, ClientIP: ip, UserAgent: ua, Method: method, Path: path,
+		Status: status, Referer: referer, Bytes: 1000,
+	}
+}
+
+func newTestTracker(cfg Config) (*Tracker, *clock.Virtual) {
+	vc := clock.NewVirtual(time.Time{})
+	cfg.Clock = vc
+	return NewTracker(cfg), vc
+}
+
+func TestObserveCreatesAndCounts(t *testing.T) {
+	tr, vc := newTestTracker(Config{})
+	now := vc.Now()
+	snap := tr.Observe(entry("1.1.1.1", "Firefox", "GET", "/index.html", 200, "", now))
+	if snap.Key != (Key{IP: "1.1.1.1", UserAgent: "Firefox"}) {
+		t.Fatalf("key = %+v", snap.Key)
+	}
+	if snap.Counts.Total != 1 || snap.Counts.HTML != 1 || snap.Counts.Get != 1 {
+		t.Fatalf("counts = %+v", snap.Counts)
+	}
+	if tr.Active() != 1 {
+		t.Fatalf("Active = %d", tr.Active())
+	}
+}
+
+func TestDistinctKeysDistinctSessions(t *testing.T) {
+	tr, vc := newTestTracker(Config{})
+	now := vc.Now()
+	tr.Observe(entry("1.1.1.1", "Firefox", "GET", "/a.html", 200, "", now))
+	tr.Observe(entry("1.1.1.1", "Wget", "GET", "/a.html", 200, "", now))
+	tr.Observe(entry("2.2.2.2", "Firefox", "GET", "/a.html", 200, "", now))
+	if tr.Active() != 3 {
+		t.Fatalf("Active = %d, want 3 (<IP,UA> keying)", tr.Active())
+	}
+}
+
+func TestCountsClassification(t *testing.T) {
+	tr, vc := newTestTracker(Config{})
+	now := vc.Now()
+	ip, ua := "3.3.3.3", "UA"
+	reqs := []logfmt.Entry{
+		entry(ip, ua, "GET", "/index.html", 200, "", now),
+		entry(ip, ua, "GET", "/style.css", 200, "http://site/index.html", now),
+		entry(ip, ua, "GET", "/pic.jpg", 200, "http://site/index.html", now),
+		entry(ip, ua, "HEAD", "/index.html", 200, "", now),
+		entry(ip, ua, "GET", "/cgi-bin/q.cgi?x=1", 302, "http://other-site/ref.html", now),
+		entry(ip, ua, "GET", "/missing.html", 404, "", now),
+		entry(ip, ua, "POST", "/cgi-bin/q.cgi", 500, "", now),
+		entry(ip, ua, "GET", "/favicon.ico", 200, "", now),
+	}
+	var snap Snapshot
+	for _, e := range reqs {
+		snap = tr.Observe(e)
+	}
+	c := snap.Counts
+	if c.Total != 8 {
+		t.Fatalf("Total = %d", c.Total)
+	}
+	if c.Head != 1 || c.Post != 1 || c.Get != 6 {
+		t.Fatalf("methods: %+v", c)
+	}
+	if c.HTML != 3 { // index.html, HEAD index.html, missing.html
+		t.Fatalf("HTML = %d", c.HTML)
+	}
+	if c.Image != 2 { // pic.jpg + favicon.ico
+		t.Fatalf("Image = %d", c.Image)
+	}
+	if c.CGI != 2 {
+		t.Fatalf("CGI = %d", c.CGI)
+	}
+	if c.Favicon != 1 {
+		t.Fatalf("Favicon = %d", c.Favicon)
+	}
+	if c.Embedded != 3 { // style.css, pic.jpg, favicon.ico
+		t.Fatalf("Embedded = %d", c.Embedded)
+	}
+	if c.WithReferrer != 3 {
+		t.Fatalf("WithReferrer = %d", c.WithReferrer)
+	}
+	// /index.html was visited before the css/jpg requests referencing it,
+	// so those two are link-following; the cgi request's referer was never
+	// visited by this session.
+	if c.LinkFollowing != 2 || c.UnseenReferrer != 1 {
+		t.Fatalf("LinkFollowing = %d UnseenReferrer = %d", c.LinkFollowing, c.UnseenReferrer)
+	}
+	if c.Status2xx != 5 || c.Status3xx != 1 || c.Status4xx != 1 || c.Status5xx != 1 {
+		t.Fatalf("status counts: %+v", c)
+	}
+	if c.Bytes != 8000 {
+		t.Fatalf("Bytes = %d", c.Bytes)
+	}
+}
+
+func TestEmbeddedCountExpectation(t *testing.T) {
+	// Keep the embedded-object expectation from the previous test honest:
+	// exactly css, jpg, favicon are embedded there. This test isolates it.
+	tr, vc := newTestTracker(Config{})
+	now := vc.Now()
+	ip, ua := "3.3.3.4", "UA"
+	tr.Observe(entry(ip, ua, "GET", "/style.css", 200, "", now))
+	tr.Observe(entry(ip, ua, "GET", "/pic.jpg", 200, "", now))
+	snap := tr.Observe(entry(ip, ua, "GET", "/favicon.ico", 200, "", now))
+	if snap.Counts.Embedded != 3 {
+		t.Fatalf("Embedded = %d, want 3", snap.Counts.Embedded)
+	}
+}
+
+func TestMarkSignalsAndFirstObservation(t *testing.T) {
+	tr, vc := newTestTracker(Config{})
+	now := vc.Now()
+	key := Key{IP: "4.4.4.4", UserAgent: "Moz"}
+	for i := 0; i < 5; i++ {
+		tr.Observe(entry(key.IP, key.UserAgent, "GET", fmt.Sprintf("/p%d.html", i), 200, "", now))
+	}
+	snap, newly := tr.Mark(key, SignalCSS)
+	if !newly || !snap.Has(SignalCSS) {
+		t.Fatal("first Mark should set the signal")
+	}
+	if at, _ := snap.SignalAt(SignalCSS); at != 5 {
+		t.Fatalf("SignalAt = %d, want 5", at)
+	}
+	// More requests, then a second signal: its first-observation count differs.
+	for i := 5; i < 12; i++ {
+		tr.Observe(entry(key.IP, key.UserAgent, "GET", fmt.Sprintf("/p%d.html", i), 200, "", now))
+	}
+	snap, newly = tr.Mark(key, SignalMouse)
+	if !newly {
+		t.Fatal("mouse signal should be newly set")
+	}
+	if at, _ := snap.SignalAt(SignalMouse); at != 12 {
+		t.Fatalf("mouse SignalAt = %d, want 12", at)
+	}
+	// Re-marking is not "newly" and does not change the request count.
+	snap, newly = tr.Mark(key, SignalCSS)
+	if newly {
+		t.Fatal("second Mark of the same signal should not be newly")
+	}
+	if at, _ := snap.SignalAt(SignalCSS); at != 5 {
+		t.Fatalf("CSS SignalAt changed to %d", at)
+	}
+}
+
+func TestMarkBeforeAnyRequest(t *testing.T) {
+	tr, _ := newTestTracker(Config{})
+	key := Key{IP: "5.5.5.5", UserAgent: "X"}
+	snap, newly := tr.Mark(key, SignalJS)
+	if !newly {
+		t.Fatal("Mark should create the session")
+	}
+	if at, _ := snap.SignalAt(SignalJS); at != 1 {
+		t.Fatalf("signal at %d, want 1", at)
+	}
+	if tr.Active() != 1 {
+		t.Fatal("session not created by Mark")
+	}
+}
+
+func TestIdleTimeoutSplitsSessions(t *testing.T) {
+	var evicted []Snapshot
+	tr, vc := newTestTracker(Config{IdleTimeout: time.Hour, Evicted: func(s Snapshot) { evicted = append(evicted, s) }})
+	key := Key{IP: "6.6.6.6", UserAgent: "UA"}
+	tr.Observe(entry(key.IP, key.UserAgent, "GET", "/a.html", 200, "", vc.Now()))
+	tr.Observe(entry(key.IP, key.UserAgent, "GET", "/b.html", 200, "", vc.Now().Add(30*time.Minute)))
+	// 2 hours later: new session.
+	snap := tr.Observe(entry(key.IP, key.UserAgent, "GET", "/c.html", 200, "", vc.Now().Add(150*time.Minute)))
+	if snap.Counts.Total != 1 {
+		t.Fatalf("new session Total = %d, want 1", snap.Counts.Total)
+	}
+	if len(evicted) != 1 || evicted[0].Counts.Total != 2 {
+		t.Fatalf("evicted = %+v", evicted)
+	}
+	if tr.Ended() != 1 {
+		t.Fatalf("Ended = %d", tr.Ended())
+	}
+}
+
+func TestExpireIdle(t *testing.T) {
+	var evicted int
+	tr, vc := newTestTracker(Config{IdleTimeout: time.Hour, Evicted: func(Snapshot) { evicted++ }})
+	now := vc.Now()
+	for i := 0; i < 10; i++ {
+		tr.Observe(entry(fmt.Sprintf("7.7.7.%d", i), "UA", "GET", "/a.html", 200, "", now))
+	}
+	// Half the sessions stay active (refreshed within the idle timeout).
+	for i := 0; i < 5; i++ {
+		tr.Observe(entry(fmt.Sprintf("7.7.7.%d", i), "UA", "GET", "/b.html", 200, "", now.Add(30*time.Minute)))
+	}
+	n := tr.ExpireIdle(now.Add(80 * time.Minute))
+	if n != 5 || evicted != 5 {
+		t.Fatalf("ExpireIdle = %d, evicted = %d, want 5", n, evicted)
+	}
+	if tr.Active() != 5 {
+		t.Fatalf("Active = %d", tr.Active())
+	}
+}
+
+func TestMaxSessionsEviction(t *testing.T) {
+	var evicted []Snapshot
+	tr, vc := newTestTracker(Config{MaxSessions: 3, Evicted: func(s Snapshot) { evicted = append(evicted, s) }})
+	now := vc.Now()
+	for i := 0; i < 6; i++ {
+		tr.Observe(entry(fmt.Sprintf("8.8.8.%d", i), "UA", "GET", "/a.html", 200, "", now.Add(time.Duration(i)*time.Minute)))
+	}
+	if tr.Active() != 3 {
+		t.Fatalf("Active = %d", tr.Active())
+	}
+	if len(evicted) != 3 {
+		t.Fatalf("evicted %d sessions", len(evicted))
+	}
+	// Oldest sessions were evicted.
+	if evicted[0].Key.IP != "8.8.8.0" {
+		t.Fatalf("first evicted = %s", evicted[0].Key.IP)
+	}
+}
+
+func TestSnapshotsSortedAndFlushAll(t *testing.T) {
+	tr, vc := newTestTracker(Config{})
+	base := vc.Now()
+	tr.Observe(entry("9.9.9.2", "UA", "GET", "/a.html", 200, "", base.Add(2*time.Second)))
+	tr.Observe(entry("9.9.9.1", "UA", "GET", "/a.html", 200, "", base.Add(time.Second)))
+	tr.Observe(entry("9.9.9.3", "UA", "GET", "/a.html", 200, "", base.Add(3*time.Second)))
+	snaps := tr.Snapshots()
+	if len(snaps) != 3 || snaps[0].Key.IP != "9.9.9.1" || snaps[2].Key.IP != "9.9.9.3" {
+		t.Fatalf("snapshots order: %v", []string{snaps[0].Key.IP, snaps[1].Key.IP, snaps[2].Key.IP})
+	}
+	flushed := tr.FlushAll()
+	if len(flushed) != 3 {
+		t.Fatalf("FlushAll returned %d", len(flushed))
+	}
+	if tr.Active() != 0 {
+		t.Fatal("sessions remain after FlushAll")
+	}
+	if tr.Ended() != 3 {
+		t.Fatalf("Ended = %d", tr.Ended())
+	}
+}
+
+func TestGet(t *testing.T) {
+	tr, vc := newTestTracker(Config{})
+	key := Key{IP: "10.0.0.1", UserAgent: "UA"}
+	if _, ok := tr.Get(key); ok {
+		t.Fatal("Get on missing session should report false")
+	}
+	tr.Observe(entry(key.IP, key.UserAgent, "GET", "/a.html", 200, "", vc.Now()))
+	snap, ok := tr.Get(key)
+	if !ok || snap.Counts.Total != 1 {
+		t.Fatalf("Get = %+v, %v", snap, ok)
+	}
+}
+
+func TestSignalStringNames(t *testing.T) {
+	names := map[Signal]string{
+		SignalCSS: "css", SignalJS: "js", SignalMouse: "mouse", SignalHidden: "hidden-link",
+		SignalCaptcha: "captcha", SignalUAMismatch: "ua-mismatch", SignalDecoy: "decoy",
+		SignalReplay: "replay", Signal(99): "unknown",
+	}
+	for sig, want := range names {
+		if sig.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", sig, sig.String(), want)
+		}
+	}
+}
+
+func TestRefererPathNormalisation(t *testing.T) {
+	cases := map[string]string{
+		"http://www.example.com/a/b.html":     "/a/b.html",
+		"http://www.example.com/a/b.html?q=1": "/a/b.html",
+		"https://example.com":                 "/",
+		"/relative/path.html#frag":            "/relative/path.html",
+		"":                                    "/",
+	}
+	for in, want := range cases {
+		if got := refererPath(in); got != want {
+			t.Fatalf("refererPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDurationAndSnapshotIndependence(t *testing.T) {
+	tr, vc := newTestTracker(Config{})
+	key := Key{IP: "11.0.0.1", UserAgent: "UA"}
+	start := vc.Now()
+	tr.Observe(entry(key.IP, key.UserAgent, "GET", "/a.html", 200, "", start))
+	snap1 := tr.Observe(entry(key.IP, key.UserAgent, "GET", "/b.html", 200, "", start.Add(10*time.Minute)))
+	if snap1.Duration() != 10*time.Minute {
+		t.Fatalf("Duration = %v", snap1.Duration())
+	}
+	// Mutating the returned snapshot's map must not affect the tracker.
+	snap1.Signals[SignalCSS] = 1
+	snap2, _ := tr.Get(key)
+	if snap2.Has(SignalCSS) {
+		t.Fatal("snapshot mutation leaked into tracker state")
+	}
+}
+
+func TestConcurrentObserveAndMark(t *testing.T) {
+	tr, vc := newTestTracker(Config{})
+	now := vc.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := Key{IP: fmt.Sprintf("12.0.0.%d", g), UserAgent: "UA"}
+			for i := 0; i < 200; i++ {
+				tr.Observe(entry(key.IP, key.UserAgent, "GET", fmt.Sprintf("/p%d.html", i), 200, "", now))
+				if i%10 == 0 {
+					tr.Mark(key, SignalCSS)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Active() != 8 {
+		t.Fatalf("Active = %d", tr.Active())
+	}
+	for _, s := range tr.Snapshots() {
+		if s.Counts.Total != 200 {
+			t.Fatalf("session %s total = %d", s.Key.IP, s.Counts.Total)
+		}
+		if !s.Has(SignalCSS) {
+			t.Fatalf("session %s missing CSS signal", s.Key.IP)
+		}
+	}
+}
+
+func TestCountsConsistencyProperty(t *testing.T) {
+	tr, vc := newTestTracker(Config{})
+	now := vc.Now()
+	invocation := 0
+	f := func(paths []uint16, statuses []uint8) bool {
+		if len(paths) == 0 {
+			return true
+		}
+		invocation++
+		ip := fmt.Sprintf("13.0.%d.%d", invocation/256, invocation%256)
+		key := Key{IP: ip, UserAgent: "prop"}
+		var snap Snapshot
+		for i, p := range paths {
+			status := 200
+			if i < len(statuses) {
+				status = 200 + int(statuses[i]%4)*100
+			}
+			path := fmt.Sprintf("/f%d.html", p%50)
+			if p%5 == 0 {
+				path = fmt.Sprintf("/img%d.jpg", p%50)
+			}
+			snap = tr.Observe(entry(key.IP, key.UserAgent, "GET", path, status, "", now))
+		}
+		c := snap.Counts
+		if c.Total != int64(len(paths)) {
+			return false
+		}
+		if c.Head+c.Get+c.Post != c.Total {
+			return false
+		}
+		if c.Status2xx+c.Status3xx+c.Status4xx+c.Status5xx > c.Total {
+			return false
+		}
+		if c.WithReferrer != c.LinkFollowing+c.UnseenReferrer {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
