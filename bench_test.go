@@ -12,6 +12,7 @@ package botdetect
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"botdetect/internal/logfmt"
 	"botdetect/internal/rng"
 	"botdetect/internal/session"
+	"botdetect/internal/shard"
 	"botdetect/internal/webmodel"
 )
 
@@ -205,6 +207,82 @@ func BenchmarkHTMLRewrite(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		htmlmod.Rewrite(page, inj)
+	}
+}
+
+// --- contention benchmarks for the sharded engine ---------------------------
+//
+// Each benchmark runs the same parallel workload against a single-shard
+// engine (the seed's single-global-mutex behaviour) and the default sharded
+// engine. Compare the shards=1 and sharded ns/op at GOMAXPROCS >= 8 to see
+// the fan-out win; the sharded variant must scale with cores where the
+// single lock serialises.
+
+// benchClientIPs returns a pool of client IPs reused by all goroutines, so
+// sessions overlap across goroutines and shard locks are genuinely shared.
+func benchClientIPs(n int) []string {
+	ips := make([]string, n)
+	for i := range ips {
+		ips[i] = fmt.Sprintf("10.%d.%d.%d", i/65536%256, i/256%256, i%256)
+	}
+	return ips
+}
+
+// BenchmarkObserveRequestParallel measures concurrent per-request session
+// accounting through the engine.
+func BenchmarkObserveRequestParallel(b *testing.B) {
+	ips := benchClientIPs(1024)
+	at := time.Date(2006, 1, 6, 0, 0, 0, 0, time.UTC)
+	for _, shards := range []int{1, 0} { // 0 = default shard count
+		name := fmt.Sprintf("shards=%d", shards)
+		if shards == 0 {
+			name = fmt.Sprintf("shards=%d", shard.DefaultShards)
+		}
+		b.Run(name, func(b *testing.B) {
+			det := core.New(core.Config{Seed: 1, Shards: shards})
+			var next atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(next.Add(1)) * 7919 // offset goroutines into the pool
+				for pb.Next() {
+					det.ObserveRequest(logfmt.Entry{
+						Time: at, ClientIP: ips[i%len(ips)], UserAgent: "Firefox/1.5",
+						Method: "GET", Path: "/page1.html", Status: 200, Bytes: 4096,
+						ContentType: "text/html",
+					})
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkHandleBeaconParallel measures concurrent beacon handling (CSS
+// signal marking plus keystore validation of unknown keys).
+func BenchmarkHandleBeaconParallel(b *testing.B) {
+	ips := benchClientIPs(1024)
+	for _, shards := range []int{1, 0} {
+		name := fmt.Sprintf("shards=%d", shards)
+		if shards == 0 {
+			name = fmt.Sprintf("shards=%d", shard.DefaultShards)
+		}
+		b.Run(name, func(b *testing.B) {
+			det := core.New(core.Config{Seed: 2, Shards: shards})
+			_, inst := det.InstrumentPage("10.0.0.1", "Firefox/1.5", "/", []byte("<html><head></head><body></body></html>"))
+			prefix := det.Config().BeaconPrefix
+			var next atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(next.Add(1)) * 7919
+				for pb.Next() {
+					ip := ips[i%len(ips)]
+					if i%2 == 0 {
+						det.HandleBeacon(ip, "Firefox/1.5", inst.CSSPath)
+					} else {
+						det.HandleBeacon(ip, "Firefox/1.5", prefix+"/0000000000.jpg")
+					}
+					i++
+				}
+			})
+		})
 	}
 }
 

@@ -47,7 +47,7 @@ func main() {
 		ObfuscateJS: *obfuscate,
 		Seed:        *seed,
 	})
-	cfg := proxy.Config{Detector: det, TrustForwardedFor: true}
+	cfg := proxy.Config{Engine: det, TrustForwardedFor: true}
 	if *withPol {
 		cfg.Policy = policy.NewEngine(policy.Config{})
 	}
@@ -69,6 +69,11 @@ func main() {
 		log.Printf("botproxy: serving built-in site (%d pages) on %s", site.NumPages(), *addr)
 	}
 
+	// Amortised idle-session expiry: one shard swept per tick, so no request
+	// ever pays for a full-table sweep.
+	stopSweeper := det.StartSweeper(time.Minute)
+	defer stopSweeper()
+
 	mux := http.NewServeMux()
 	mux.Handle("/", mw)
 	mux.HandleFunc("/__bd/status", func(w http.ResponseWriter, r *http.Request) {
@@ -84,7 +89,7 @@ func main() {
 }
 
 // writeStatus renders a plain-text overview of live sessions and verdicts.
-func writeStatus(w http.ResponseWriter, det *core.Detector) {
+func writeStatus(w http.ResponseWriter, det *core.Engine) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	stats := det.Stats()
 	fmt.Fprintf(w, "pages instrumented: %d\n", stats.PagesInstrumented)

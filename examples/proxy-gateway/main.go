@@ -45,9 +45,9 @@ func main() {
 	detector := core.New(core.Config{ObfuscateJS: true, Seed: 99})
 	engine := policy.NewEngine(policy.Config{})
 	gateway := proxy.NewReverseProxy(originURL, proxy.Config{
-		Detector: detector,
-		Policy:   engine,
-		Captcha:  captcha.NewService(captcha.Config{Seed: 99}),
+		Engine:  detector,
+		Policy:  engine,
+		Captcha: captcha.NewService(captcha.Config{Seed: 99}),
 	})
 	front := httptest.NewServer(gateway)
 	defer front.Close()

@@ -34,7 +34,7 @@ func main() {
 
 	// 2. Wrap it with the detector middleware.
 	detector := core.New(core.Config{ObfuscateJS: true, Seed: 42})
-	protected := proxy.New(app, proxy.Config{Detector: detector})
+	protected := proxy.New(app, proxy.Config{Engine: detector})
 
 	// 3. Serve it (httptest keeps this example self-contained; in production
 	//    pass `protected` to http.ListenAndServe).

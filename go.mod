@@ -1,0 +1,3 @@
+module botdetect
+
+go 1.24

@@ -13,11 +13,11 @@ import (
 	"botdetect/internal/webmodel"
 )
 
-// testClient wires agents to a synthetic site through a Detector the way the
+// testClient wires agents to a synthetic site through an Engine the way the
 // CDN simulator does, so agent behaviour can be verified end to end.
 type testClient struct {
 	site *webmodel.Site
-	det  *core.Detector
+	det  *core.Engine
 }
 
 func newTestClient(seed uint64, obfuscate bool) *testClient {

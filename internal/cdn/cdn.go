@@ -26,8 +26,8 @@ type NodeConfig struct {
 	Name string
 	// Site is the origin content the node serves; required.
 	Site *webmodel.Site
-	// Detector is the node's detection engine; required.
-	Detector *core.Detector
+	// Engine is the node's detection engine; required.
+	Engine *core.Engine
 	// Policy optionally enforces throttling/blocking.
 	Policy *policy.Engine
 	// Captcha optionally backs the CAPTCHA endpoints.
@@ -57,11 +57,11 @@ type Node struct {
 	entries []logfmt.Entry
 }
 
-// NewNode creates a Node. It panics when Site or Detector are missing since
+// NewNode creates a Node. It panics when Site or Engine are missing since
 // the node cannot operate without them.
 func NewNode(cfg NodeConfig) *Node {
-	if cfg.Site == nil || cfg.Detector == nil {
-		panic("cdn: NodeConfig.Site and NodeConfig.Detector are required")
+	if cfg.Site == nil || cfg.Engine == nil {
+		panic("cdn: NodeConfig.Site and NodeConfig.Engine are required")
 	}
 	return &Node{cfg: cfg}
 }
@@ -69,8 +69,8 @@ func NewNode(cfg NodeConfig) *Node {
 // Name returns the node's name.
 func (n *Node) Name() string { return n.cfg.Name }
 
-// Detector returns the node's detection engine.
-func (n *Node) Detector() *core.Detector { return n.cfg.Detector }
+// Engine returns the node's detection engine.
+func (n *Node) Engine() *core.Engine { return n.cfg.Engine }
 
 // Stats returns a copy of the node's counters.
 func (n *Node) Stats() NodeStats {
@@ -103,7 +103,7 @@ func (n *Node) Do(req agents.Request) agents.Response {
 	n.mu.Unlock()
 
 	key := session.Key{IP: req.IP, UserAgent: req.UserAgent}
-	d := n.cfg.Detector
+	d := n.cfg.Engine
 
 	// The optional CAPTCHA participation pseudo-path: issue a challenge and
 	// have the (simulated) human solve it.
@@ -187,7 +187,7 @@ func (n *Node) observe(req agents.Request, status int, contentType string, bytes
 		Time: req.Time, ClientIP: req.IP, UserAgent: req.UserAgent, Method: req.Method,
 		Path: req.Path, Status: status, Bytes: bytes, Referer: req.Referer, ContentType: contentType,
 	}
-	n.cfg.Detector.ObserveRequest(entry)
+	n.cfg.Engine.ObserveRequest(entry)
 	n.mu.Lock()
 	if n.cfg.LogWriter != nil {
 		_ = n.cfg.LogWriter.Write(entry)
@@ -222,11 +222,11 @@ func NewNetwork(numNodes int, site *webmodel.Site, detCfg core.Config, withPolic
 			pol = policy.NewEngine(policy.Config{Clock: detCfg.Clock})
 		}
 		node := NewNode(NodeConfig{
-			Name:     nodeName(i),
-			Site:     site,
-			Detector: core.New(cfg),
-			Policy:   pol,
-			Captcha:  captcha.NewService(captcha.Config{Seed: src.Uint64(), Clock: detCfg.Clock}),
+			Name:    nodeName(i),
+			Site:    site,
+			Engine:  core.New(cfg),
+			Policy:  pol,
+			Captcha: captcha.NewService(captcha.Config{Seed: src.Uint64(), Clock: detCfg.Clock}),
 		})
 		net.nodes = append(net.nodes, node)
 	}
@@ -259,7 +259,7 @@ func (n *Network) Do(req agents.Request) agents.Response {
 func (n *Network) FlushSessions() []core.ClassifiedSession {
 	var out []core.ClassifiedSession
 	for _, node := range n.nodes {
-		out = append(out, node.Detector().FlushSessions()...)
+		out = append(out, node.Engine().FlushSessions()...)
 	}
 	return out
 }
@@ -279,11 +279,11 @@ func (n *Network) TotalStats() NodeStats {
 	return total
 }
 
-// DetectorStats aggregates detector counters across nodes.
-func (n *Network) DetectorStats() core.Stats {
+// EngineStats aggregates detection-engine counters across nodes.
+func (n *Network) EngineStats() core.Stats {
 	var total core.Stats
 	for _, node := range n.nodes {
-		s := node.Detector().Stats()
+		s := node.Engine().Stats()
 		total.PagesInstrumented += s.PagesInstrumented
 		total.OriginalBytes += s.OriginalBytes
 		total.AddedBytes += s.AddedBytes

@@ -25,7 +25,7 @@ func testNode(t *testing.T, withPolicy bool) (*Node, *clock.Virtual) {
 		pol = policy.NewEngine(policy.Config{Clock: vc})
 	}
 	return NewNode(NodeConfig{
-		Name: "codeen-test", Site: site, Detector: det, Policy: pol,
+		Name: "codeen-test", Site: site, Engine: det, Policy: pol,
 		Captcha: captcha.NewService(captcha.Config{Seed: 3, Clock: vc}), RecordEntries: true,
 	}), vc
 }
@@ -45,7 +45,7 @@ func TestNodeServesAndInstruments(t *testing.T) {
 	if len(n.Entries()) != 1 {
 		t.Fatalf("entries = %d", len(n.Entries()))
 	}
-	if n.Name() != "codeen-test" || n.Detector() == nil {
+	if n.Name() != "codeen-test" || n.Engine() == nil {
 		t.Fatal("accessors broken")
 	}
 }
@@ -65,7 +65,7 @@ func TestNodeBeaconHandling(t *testing.T) {
 	if n.Stats().InstrumentationHits != 1 {
 		t.Fatalf("stats = %+v", n.Stats())
 	}
-	snap, _ := n.Detector().Session(session.Key{IP: "10.0.0.2", UserAgent: "Firefox"})
+	snap, _ := n.Engine().Session(session.Key{IP: "10.0.0.2", UserAgent: "Firefox"})
 	if !snap.Has(session.SignalCSS) {
 		t.Fatal("CSS signal not recorded")
 	}
@@ -80,7 +80,7 @@ func TestNodeCaptchaSolvePath(t *testing.T) {
 	if n.Stats().CaptchaSolved != 1 {
 		t.Fatalf("stats = %+v", n.Stats())
 	}
-	snap, _ := n.Detector().Session(session.Key{IP: "10.0.0.3", UserAgent: "Firefox"})
+	snap, _ := n.Engine().Session(session.Key{IP: "10.0.0.3", UserAgent: "Firefox"})
 	if !snap.Has(session.SignalCaptcha) {
 		t.Fatal("captcha signal not recorded")
 	}
@@ -145,7 +145,7 @@ func TestNetworkRoutingStableAndComplete(t *testing.T) {
 	}
 }
 
-func TestNetworkFlushAndDetectorStats(t *testing.T) {
+func TestNetworkFlushAndEngineStats(t *testing.T) {
 	vc := clock.NewVirtual(time.Time{})
 	site := webmodel.Generate(webmodel.SiteConfig{Seed: 9, NumPages: 10})
 	net := NewNetwork(3, site, core.Config{Clock: vc}, false, 11)
@@ -153,7 +153,7 @@ func TestNetworkFlushAndDetectorStats(t *testing.T) {
 		ip := "10.9.0." + string(rune('0'+i%10))
 		net.Do(agents.Request{Time: vc.Now(), IP: ip, UserAgent: "UA", Method: "GET", Path: "/"})
 	}
-	stats := net.DetectorStats()
+	stats := net.EngineStats()
 	if stats.PagesInstrumented != 30 {
 		t.Fatalf("PagesInstrumented = %d", stats.PagesInstrumented)
 	}

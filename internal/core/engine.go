@@ -5,10 +5,18 @@
 //
 //	S_H = (S_CSS ∪ S_MM) − (S_JS − S_MM)
 //
-// The Detector is transport-agnostic: callers (the HTTP proxy middleware in
-// internal/proxy, the CoDeeN-scale simulator in internal/cdn, and the offline
-// log analyzer) feed it page bodies and request observations and receive
-// rewritten pages, beacon responses and per-session verdicts.
+// The Engine is the concurrency facade over the detection pipeline: it owns
+// the sharded session tracker, the sharded key store, a sharded cache of
+// generated scripts and atomic counters, and fans every request out to
+// exactly one shard of each, so the hot path (ObserveRequest, HandleBeacon)
+// scales with cores instead of serialising on global mutexes. Reads
+// (Classify, Session) are lock-free, and idle-session expiry is amortised
+// shard by shard — there is no stop-the-world sweep.
+//
+// The Engine is transport-agnostic: callers (the HTTP proxy middleware in
+// internal/proxy, the CoDeeN-scale simulator in internal/cdn, and the
+// offline log analyzer) feed it page bodies and request observations and
+// receive rewritten pages, beacon responses and per-session verdicts.
 package core
 
 import (
@@ -17,6 +25,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"botdetect/internal/clock"
@@ -24,15 +33,15 @@ import (
 	"botdetect/internal/jsgen"
 	"botdetect/internal/keystore"
 	"botdetect/internal/logfmt"
-	"botdetect/internal/rng"
 	"botdetect/internal/session"
+	"botdetect/internal/shard"
 )
 
-// Class is the detector's decision about a session's traffic source.
+// Class is the engine's decision about a session's traffic source.
 type Class int
 
 const (
-	// ClassUndecided means the detector has not yet seen enough evidence.
+	// ClassUndecided means the engine has not yet seen enough evidence.
 	ClassUndecided Class = iota
 	// ClassHuman means the traffic source is a human user.
 	ClassHuman
@@ -110,7 +119,7 @@ type Response struct {
 	NoCache bool
 }
 
-// Config controls the Detector.
+// Config controls the Engine.
 type Config struct {
 	// BeaconPrefix is the path prefix reserved for instrumentation objects
 	// (default "/__bd"). It should not collide with origin content.
@@ -133,12 +142,19 @@ type Config struct {
 	MaxSessions int
 	// MaxScripts bounds retained generated scripts awaiting download.
 	MaxScripts int
+	// Shards is the shard count for the session table, the key store and the
+	// script cache, rounded up to a power of two (default
+	// shard.DefaultShards). Use 1 to recover the strict global-LRU
+	// semantics of a single-lock engine at the cost of concurrency.
+	Shards int
 	// Seed drives key and script generation.
 	Seed uint64
 	// Clock supplies time; defaults to the wall clock.
 	Clock clock.Clock
 	// OnSessionEnd, when non-nil, receives every session that ends together
-	// with its final verdict.
+	// with its final verdict. It can fire from any goroutine that triggers
+	// an eviction — concurrently with itself — so it must be safe for
+	// concurrent use.
 	OnSessionEnd func(ClassifiedSession)
 }
 
@@ -164,13 +180,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxScripts <= 0 {
 		c.MaxScripts = 65536
 	}
+	c.Shards = shard.Normalize(c.Shards)
 	if c.Clock == nil {
 		c.Clock = clock.System
 	}
 	return c
 }
 
-// Stats are the detector's cumulative counters.
+// Stats are the engine's cumulative counters.
 type Stats struct {
 	// PagesInstrumented counts HTML pages rewritten.
 	PagesInstrumented int64
@@ -192,60 +209,98 @@ type Stats struct {
 	UAMismatches   int64
 }
 
+// engineStats is the internal atomic mirror of Stats: every counter is an
+// independent atomic so beacon handling on different cores never contends.
+type engineStats struct {
+	pagesInstrumented atomic.Int64
+	originalBytes     atomic.Int64
+	addedBytes        atomic.Int64
+	mouseBeacons      atomic.Int64
+	decoyBeacons      atomic.Int64
+	replayBeacons     atomic.Int64
+	unknownBeacons    atomic.Int64
+	execBeacons       atomic.Int64
+	cssBeacons        atomic.Int64
+	scriptServes      atomic.Int64
+	hiddenHits        atomic.Int64
+	uaReports         atomic.Int64
+	uaMismatches      atomic.Int64
+}
+
 type storedScript struct {
 	token   string
 	body    []byte
 	element *list.Element
 }
 
-// Detector is the robot-detection engine. It is safe for concurrent use.
-type Detector struct {
+// scriptShard is one independently locked partition of the generated-script
+// cache (scripts are stored at page-rewrite time and served on download).
+type scriptShard struct {
+	mu      sync.Mutex
+	scripts map[string]*storedScript
+	lru     *list.List
+	max     int
+}
+
+// Engine is the robot-detection engine. It is safe for concurrent use; see
+// the package comment for the sharding design.
+type Engine struct {
 	cfg  Config
 	keys *keystore.Store
 	gen  *jsgen.Generator
 
 	sessions *session.Tracker
 
-	mu      sync.Mutex
-	src     *rng.Source
-	scripts map[string]*storedScript
-	lru     *list.List
-	stats   Stats
+	scriptShards []*scriptShard
+	scriptMask   uint64
+
+	seedSeq atomic.Uint64
+	stats   engineStats
 }
 
-// New creates a Detector.
-func New(cfg Config) *Detector {
+// New creates an Engine.
+func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	d := &Detector{
+	e := &Engine{
 		cfg: cfg,
 		gen: jsgen.NewGenerator(),
 		keys: keystore.New(keystore.Config{
 			Decoys:    cfg.Decoys,
 			KeyDigits: cfg.KeyDigits,
 			TTL:       cfg.SessionIdleTimeout,
+			Shards:    cfg.Shards,
 			Seed:      cfg.Seed,
 			Clock:     cfg.Clock,
 		}),
-		src:     rng.New(cfg.Seed).Fork("core"),
-		scripts: make(map[string]*storedScript),
-		lru:     list.New(),
 	}
-	d.sessions = session.NewTracker(session.Config{
+	e.sessions = session.NewTracker(session.Config{
 		IdleTimeout: cfg.SessionIdleTimeout,
 		MaxSessions: cfg.MaxSessions,
+		Shards:      cfg.Shards,
 		Clock:       cfg.Clock,
-		Evicted:     d.sessionEnded,
+		Evicted:     e.sessionEnded,
 	})
-	return d
+	shards := e.sessions.ShardCount()
+	perShard := shard.PerShardCap(cfg.MaxScripts, shards)
+	e.scriptShards = make([]*scriptShard, shards)
+	e.scriptMask = uint64(shards - 1)
+	for i := range e.scriptShards {
+		e.scriptShards[i] = &scriptShard{
+			scripts: make(map[string]*storedScript),
+			lru:     list.New(),
+			max:     perShard,
+		}
+	}
+	return e
 }
 
 // sessionEnded forwards finished sessions (with final verdicts) to the
 // configured callback.
-func (d *Detector) sessionEnded(snap session.Snapshot) {
-	if d.cfg.OnSessionEnd == nil {
+func (e *Engine) sessionEnded(snap session.Snapshot) {
+	if e.cfg.OnSessionEnd == nil {
 		return
 	}
-	d.cfg.OnSessionEnd(ClassifiedSession{Snapshot: snap, Verdict: d.ClassifySnapshot(snap)})
+	e.cfg.OnSessionEnd(ClassifiedSession{Snapshot: snap, Verdict: e.ClassifySnapshot(snap)})
 }
 
 // Instrumented describes what InstrumentPage injected for one page view.
@@ -261,46 +316,51 @@ type Instrumented struct {
 	AddedBytes int
 }
 
+// scriptSeed derives a fresh per-page obfuscation seed without any lock: a
+// SplitMix64 step over an atomic sequence keyed by the engine seed. The
+// sequence is deterministic for a single-threaded caller, which keeps
+// simulator runs reproducible from one seed.
+func (e *Engine) scriptSeed() uint64 {
+	z := (e.cfg.Seed ^ 0x9e3779b97f4a7c15) + e.seedSeq.Add(1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // InstrumentPage rewrites one HTML page served to clientIP/userAgent:
 // it issues fresh keys, generates the per-page obfuscated script, injects
 // the beacon stylesheet, the external script, the inline user-agent
 // reporter, the body event handlers, and the hidden trap link. The rewritten
 // page and a description of the injections are returned. Non-HTML bodies
 // should not be passed.
-func (d *Detector) InstrumentPage(clientIP, userAgent, pagePath string, html []byte) ([]byte, Instrumented) {
-	iss := d.keys.Issue(clientIP, pagePath)
-	prefix := d.cfg.BeaconPrefix
+func (e *Engine) InstrumentPage(clientIP, userAgent, pagePath string, html []byte) ([]byte, Instrumented) {
+	iss := e.keys.Issue(clientIP, pagePath)
+	prefix := e.cfg.BeaconPrefix
 
-	d.mu.Lock()
-	seed := d.src.Uint64()
-	d.mu.Unlock()
-
-	script := d.gen.Script(jsgen.Params{
-		BeaconBase:   d.cfg.BeaconBase,
+	script := e.gen.Script(jsgen.Params{
+		BeaconBase:   e.cfg.BeaconBase,
 		BeaconPrefix: prefix,
 		RealKey:      iss.Key,
 		DecoyKeys:    iss.Decoys,
 		UAReportKey:  iss.ScriptToken,
-		Obfuscate:    d.cfg.ObfuscateJS,
-		Seed:         seed,
+		Obfuscate:    e.cfg.ObfuscateJS,
+		Seed:         e.scriptSeed(),
 	})
-	d.storeScript(iss.ScriptToken, []byte(script))
+	e.storeScript(iss.ScriptToken, []byte(script))
 
 	inj := htmlmod.Injection{
-		CSSHref:      d.cfg.BeaconBase + jsgen.CSSPath(prefix, iss.CSSToken),
-		ScriptSrc:    d.cfg.BeaconBase + jsgen.ScriptPath(prefix, iss.ScriptToken),
-		InlineScript: jsgen.InlineUAScript(d.cfg.BeaconBase, prefix, iss.ScriptToken),
-		HandlerName:  d.gen.HandlerName,
-		HiddenHref:   d.cfg.BeaconBase + jsgen.HiddenPath(prefix, iss.HiddenToken),
-		HiddenImgSrc: d.cfg.BeaconBase + jsgen.TransparentImagePath(prefix),
+		CSSHref:      e.cfg.BeaconBase + jsgen.CSSPath(prefix, iss.CSSToken),
+		ScriptSrc:    e.cfg.BeaconBase + jsgen.ScriptPath(prefix, iss.ScriptToken),
+		InlineScript: jsgen.InlineUAScript(e.cfg.BeaconBase, prefix, iss.ScriptToken),
+		HandlerName:  e.gen.HandlerName,
+		HiddenHref:   e.cfg.BeaconBase + jsgen.HiddenPath(prefix, iss.HiddenToken),
+		HiddenImgSrc: e.cfg.BeaconBase + jsgen.TransparentImagePath(prefix),
 	}
 	res := htmlmod.Rewrite(html, inj)
 
-	d.mu.Lock()
-	d.stats.PagesInstrumented++
-	d.stats.OriginalBytes += int64(len(html))
-	d.stats.AddedBytes += int64(res.AddedBytes)
-	d.mu.Unlock()
+	e.stats.pagesInstrumented.Add(1)
+	e.stats.originalBytes.Add(int64(len(html)))
+	e.stats.addedBytes.Add(int64(res.AddedBytes))
 
 	return res.HTML, Instrumented{
 		Issued:     iss,
@@ -311,54 +371,61 @@ func (d *Detector) InstrumentPage(clientIP, userAgent, pagePath string, html []b
 	}
 }
 
-func (d *Detector) storeScript(token string, body []byte) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if old, ok := d.scripts[token]; ok {
+func (e *Engine) scriptShard(token string) *scriptShard {
+	return e.scriptShards[shard.HashString(token)&e.scriptMask]
+}
+
+func (e *Engine) storeScript(token string, body []byte) {
+	sh := e.scriptShard(token)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.scripts[token]; ok {
 		old.body = body
-		d.lru.MoveToFront(old.element)
+		sh.lru.MoveToFront(old.element)
 		return
 	}
 	s := &storedScript{token: token, body: body}
-	s.element = d.lru.PushFront(s)
-	d.scripts[token] = s
-	for len(d.scripts) > d.cfg.MaxScripts {
-		back := d.lru.Back()
+	s.element = sh.lru.PushFront(s)
+	sh.scripts[token] = s
+	for len(sh.scripts) > sh.max {
+		back := sh.lru.Back()
 		if back == nil {
 			break
 		}
 		victim := back.Value.(*storedScript)
-		d.lru.Remove(back)
-		delete(d.scripts, victim.token)
+		sh.lru.Remove(back)
+		delete(sh.scripts, victim.token)
 	}
 }
 
-func (d *Detector) loadScript(token string) ([]byte, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	s, ok := d.scripts[token]
+func (e *Engine) loadScript(token string) ([]byte, bool) {
+	sh := e.scriptShard(token)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.scripts[token]
 	if !ok {
 		return nil, false
 	}
-	d.lru.MoveToFront(s.element)
+	sh.lru.MoveToFront(s.element)
 	return s.body, true
 }
 
 // ObserveRequest records one ordinary (non-instrumentation) request for
-// session tracking and returns the session's snapshot.
-func (d *Detector) ObserveRequest(e logfmt.Entry) session.Snapshot {
-	return d.sessions.Observe(e)
+// session tracking and returns the session's snapshot. Only the session's
+// shard is locked.
+func (e *Engine) ObserveRequest(ent logfmt.Entry) session.Snapshot {
+	return e.sessions.Observe(ent)
 }
 
 // IsInstrumentationPath reports whether the request path belongs to the
-// detector's reserved prefix and should be routed to HandleBeacon instead of
+// engine's reserved prefix and should be routed to HandleBeacon instead of
 // the origin.
-func (d *Detector) IsInstrumentationPath(path string) bool {
+func (e *Engine) IsInstrumentationPath(path string) bool {
 	clean := path
 	if i := strings.IndexByte(clean, '?'); i >= 0 {
 		clean = clean[:i]
 	}
-	return strings.HasPrefix(clean, d.cfg.BeaconPrefix+"/")
+	return strings.HasPrefix(clean, e.cfg.BeaconPrefix+"/")
 }
 
 var (
@@ -372,13 +439,14 @@ var (
 // HandleBeacon processes a request under the instrumentation prefix for the
 // given client, updating the session's detection signals, and returns the
 // response to serve. ok is false when the path is not an instrumentation
-// path (the caller should forward it to the origin instead).
-func (d *Detector) HandleBeacon(clientIP, userAgent, path string) (Response, bool) {
-	if !d.IsInstrumentationPath(path) {
+// path (the caller should forward it to the origin instead). At most one
+// session shard and one keystore shard are locked per call.
+func (e *Engine) HandleBeacon(clientIP, userAgent, path string) (Response, bool) {
+	if !e.IsInstrumentationPath(path) {
 		return Response{}, false
 	}
 	key := session.Key{IP: clientIP, UserAgent: userAgent}
-	rest := strings.TrimPrefix(path, d.cfg.BeaconPrefix+"/")
+	rest := strings.TrimPrefix(path, e.cfg.BeaconPrefix+"/")
 	query := ""
 	if i := strings.IndexByte(rest, '?'); i >= 0 {
 		query = rest[i+1:]
@@ -388,27 +456,27 @@ func (d *Detector) HandleBeacon(clientIP, userAgent, path string) (Response, boo
 	switch {
 	case strings.HasPrefix(rest, "js/") && strings.HasSuffix(rest, ".gif"):
 		// JavaScript-execution beacon with the reported user agent.
-		d.sessions.Mark(key, session.SignalJS)
-		d.bump(func(s *Stats) { s.ExecBeacons++ })
+		e.sessions.Mark(key, session.SignalJS)
+		e.stats.execBeacons.Add(1)
 		if agent := queryParam(query, "ua"); agent != "" {
-			d.checkUAMismatch(key, userAgent, agent)
+			e.checkUAMismatch(key, userAgent, agent)
 		}
 		return Response{Status: 200, ContentType: "image/gif", Body: tinyGIF, NoCache: true}, true
 
 	case strings.HasPrefix(rest, "ua/"):
 		// document.write stylesheet report: ua/<token>/<agent>.css
-		d.sessions.Mark(key, session.SignalJS)
-		d.bump(func(s *Stats) { s.UAReports++ })
+		e.sessions.Mark(key, session.SignalJS)
+		e.stats.uaReports.Add(1)
 		parts := strings.SplitN(rest, "/", 3)
 		if len(parts) == 3 {
 			agent := strings.TrimSuffix(parts[2], ".css")
-			d.checkUAMismatch(key, userAgent, agent)
+			e.checkUAMismatch(key, userAgent, agent)
 		}
 		return Response{Status: 200, ContentType: "text/css", Body: emptyCSS, NoCache: true}, true
 
 	case strings.HasPrefix(rest, "hidden/"):
-		d.sessions.Mark(key, session.SignalHidden)
-		d.bump(func(s *Stats) { s.HiddenHits++ })
+		e.sessions.Mark(key, session.SignalHidden)
+		e.stats.hiddenHits.Add(1)
 		return Response{Status: 200, ContentType: "text/html", Body: hiddenPage, NoCache: true}, true
 
 	case rest == "transp_1x1.gif":
@@ -416,37 +484,38 @@ func (d *Detector) HandleBeacon(clientIP, userAgent, path string) (Response, boo
 
 	case strings.HasPrefix(rest, "index_") && strings.HasSuffix(rest, ".js"):
 		token := strings.TrimSuffix(strings.TrimPrefix(rest, "index_"), ".js")
-		d.sessions.Mark(key, session.SignalJSFile)
-		d.bump(func(s *Stats) { s.ScriptServes++ })
-		body, ok := d.loadScript(token)
+		e.sessions.Mark(key, session.SignalJSFile)
+		e.stats.scriptServes.Add(1)
+		body, ok := e.loadScript(token)
 		if !ok {
 			body = fallbackJS
 		}
-		d.bump(func(s *Stats) { s.AddedBytes += int64(len(body)) })
+		e.stats.addedBytes.Add(int64(len(body)))
 		return Response{Status: 200, ContentType: "application/javascript", Body: body, NoCache: true}, true
 
 	case strings.HasSuffix(rest, ".css"):
-		d.sessions.Mark(key, session.SignalCSS)
-		d.bump(func(s *Stats) { s.CSSBeacons++; s.AddedBytes += int64(len(emptyCSS)) })
+		e.sessions.Mark(key, session.SignalCSS)
+		e.stats.cssBeacons.Add(1)
+		e.stats.addedBytes.Add(int64(len(emptyCSS)))
 		return Response{Status: 200, ContentType: "text/css", Body: emptyCSS, NoCache: true}, true
 
 	case strings.HasSuffix(rest, ".jpg"):
 		keyStr := strings.TrimSuffix(rest, ".jpg")
-		verdict := d.keys.Validate(clientIP, keyStr)
+		verdict := e.keys.Validate(clientIP, keyStr)
 		switch verdict {
 		case keystore.Human:
-			d.sessions.Mark(key, session.SignalMouse)
-			d.bump(func(s *Stats) { s.MouseBeacons++ })
+			e.sessions.Mark(key, session.SignalMouse)
+			e.stats.mouseBeacons.Add(1)
 		case keystore.Decoy:
-			d.sessions.Mark(key, session.SignalDecoy)
-			d.bump(func(s *Stats) { s.DecoyBeacons++ })
+			e.sessions.Mark(key, session.SignalDecoy)
+			e.stats.decoyBeacons.Add(1)
 		case keystore.Replayed:
-			d.sessions.Mark(key, session.SignalReplay)
-			d.bump(func(s *Stats) { s.ReplayBeacons++ })
+			e.sessions.Mark(key, session.SignalReplay)
+			e.stats.replayBeacons.Add(1)
 		default:
 			// A key the server never issued: a guess or a stale replay.
-			d.sessions.Mark(key, session.SignalDecoy)
-			d.bump(func(s *Stats) { s.UnknownBeacons++ })
+			e.sessions.Mark(key, session.SignalDecoy)
+			e.stats.unknownBeacons.Add(1)
 		}
 		return Response{Status: 200, ContentType: "image/jpeg", Body: tinyJPEG, NoCache: true}, true
 
@@ -458,7 +527,7 @@ func (d *Detector) HandleBeacon(clientIP, userAgent, path string) (Response, boo
 // checkUAMismatch compares the JavaScript-reported agent string with the
 // User-Agent header (both normalised the way the injected script normalises
 // them) and marks the session on mismatch.
-func (d *Detector) checkUAMismatch(key session.Key, headerUA, reported string) {
+func (e *Engine) checkUAMismatch(key session.Key, headerUA, reported string) {
 	if unescaped, err := url.PathUnescape(reported); err == nil {
 		reported = unescaped
 	}
@@ -471,8 +540,8 @@ func (d *Detector) checkUAMismatch(key session.Key, headerUA, reported string) {
 		return
 	}
 	if want != got {
-		d.sessions.Mark(key, session.SignalUAMismatch)
-		d.bump(func(s *Stats) { s.UAMismatches++ })
+		e.sessions.Mark(key, session.SignalUAMismatch)
+		e.stats.uaMismatches.Add(1)
 	}
 }
 
@@ -498,18 +567,19 @@ func queryParam(query, name string) string {
 }
 
 // MarkCaptchaPassed records that the session solved a CAPTCHA challenge.
-func (d *Detector) MarkCaptchaPassed(key session.Key) {
-	d.sessions.Mark(key, session.SignalCaptcha)
+func (e *Engine) MarkCaptchaPassed(key session.Key) {
+	e.sessions.Mark(key, session.SignalCaptcha)
 }
 
 // Classify returns the current verdict for the session, or an undecided
-// verdict when the session is unknown.
-func (d *Detector) Classify(key session.Key) Verdict {
-	snap, ok := d.sessions.Get(key)
+// verdict when the session is unknown. The read path is lock-free: the
+// snapshot comes from the tracker's atomically published view.
+func (e *Engine) Classify(key session.Key) Verdict {
+	snap, ok := e.sessions.Get(key)
 	if !ok {
 		return Verdict{Class: ClassUndecided, Confidence: Tentative, Reason: "unknown session"}
 	}
-	return d.ClassifySnapshot(snap)
+	return e.ClassifySnapshot(snap)
 }
 
 // ClassifySnapshot applies the detection rules to a session snapshot.
@@ -529,7 +599,7 @@ func (d *Detector) Classify(key session.Key) Verdict {
 // robot (the S_JS − S_MM term); fetching the injected stylesheet without
 // contrary evidence indicates a standard browser, hence a human (the S_CSS
 // term); fetching neither indicates a robot.
-func (d *Detector) ClassifySnapshot(snap session.Snapshot) Verdict {
+func (e *Engine) ClassifySnapshot(snap session.Snapshot) Verdict {
 	if at, ok := snap.SignalAt(session.SignalDecoy); ok {
 		return Verdict{ClassRobot, Definite, "fetched a decoy beacon URL without executing the script", at}
 	}
@@ -550,7 +620,7 @@ func (d *Detector) ClassifySnapshot(snap session.Snapshot) Verdict {
 	}
 
 	total := snap.Counts.Total
-	if total < d.cfg.MinRequests {
+	if total < e.cfg.MinRequests {
 		return Verdict{ClassUndecided, Tentative, "fewer requests than the classification threshold", 0}
 	}
 	jsAt, hasJS := snap.SignalAt(session.SignalJS)
@@ -565,46 +635,110 @@ func (d *Detector) ClassifySnapshot(snap session.Snapshot) Verdict {
 	// The "no presentation objects" rule first becomes decidable at the
 	// classification threshold; report that point so downstream consumers
 	// (rate limiting, the complaint model) know when enforcement could start.
-	return Verdict{ClassRobot, Probable, "ignored all embedded presentation objects", d.cfg.MinRequests}
+	return Verdict{ClassRobot, Probable, "ignored all embedded presentation objects", e.cfg.MinRequests}
 }
 
-// Sessions returns snapshots of all active sessions.
-func (d *Detector) Sessions() []session.Snapshot { return d.sessions.Snapshots() }
+// Sessions returns snapshots of all active sessions, gathered shard by
+// shard (no global lock; see StreamSessions for the allocation-free path).
+func (e *Engine) Sessions() []session.Snapshot { return e.sessions.Snapshots() }
+
+// StreamSessions streams a snapshot of every active session to yield,
+// locking one shard at a time, until yield returns false. Order is
+// unspecified; sessions created or removed concurrently may be missed.
+func (e *Engine) StreamSessions(yield func(session.Snapshot) bool) {
+	e.sessions.Each(yield)
+}
 
 // Session returns the snapshot of one active session, if it is tracked.
-func (d *Detector) Session(key session.Key) (session.Snapshot, bool) { return d.sessions.Get(key) }
+// The lookup is lock-free.
+func (e *Engine) Session(key session.Key) (session.Snapshot, bool) { return e.sessions.Get(key) }
 
 // SessionCount returns the number of active sessions.
-func (d *Detector) SessionCount() int { return d.sessions.Active() }
+func (e *Engine) SessionCount() int { return e.sessions.Active() }
+
+// ShardCount returns the engine's shard count (a power of two).
+func (e *Engine) ShardCount() int { return e.sessions.ShardCount() }
 
 // ExpireIdle ends idle sessions as of now, reporting them via OnSessionEnd.
-func (d *Detector) ExpireIdle(now time.Time) int { return d.sessions.ExpireIdle(now) }
+// The sweep is batched shard by shard — one shard locked at a time — so it
+// never pauses the whole engine.
+func (e *Engine) ExpireIdle(now time.Time) int { return e.sessions.ExpireIdle(now) }
 
-// FlushSessions ends all sessions and returns them with their final verdicts.
-func (d *Detector) FlushSessions() []ClassifiedSession {
-	snaps := d.sessions.FlushAll()
+// SweepStep amortises idle expiry: each call sweeps the next shard in
+// round-robin order (ShardCount calls make one full pass) and returns the
+// number of sessions ended. Live deployments call it from a ticker so no
+// single request ever pays for a full-table sweep.
+func (e *Engine) SweepStep(now time.Time) int { return e.sessions.SweepStep(now) }
+
+// StartSweeper runs SweepStep every interval until the returned stop
+// function is called. A full pass over the table takes ShardCount intervals,
+// so choose interval ≈ SessionIdleTimeout / (4 * ShardCount) for timely
+// expiry. Times come from the configured Clock.
+func (e *Engine) StartSweeper(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				e.SweepStep(e.cfg.Clock.Now())
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// FlushSessions ends all sessions and returns them with their final
+// verdicts, flushing one shard at a time. The result is sorted by
+// first-seen time then key so simulation runs stay reproducible; callers
+// that do not need the ordering (or the full copy) should use
+// FlushSessionsEach.
+func (e *Engine) FlushSessions() []ClassifiedSession {
+	snaps := e.sessions.FlushAll()
 	out := make([]ClassifiedSession, len(snaps))
 	for i, s := range snaps {
-		out[i] = ClassifiedSession{Snapshot: s, Verdict: d.ClassifySnapshot(s)}
+		out[i] = ClassifiedSession{Snapshot: s, Verdict: e.ClassifySnapshot(s)}
 	}
 	return out
 }
 
+// FlushSessionsEach ends all sessions, streaming each with its final
+// verdict to yield without materialising a copy of the whole session table.
+// Only one shard is locked at a time; order is unspecified.
+func (e *Engine) FlushSessionsEach(yield func(ClassifiedSession)) {
+	e.sessions.FlushEach(func(s session.Snapshot) {
+		yield(ClassifiedSession{Snapshot: s, Verdict: e.ClassifySnapshot(s)})
+	})
+}
+
 // Stats returns a copy of the cumulative counters.
-func (d *Detector) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+func (e *Engine) Stats() Stats {
+	return Stats{
+		PagesInstrumented: e.stats.pagesInstrumented.Load(),
+		OriginalBytes:     e.stats.originalBytes.Load(),
+		AddedBytes:        e.stats.addedBytes.Load(),
+		MouseBeacons:      e.stats.mouseBeacons.Load(),
+		DecoyBeacons:      e.stats.decoyBeacons.Load(),
+		ReplayBeacons:     e.stats.replayBeacons.Load(),
+		UnknownBeacons:    e.stats.unknownBeacons.Load(),
+		ExecBeacons:       e.stats.execBeacons.Load(),
+		CSSBeacons:        e.stats.cssBeacons.Load(),
+		ScriptServes:      e.stats.scriptServes.Load(),
+		HiddenHits:        e.stats.hiddenHits.Load(),
+		UAReports:         e.stats.uaReports.Load(),
+		UAMismatches:      e.stats.uaMismatches.Load(),
+	}
 }
 
 // Config returns the effective configuration (with defaults applied).
-func (d *Detector) Config() Config { return d.cfg }
-
-func (d *Detector) bump(f func(*Stats)) {
-	d.mu.Lock()
-	f(&d.stats)
-	d.mu.Unlock()
-}
+func (e *Engine) Config() Config { return e.cfg }
 
 // String renders a verdict compactly.
 func (v Verdict) String() string {

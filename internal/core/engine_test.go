@@ -13,7 +13,7 @@ import (
 	"botdetect/internal/webmodel"
 )
 
-func newTestDetector(cfg Config) (*Detector, *clock.Virtual) {
+func newTestEngine(cfg Config) (*Engine, *clock.Virtual) {
 	vc := clock.NewVirtual(time.Time{})
 	cfg.Clock = vc
 	if cfg.Seed == 0 {
@@ -27,7 +27,7 @@ func pageHTML() []byte {
 	return site.Lookup("/").Body
 }
 
-func observe(d *Detector, ip, ua, method, path string, status int, ref string, at time.Time) session.Snapshot {
+func observe(d *Engine, ip, ua, method, path string, status int, ref string, at time.Time) session.Snapshot {
 	return d.ObserveRequest(logfmt.Entry{
 		Time: at, ClientIP: ip, UserAgent: ua, Method: method, Path: path,
 		Status: status, Referer: ref, Bytes: 1024,
@@ -35,7 +35,7 @@ func observe(d *Detector, ip, ua, method, path string, status int, ref string, a
 }
 
 func TestInstrumentPageInjectsEverything(t *testing.T) {
-	d, _ := newTestDetector(Config{ObfuscateJS: true})
+	d, _ := newTestEngine(Config{ObfuscateJS: true})
 	html := pageHTML()
 	out, inst := d.InstrumentPage("10.0.0.1", "Firefox", "/", html)
 	body := string(out)
@@ -72,7 +72,7 @@ func TestInstrumentPageInjectsEverything(t *testing.T) {
 }
 
 func TestBeaconServesScriptAndMarksSignals(t *testing.T) {
-	d, _ := newTestDetector(Config{ObfuscateJS: false})
+	d, _ := newTestEngine(Config{ObfuscateJS: false})
 	ip, ua := "10.0.0.2", "Firefox"
 	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
 
@@ -109,7 +109,7 @@ func TestBeaconServesScriptAndMarksSignals(t *testing.T) {
 }
 
 func TestBeaconDecoyAndReplayAndUnknown(t *testing.T) {
-	d, _ := newTestDetector(Config{})
+	d, _ := newTestEngine(Config{})
 	ip, ua := "10.0.0.3", "BadBot"
 	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
 	prefix := d.Config().BeaconPrefix
@@ -140,7 +140,7 @@ func TestBeaconDecoyAndReplayAndUnknown(t *testing.T) {
 }
 
 func TestExecBeaconAndUAMismatch(t *testing.T) {
-	d, _ := newTestDetector(Config{})
+	d, _ := newTestEngine(Config{})
 	ip := "10.0.0.4"
 	headerUA := "Mozilla/5.0 (Windows NT 5.1) Firefox/1.5"
 	_, inst := d.InstrumentPage(ip, headerUA, "/", pageHTML())
@@ -177,7 +177,7 @@ func TestExecBeaconAndUAMismatch(t *testing.T) {
 }
 
 func TestUAReportViaStylesheetPath(t *testing.T) {
-	d, _ := newTestDetector(Config{})
+	d, _ := newTestEngine(Config{})
 	ip, ua := "10.0.0.6", "Opera/9.0"
 	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
 	prefix := d.Config().BeaconPrefix
@@ -199,7 +199,7 @@ func TestUAReportViaStylesheetPath(t *testing.T) {
 }
 
 func TestHiddenLinkBeacon(t *testing.T) {
-	d, _ := newTestDetector(Config{})
+	d, _ := newTestEngine(Config{})
 	ip, ua := "10.0.0.7", "Crawler"
 	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
 	resp, ok := d.HandleBeacon(ip, ua, inst.HiddenPath)
@@ -217,7 +217,7 @@ func TestHiddenLinkBeacon(t *testing.T) {
 }
 
 func TestTransparentImageAndUnknownPath(t *testing.T) {
-	d, _ := newTestDetector(Config{})
+	d, _ := newTestEngine(Config{})
 	prefix := d.Config().BeaconPrefix
 	resp, ok := d.HandleBeacon("1.2.3.4", "UA", prefix+"/transp_1x1.gif")
 	if !ok || resp.ContentType != "image/gif" {
@@ -233,7 +233,7 @@ func TestTransparentImageAndUnknownPath(t *testing.T) {
 }
 
 func TestIsInstrumentationPath(t *testing.T) {
-	d, _ := newTestDetector(Config{})
+	d, _ := newTestEngine(Config{})
 	if !d.IsInstrumentationPath("/__bd/123.css") || !d.IsInstrumentationPath("/__bd/js/1.gif?ua=x") {
 		t.Fatal("instrumentation paths not recognised")
 	}
@@ -243,7 +243,7 @@ func TestIsInstrumentationPath(t *testing.T) {
 }
 
 func TestScriptFallbackWhenEvicted(t *testing.T) {
-	d, _ := newTestDetector(Config{MaxScripts: 2})
+	d, _ := newTestEngine(Config{MaxScripts: 2})
 	ip, ua := "10.0.0.8", "UA"
 	var paths []string
 	for i := 0; i < 5; i++ {
@@ -264,7 +264,7 @@ func TestScriptFallbackWhenEvicted(t *testing.T) {
 }
 
 func TestClassificationLifecycleHumanWithJS(t *testing.T) {
-	d, vc := newTestDetector(Config{MinRequests: 10})
+	d, vc := newTestEngine(Config{MinRequests: 10})
 	ip, ua := "10.1.0.1", "Firefox"
 	key := session.Key{IP: ip, UserAgent: ua}
 	now := vc.Now()
@@ -287,7 +287,7 @@ func TestClassificationLifecycleHumanWithJS(t *testing.T) {
 }
 
 func TestClassificationRobotRunningJSWithoutMouse(t *testing.T) {
-	d, vc := newTestDetector(Config{MinRequests: 10})
+	d, vc := newTestEngine(Config{MinRequests: 10})
 	ip, ua := "10.1.0.2", "SmartBot"
 	key := session.Key{IP: ip, UserAgent: ua}
 	now := vc.Now()
@@ -307,7 +307,7 @@ func TestClassificationRobotRunningJSWithoutMouse(t *testing.T) {
 
 func TestClassificationHumanCSSOnlyNoJS(t *testing.T) {
 	// A JavaScript-disabled human: fetches CSS, never runs the script.
-	d, vc := newTestDetector(Config{MinRequests: 10})
+	d, vc := newTestEngine(Config{MinRequests: 10})
 	ip, ua := "10.1.0.3", "Firefox-NoJS"
 	key := session.Key{IP: ip, UserAgent: ua}
 	now := vc.Now()
@@ -323,7 +323,7 @@ func TestClassificationHumanCSSOnlyNoJS(t *testing.T) {
 }
 
 func TestClassificationRobotIgnoresPresentation(t *testing.T) {
-	d, vc := newTestDetector(Config{MinRequests: 10})
+	d, vc := newTestEngine(Config{MinRequests: 10})
 	ip, ua := "10.1.0.4", "EmailHarvester"
 	key := session.Key{IP: ip, UserAgent: ua}
 	now := vc.Now()
@@ -337,7 +337,7 @@ func TestClassificationRobotIgnoresPresentation(t *testing.T) {
 }
 
 func TestClassificationCaptcha(t *testing.T) {
-	d, _ := newTestDetector(Config{})
+	d, _ := newTestEngine(Config{})
 	key := session.Key{IP: "10.1.0.5", UserAgent: "NoScriptBrowser"}
 	d.MarkCaptchaPassed(key)
 	v := d.Classify(key)
@@ -347,7 +347,7 @@ func TestClassificationCaptcha(t *testing.T) {
 }
 
 func TestClassifyUnknownSession(t *testing.T) {
-	d, _ := newTestDetector(Config{})
+	d, _ := newTestEngine(Config{})
 	v := d.Classify(session.Key{IP: "none", UserAgent: "none"})
 	if v.Class != ClassUndecided {
 		t.Fatalf("verdict = %+v", v)
@@ -376,7 +376,7 @@ func TestOnSessionEndCallback(t *testing.T) {
 }
 
 func TestFlushSessions(t *testing.T) {
-	d, vc := newTestDetector(Config{})
+	d, vc := newTestEngine(Config{})
 	now := vc.Now()
 	for i := 0; i < 3; i++ {
 		observe(d, fmt.Sprintf("10.2.0.%d", i), "UA", "GET", "/", 200, "", now)

@@ -71,7 +71,7 @@ func Overhead(scale Scale) OverheadResult {
 
 	// Bandwidth overhead from a calibrated workload run.
 	res := workload.Run(workload.Config{Sessions: scale.Sessions / 2, Seed: scale.Seed ^ 0x0f0f})
-	stats := res.Network.DetectorStats()
+	stats := res.Network.EngineStats()
 	nodeStats := res.Network.TotalStats()
 	out.OriginBytes = nodeStats.OriginBytes
 	out.AddedBytes = stats.AddedBytes

@@ -13,15 +13,23 @@
 //
 // Keys expire after a TTL and the table is capped per client and globally so
 // a flood of page fetches cannot exhaust proxy memory.
+//
+// The table is sharded by an FNV-1a hash of the client IP: each shard has
+// its own mutex, client map, LRU list and key-generation stream, so issuing
+// and validating keys for different clients proceeds in parallel. Counters
+// are atomic and never serialise the hot path.
 package keystore
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"botdetect/internal/clock"
 	"botdetect/internal/rng"
+	"botdetect/internal/shard"
 )
 
 // Verdict is the result of validating a beacon key.
@@ -85,8 +93,15 @@ type Config struct {
 	TTL time.Duration
 	// MaxPerClient caps outstanding issues per client IP.
 	MaxPerClient int
-	// MaxClients caps the number of distinct client IPs tracked.
+	// MaxClients caps the number of distinct client IPs tracked. The bound
+	// is distributed over the shards as ceil(MaxClients/Shards) per shard
+	// (at least 1), so the effective cap is MaxClients rounded up to a
+	// multiple of the shard count. Use Shards: 1 for an exact bound.
 	MaxClients int
+	// Shards is the number of independently locked shards, rounded up to a
+	// power of two (default shard.DefaultShards). Use 1 for strict global
+	// LRU client eviction at the cost of write concurrency.
+	Shards int
 	// Seed drives key generation.
 	Seed uint64
 	// Clock supplies time; defaults to the wall clock.
@@ -109,6 +124,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxClients <= 0 {
 		c.MaxClients = 100000
 	}
+	c.Shards = shard.Normalize(c.Shards)
 	if c.Clock == nil {
 		c.Clock = clock.System
 	}
@@ -133,7 +149,7 @@ type clientState struct {
 	ip      string
 	keys    map[string]*keyRecord // key string -> record
 	queue   []string              // issue order of real keys, for per-client eviction
-	element *list.Element         // position in the store's LRU list
+	element *list.Element         // position in the shard's LRU list
 }
 
 // Stats are cumulative counters exposed for monitoring and experiments.
@@ -147,84 +163,112 @@ type Stats struct {
 	EvictedClients int64
 }
 
-// Store is the key table. It is safe for concurrent use.
-type Store struct {
-	cfg Config
+// storeStats is the internal atomic mirror of Stats.
+type storeStats struct {
+	issued         atomic.Int64
+	humanHits      atomic.Int64
+	decoyHits      atomic.Int64
+	replayHits     atomic.Int64
+	unknownHits    atomic.Int64
+	expiredDropped atomic.Int64
+	evictedClients atomic.Int64
+}
 
+// storeShard is one independently locked partition of the key table.
+type storeShard struct {
 	mu      sync.Mutex
 	src     *rng.Source
 	clients map[string]*clientState
 	lru     *list.List // front = most recently used clientState
-	stats   Stats
+	max     int        // per-shard client cap
+}
+
+// Store is the key table. It is safe for concurrent use.
+type Store struct {
+	cfg    Config
+	shards []*storeShard
+	mask   uint64
+	stats  storeStats
 }
 
 // New creates a Store with the given configuration.
 func New(cfg Config) *Store {
 	cfg = cfg.withDefaults()
-	return &Store{
-		cfg:     cfg,
-		src:     rng.New(cfg.Seed).Fork("keystore"),
-		clients: make(map[string]*clientState),
-		lru:     list.New(),
+	s := &Store{cfg: cfg, mask: uint64(cfg.Shards - 1)}
+	base := rng.New(cfg.Seed).Fork("keystore")
+	perShard := shard.PerShardCap(cfg.MaxClients, cfg.Shards)
+	s.shards = make([]*storeShard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = &storeShard{
+			src:     base.Fork(fmt.Sprintf("shard-%d", i)),
+			clients: make(map[string]*clientState),
+			lru:     list.New(),
+			max:     perShard,
+		}
 	}
+	return s
+}
+
+// ShardCount returns the number of shards (a power of two).
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+func (s *Store) shard(ip string) *storeShard {
+	return s.shards[shard.HashString(ip)&s.mask]
 }
 
 // Issue generates a real key, decoys and the per-page object tokens for the
 // given client and page, recording the real key and decoys for later
-// validation.
+// validation. Only the client's shard is locked.
 func (s *Store) Issue(clientIP, page string) Issued {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shard(clientIP)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
 	now := s.cfg.Clock.Now()
-	cs := s.client(clientIP)
-	s.touch(cs)
+	cs := sh.client(clientIP)
+	sh.lru.MoveToFront(cs.element)
 	s.expireClientLocked(cs, now)
 
 	iss := Issued{
 		Page:        page,
-		Key:         s.uniqueKeyLocked(cs),
-		CSSToken:    s.src.DigitKey(s.cfg.KeyDigits),
-		ScriptToken: s.src.DigitKey(s.cfg.KeyDigits),
-		HiddenToken: s.src.DigitKey(s.cfg.KeyDigits),
+		Key:         s.uniqueKeyLocked(sh, cs),
+		CSSToken:    sh.src.DigitKey(s.cfg.KeyDigits),
+		ScriptToken: sh.src.DigitKey(s.cfg.KeyDigits),
+		HiddenToken: sh.src.DigitKey(s.cfg.KeyDigits),
 		IssuedAt:    now,
 	}
 	cs.keys[iss.Key] = &keyRecord{kind: kindReal, page: page, issuedAt: now}
 	cs.queue = append(cs.queue, iss.Key)
 	for i := 0; i < s.cfg.Decoys; i++ {
-		d := s.uniqueKeyLocked(cs)
+		d := s.uniqueKeyLocked(sh, cs)
 		iss.Decoys = append(iss.Decoys, d)
 		cs.keys[d] = &keyRecord{kind: kindDecoy, page: page, issuedAt: now}
 	}
-	s.stats.Issued++
+	s.stats.issued.Add(1)
 
 	s.enforcePerClientLocked(cs)
-	s.enforceClientCapLocked()
+	s.enforceClientCapLocked(sh)
 	return iss
 }
 
 // uniqueKeyLocked draws a key not already present for the client.
-func (s *Store) uniqueKeyLocked(cs *clientState) string {
+func (s *Store) uniqueKeyLocked(sh *storeShard, cs *clientState) string {
 	for {
-		k := s.src.DigitKey(s.cfg.KeyDigits)
+		k := sh.src.DigitKey(s.cfg.KeyDigits)
 		if _, exists := cs.keys[k]; !exists {
 			return k
 		}
 	}
 }
 
-func (s *Store) client(ip string) *clientState {
-	cs, ok := s.clients[ip]
+func (sh *storeShard) client(ip string) *clientState {
+	cs, ok := sh.clients[ip]
 	if !ok {
 		cs = &clientState{ip: ip, keys: make(map[string]*keyRecord)}
-		cs.element = s.lru.PushFront(cs)
-		s.clients[ip] = cs
+		cs.element = sh.lru.PushFront(cs)
+		sh.clients[ip] = cs
 	}
 	return cs
-}
-
-func (s *Store) touch(cs *clientState) {
-	s.lru.MoveToFront(cs.element)
 }
 
 // expireClientLocked drops keys older than the TTL for one client.
@@ -232,7 +276,7 @@ func (s *Store) expireClientLocked(cs *clientState, now time.Time) {
 	for k, rec := range cs.keys {
 		if now.Sub(rec.issuedAt) > s.cfg.TTL {
 			delete(cs.keys, k)
-			s.stats.ExpiredDropped++
+			s.stats.expiredDropped.Add(1)
 		}
 	}
 	// Compact the real-key queue lazily.
@@ -271,55 +315,57 @@ func (s *Store) enforcePerClientLocked(cs *clientState) {
 	}
 }
 
-// enforceClientCapLocked bounds the number of distinct clients tracked.
-func (s *Store) enforceClientCapLocked() {
-	for len(s.clients) > s.cfg.MaxClients {
-		back := s.lru.Back()
+// enforceClientCapLocked bounds the number of distinct clients in the shard.
+func (s *Store) enforceClientCapLocked(sh *storeShard) {
+	for len(sh.clients) > sh.max {
+		back := sh.lru.Back()
 		if back == nil {
 			return
 		}
 		victim := back.Value.(*clientState)
-		s.lru.Remove(back)
-		delete(s.clients, victim.ip)
-		s.stats.EvictedClients++
+		sh.lru.Remove(back)
+		delete(sh.clients, victim.ip)
+		s.stats.evictedClients.Add(1)
 	}
 }
 
 // Validate checks a beacon key presented by the given client. Real keys are
-// consumed on first use so replays are detected.
+// consumed on first use so replays are detected. Only the client's shard is
+// locked.
 func (s *Store) Validate(clientIP, key string) Verdict {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shard(clientIP)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
-	cs, ok := s.clients[clientIP]
+	cs, ok := sh.clients[clientIP]
 	if !ok {
-		s.stats.UnknownHits++
+		s.stats.unknownHits.Add(1)
 		return Unknown
 	}
-	s.touch(cs)
+	sh.lru.MoveToFront(cs.element)
 	now := s.cfg.Clock.Now()
 	rec, ok := cs.keys[key]
 	if !ok {
-		s.stats.UnknownHits++
+		s.stats.unknownHits.Add(1)
 		return Unknown
 	}
 	if now.Sub(rec.issuedAt) > s.cfg.TTL {
 		delete(cs.keys, key)
-		s.stats.ExpiredDropped++
-		s.stats.UnknownHits++
+		s.stats.expiredDropped.Add(1)
+		s.stats.unknownHits.Add(1)
 		return Unknown
 	}
 	switch rec.kind {
 	case kindDecoy:
-		s.stats.DecoyHits++
+		s.stats.decoyHits.Add(1)
 		return Decoy
 	default:
 		if rec.consumed {
-			s.stats.ReplayHits++
+			s.stats.replayHits.Add(1)
 			return Replayed
 		}
 		rec.consumed = true
-		s.stats.HumanHits++
+		s.stats.humanHits.Add(1)
 		return Human
 	}
 }
@@ -327,27 +373,39 @@ func (s *Store) Validate(clientIP, key string) Verdict {
 // OutstandingKeys returns the number of unexpired keys currently stored for
 // the client (real plus decoys). It is primarily for tests and monitoring.
 func (s *Store) OutstandingKeys(clientIP string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cs, ok := s.clients[clientIP]
+	sh := s.shard(clientIP)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cs, ok := sh.clients[clientIP]
 	if !ok {
 		return 0
 	}
 	return len(cs.keys)
 }
 
-// Clients returns the number of distinct client IPs currently tracked.
+// Clients returns the number of distinct client IPs currently tracked,
+// summed shard by shard (no global lock).
 func (s *Store) Clients() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.clients)
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += len(sh.clients)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // Stats returns a copy of the cumulative counters.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Issued:         s.stats.issued.Load(),
+		HumanHits:      s.stats.humanHits.Load(),
+		DecoyHits:      s.stats.decoyHits.Load(),
+		ReplayHits:     s.stats.replayHits.Load(),
+		UnknownHits:    s.stats.unknownHits.Load(),
+		ExpiredDropped: s.stats.expiredDropped.Load(),
+		EvictedClients: s.stats.evictedClients.Load(),
+	}
 }
 
 // Decoys returns the configured number of decoy keys per page.

@@ -132,7 +132,9 @@ func TestPerClientCapEvictsOldest(t *testing.T) {
 }
 
 func TestClientCapEvictsLRU(t *testing.T) {
-	s, _ := newTestStore(t, Config{MaxClients: 10})
+	// Shards: 1 pins every client to one shard so the global LRU eviction
+	// order is exact; with more shards the cap is distributed per shard.
+	s, _ := newTestStore(t, Config{MaxClients: 10, Shards: 1})
 	for i := 0; i < 25; i++ {
 		s.Issue(fmt.Sprintf("10.0.0.%d", i), "/a.html")
 	}
@@ -151,8 +153,24 @@ func TestClientCapEvictsLRU(t *testing.T) {
 	}
 }
 
+func TestShardedClientCapBoundsTotal(t *testing.T) {
+	// With the default shard count the MaxClients bound is distributed over
+	// the shards; the total never exceeds the distributed bound.
+	s, _ := newTestStore(t, Config{MaxClients: 64})
+	for i := 0; i < 1000; i++ {
+		s.Issue(fmt.Sprintf("10.8.%d.%d", i/250, i%250), "/a.html")
+	}
+	perShard := (64 + s.ShardCount() - 1) / s.ShardCount()
+	if got := s.Clients(); got > perShard*s.ShardCount() {
+		t.Fatalf("Clients = %d exceeds distributed bound %d", got, perShard*s.ShardCount())
+	}
+	if s.Stats().EvictedClients == 0 {
+		t.Fatal("no clients evicted despite exceeding the cap")
+	}
+}
+
 func TestLRUTouchOnValidate(t *testing.T) {
-	s, _ := newTestStore(t, Config{MaxClients: 2})
+	s, _ := newTestStore(t, Config{MaxClients: 2, Shards: 1})
 	a := s.Issue("1.1.1.1", "/a.html")
 	s.Issue("2.2.2.2", "/a.html")
 	// Touch client 1 so client 2 becomes the LRU victim.
@@ -215,6 +233,40 @@ func TestConcurrentIssueValidate(t *testing.T) {
 	wg.Wait()
 	if s.Stats().HumanHits != 8*200 {
 		t.Fatalf("HumanHits = %d", s.Stats().HumanHits)
+	}
+}
+
+func TestConcurrentOverlappingClients(t *testing.T) {
+	// Goroutines share client IPs, so shard mutexes are genuinely contended
+	// and real keys race to be consumed (run with -race): every real key
+	// must validate as Human exactly once across all goroutines.
+	// MaxPerClient is raised so a descheduled goroutine's key cannot be
+	// evicted by the others' issues before it validates.
+	s, _ := newTestStore(t, Config{Decoys: 2, MaxPerClient: 100000})
+	ips := []string{"10.2.0.1", "10.2.0.2", "10.2.0.3"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				ip := ips[(g+i)%len(ips)]
+				iss := s.Issue(ip, "/p.html")
+				if v := s.Validate(ip, iss.Key); v != Human {
+					t.Errorf("goroutine %d: first validation = %v", g, v)
+					return
+				}
+				if v := s.Validate(ip, iss.Key); v != Replayed {
+					t.Errorf("goroutine %d: second validation = %v", g, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.HumanHits != 8*150 || st.ReplayHits != 8*150 {
+		t.Fatalf("stats = %+v", st)
 	}
 }
 

@@ -27,8 +27,8 @@ import (
 
 // Config controls the middleware.
 type Config struct {
-	// Detector is the detection engine; required.
-	Detector *core.Detector
+	// Engine is the detection engine; required.
+	Engine *core.Engine
 	// Policy optionally enforces throttling/blocking on robot sessions.
 	Policy *policy.Engine
 	// Captcha optionally serves challenge/verify endpoints under the
@@ -56,23 +56,23 @@ type Middleware struct {
 }
 
 // New creates the middleware around the given origin handler. It panics if
-// cfg.Detector is nil, since the middleware is useless without it.
+// cfg.Engine is nil, since the middleware is useless without it.
 func New(origin http.Handler, cfg Config) *Middleware {
-	if cfg.Detector == nil {
-		panic("proxy: Config.Detector is required")
+	if cfg.Engine == nil {
+		panic("proxy: Config.Engine is required")
 	}
 	return &Middleware{cfg: cfg.withDefaults(), origin: origin}
 }
 
-// Detector returns the wrapped detection engine.
-func (m *Middleware) Detector() *core.Detector { return m.cfg.Detector }
+// Engine returns the wrapped detection engine.
+func (m *Middleware) Engine() *core.Engine { return m.cfg.Engine }
 
 // ServeHTTP implements http.Handler.
 func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	clientIP := m.clientIP(r)
 	ua := r.UserAgent()
 	key := session.Key{IP: clientIP, UserAgent: ua}
-	d := m.cfg.Detector
+	d := m.cfg.Engine
 
 	// CAPTCHA endpoints live under the instrumentation prefix but are
 	// handled before generic beacon dispatch.
@@ -144,7 +144,7 @@ func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // handleCaptcha serves GET <prefix>/captcha/new and POST <prefix>/captcha/verify.
 // It returns true when the request was a CAPTCHA endpoint.
 func (m *Middleware) handleCaptcha(w http.ResponseWriter, r *http.Request, key session.Key) bool {
-	prefix := m.cfg.Detector.Config().BeaconPrefix + "/captcha/"
+	prefix := m.cfg.Engine.Config().BeaconPrefix + "/captcha/"
 	if !strings.HasPrefix(r.URL.Path, prefix) {
 		return false
 	}
@@ -162,7 +162,7 @@ func (m *Middleware) handleCaptcha(w http.ResponseWriter, r *http.Request, key s
 		id := r.Form.Get("id")
 		answer := r.Form.Get("answer")
 		if m.cfg.Captcha.Verify(id, answer) {
-			m.cfg.Detector.MarkCaptchaPassed(key)
+			m.cfg.Engine.MarkCaptchaPassed(key)
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			fmt.Fprintln(w, "ok")
 		} else {

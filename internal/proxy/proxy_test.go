@@ -17,11 +17,11 @@ import (
 	"botdetect/internal/webmodel"
 )
 
-func newTestStack(t *testing.T, pol *policy.Engine, cap *captcha.Service) (*Middleware, *core.Detector, *webmodel.Site) {
+func newTestStack(t *testing.T, pol *policy.Engine, cap *captcha.Service) (*Middleware, *core.Engine, *webmodel.Site) {
 	t.Helper()
 	site := webmodel.Generate(webmodel.SiteConfig{Seed: 3, NumPages: 20})
 	det := core.New(core.Config{Seed: 9, ObfuscateJS: false})
-	mw := New(site.Handler(), Config{Detector: det, Policy: pol, Captcha: cap, TrustForwardedFor: true})
+	mw := New(site.Handler(), Config{Engine: det, Policy: pol, Captcha: cap, TrustForwardedFor: true})
 	return mw, det, site
 }
 
@@ -234,7 +234,7 @@ func TestNotFoundPassthrough(t *testing.T) {
 	}
 }
 
-func TestNewPanicsWithoutDetector(t *testing.T) {
+func TestNewPanicsWithoutEngine(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -251,7 +251,7 @@ func TestReverseProxyConstruction(t *testing.T) {
 		t.Fatal(err)
 	}
 	det := core.New(core.Config{Seed: 11})
-	mw := NewReverseProxy(u, Config{Detector: det})
+	mw := NewReverseProxy(u, Config{Engine: det})
 	front := httptest.NewServer(mw)
 	defer front.Close()
 
@@ -267,7 +267,7 @@ func TestReverseProxyConstruction(t *testing.T) {
 	if !strings.Contains(string(body), "/__bd/") {
 		t.Fatal("reverse proxy did not instrument the upstream page")
 	}
-	if mw.Detector() != det {
-		t.Fatal("Detector accessor broken")
+	if mw.Engine() != det {
+		t.Fatal("Engine accessor broken")
 	}
 }

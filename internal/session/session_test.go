@@ -211,8 +211,10 @@ func TestExpireIdle(t *testing.T) {
 }
 
 func TestMaxSessionsEviction(t *testing.T) {
+	// Shards: 1 pins every session to one shard so the global LRU eviction
+	// order is exact; with more shards the cap is distributed per shard.
 	var evicted []Snapshot
-	tr, vc := newTestTracker(Config{MaxSessions: 3, Evicted: func(s Snapshot) { evicted = append(evicted, s) }})
+	tr, vc := newTestTracker(Config{MaxSessions: 3, Shards: 1, Evicted: func(s Snapshot) { evicted = append(evicted, s) }})
 	now := vc.Now()
 	for i := 0; i < 6; i++ {
 		tr.Observe(entry(fmt.Sprintf("8.8.8.%d", i), "UA", "GET", "/a.html", 200, "", now.Add(time.Duration(i)*time.Minute)))
@@ -337,6 +339,171 @@ func TestConcurrentObserveAndMark(t *testing.T) {
 		if !s.Has(SignalCSS) {
 			t.Fatalf("session %s missing CSS signal", s.Key.IP)
 		}
+	}
+}
+
+func TestShardedMaxSessionsBoundsTotal(t *testing.T) {
+	// With the default shard count the MaxSessions bound is distributed over
+	// the shards: the tracker never holds more than MaxSessions sessions
+	// (modulo per-shard rounding) and evicts the locally least recent ones.
+	tr, vc := newTestTracker(Config{MaxSessions: 64})
+	now := vc.Now()
+	for i := 0; i < 1000; i++ {
+		tr.Observe(entry(fmt.Sprintf("14.%d.%d.%d", i/250, i%250, i%7), fmt.Sprintf("UA-%d", i%11), "GET", "/a.html", 200, "", now.Add(time.Duration(i)*time.Second)))
+	}
+	perShard := (64 + tr.ShardCount() - 1) / tr.ShardCount()
+	if tr.Active() > perShard*tr.ShardCount() {
+		t.Fatalf("Active = %d exceeds distributed bound %d", tr.Active(), perShard*tr.ShardCount())
+	}
+	if tr.Active()+int(tr.Ended()) != 1000 {
+		t.Fatalf("active %d + ended %d != 1000", tr.Active(), tr.Ended())
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	// The FNV-1a key hash must spread realistic <IP, UA> keys evenly over the
+	// shards: no empty shard and no shard with more than 2x the mean load.
+	tr, _ := newTestTracker(Config{Shards: 32})
+	const n = 8192
+	counts := make([]int, tr.ShardCount())
+	uas := []string{"Firefox/1.5", "MSIE 6.0", "Googlebot/2.1", "Wget/1.10", ""}
+	for i := 0; i < n; i++ {
+		key := Key{
+			IP:        fmt.Sprintf("%d.%d.%d.%d", 10+i%80, (i/250)%250, i%250, 1+i%17),
+			UserAgent: uas[i%len(uas)],
+		}
+		counts[tr.ShardIndex(key)]++
+	}
+	mean := n / tr.ShardCount()
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no keys", i)
+		}
+		if c > 2*mean {
+			t.Fatalf("shard %d received %d keys (mean %d): hash is skewed", i, c, mean)
+		}
+	}
+	// Different shard counts must still be powers of two.
+	for _, in := range []int{0, 1, 3, 5, 16, 33} {
+		tr2 := NewTracker(Config{Shards: in})
+		n := tr2.ShardCount()
+		if n&(n-1) != 0 || n == 0 {
+			t.Fatalf("Shards=%d gave non-power-of-two shard count %d", in, n)
+		}
+	}
+}
+
+func TestKeyHashSeparatorDisambiguates(t *testing.T) {
+	a := Key{IP: "ab", UserAgent: "c"}
+	b := Key{IP: "a", UserAgent: "bc"}
+	if a.Hash() == b.Hash() {
+		t.Fatal("boundary-shifted keys hash identically: separator missing")
+	}
+}
+
+func TestSweepStepCoversAllShards(t *testing.T) {
+	var evicted int
+	tr, vc := newTestTracker(Config{IdleTimeout: time.Hour, Evicted: func(Snapshot) { evicted++ }})
+	now := vc.Now()
+	for i := 0; i < 200; i++ {
+		tr.Observe(entry(fmt.Sprintf("15.0.%d.%d", i/250, i%250), "UA", "GET", "/a.html", 200, "", now))
+	}
+	later := now.Add(2 * time.Hour)
+	// One full round of SweepStep calls must expire every idle session.
+	for i := 0; i < tr.ShardCount(); i++ {
+		tr.SweepStep(later)
+	}
+	if tr.Active() != 0 || evicted != 200 {
+		t.Fatalf("after full sweep: active=%d evicted=%d", tr.Active(), evicted)
+	}
+}
+
+func TestEachStreamsAndStopsEarly(t *testing.T) {
+	tr, vc := newTestTracker(Config{})
+	now := vc.Now()
+	for i := 0; i < 50; i++ {
+		tr.Observe(entry(fmt.Sprintf("16.0.0.%d", i), "UA", "GET", "/a.html", 200, "", now))
+	}
+	seen := 0
+	tr.Each(func(Snapshot) bool { seen++; return true })
+	if seen != 50 {
+		t.Fatalf("Each visited %d sessions, want 50", seen)
+	}
+	seen = 0
+	tr.Each(func(Snapshot) bool { seen++; return seen < 10 })
+	if seen != 10 {
+		t.Fatalf("early-stopping Each visited %d sessions, want 10", seen)
+	}
+}
+
+func TestFlushEachStreams(t *testing.T) {
+	var evicted int
+	tr, vc := newTestTracker(Config{Evicted: func(Snapshot) { evicted++ }})
+	now := vc.Now()
+	for i := 0; i < 30; i++ {
+		tr.Observe(entry(fmt.Sprintf("17.0.0.%d", i), "UA", "GET", "/a.html", 200, "", now))
+	}
+	flushed := 0
+	tr.FlushEach(func(Snapshot) { flushed++ })
+	if flushed != 30 || evicted != 30 {
+		t.Fatalf("flushed=%d evicted=%d, want 30", flushed, evicted)
+	}
+	if tr.Active() != 0 {
+		t.Fatal("sessions remain after FlushEach")
+	}
+}
+
+func TestConcurrentOverlappingKeysWithExpiry(t *testing.T) {
+	// Goroutines hammer Observe/Mark on OVERLAPPING keys while another
+	// goroutine runs ExpireIdle/SweepStep: exercises shard locking under
+	// contention (run with -race).
+	tr, vc := newTestTracker(Config{IdleTimeout: time.Hour})
+	now := vc.Now()
+	keys := make([]Key, 16)
+	for i := range keys {
+		keys[i] = Key{IP: fmt.Sprintf("18.0.0.%d", i), UserAgent: "UA"}
+	}
+	var sweeper, writers sync.WaitGroup
+	stop := make(chan struct{})
+	sweeper.Add(1)
+	go func() {
+		defer sweeper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.ExpireIdle(now)
+				tr.SweepStep(now)
+			}
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 400; i++ {
+				k := keys[(g+i)%len(keys)]
+				tr.Observe(entry(k.IP, k.UserAgent, "GET", fmt.Sprintf("/p%d.html", i), 200, "", now))
+				if i%7 == 0 {
+					tr.Mark(k, SignalCSS)
+				}
+				if i%13 == 0 {
+					tr.Get(k)
+				}
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	sweeper.Wait()
+	if tr.Active() != len(keys) {
+		t.Fatalf("Active = %d, want %d", tr.Active(), len(keys))
+	}
+	total := int64(0)
+	tr.Each(func(s Snapshot) bool { total += s.Counts.Total; return true })
+	if total != 8*400 {
+		t.Fatalf("total observed requests = %d, want %d", total, 8*400)
 	}
 }
 

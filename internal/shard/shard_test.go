@@ -1,0 +1,34 @@
+package shard
+
+import "testing"
+
+func TestNormalize(t *testing.T) {
+	cases := map[int]int{-1: DefaultShards, 0: DefaultShards, 1: 1, 2: 2, 3: 4, 5: 8, 16: 16, 33: 64}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Fatalf("Normalize(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPerShardCap(t *testing.T) {
+	cases := []struct{ max, shards, want int }{
+		{64, 32, 2}, {65, 32, 3}, {5, 32, 1}, {0, 32, 1}, {10, 1, 10},
+	}
+	for _, c := range cases {
+		if got := PerShardCap(c.max, c.shards); got != c.want {
+			t.Fatalf("PerShardCap(%d, %d) = %d, want %d", c.max, c.shards, got, c.want)
+		}
+	}
+}
+
+func TestHashSeparator(t *testing.T) {
+	a := HashStringSeed(MixSeparator(HashString("ab")), "c")
+	b := HashStringSeed(MixSeparator(HashString("a")), "bc")
+	if a == b {
+		t.Fatal("boundary-shifted field pairs hash identically")
+	}
+	if HashString("x") == HashString("y") {
+		t.Fatal("distinct strings hash identically")
+	}
+}
