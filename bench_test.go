@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"botdetect/internal/adaboost"
+	"botdetect/internal/agents"
+	"botdetect/internal/cdn"
 	"botdetect/internal/core"
 	"botdetect/internal/experiments"
 	"botdetect/internal/features"
@@ -284,6 +286,44 @@ func BenchmarkHandleBeaconParallel(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkNetworkDrive measures replaying a fixed request batch through an
+// 8-node CDN, serially versus with the per-node parallel driver. On a
+// multi-core host the parallel driver should approach a linear speedup: each
+// node's engine is sharded, node stats are atomic, and policy reads are
+// lock-free, so the workers share almost nothing.
+func BenchmarkNetworkDrive(b *testing.B) {
+	site := webmodel.Generate(webmodel.SiteConfig{Seed: 31, NumPages: 40})
+	ips := benchClientIPs(512)
+	at := time.Date(2006, 1, 6, 0, 0, 0, 0, time.UTC)
+	reqs := make([]agents.Request, 4096)
+	for i := range reqs {
+		path := "/page1.html"
+		if i%3 == 0 {
+			path = "/"
+		}
+		reqs[i] = agents.Request{
+			Time: at.Add(time.Duration(i) * time.Millisecond), IP: ips[i%len(ips)],
+			UserAgent: "Firefox/1.5", Method: "GET", Path: path,
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		netw := cdn.NewNetwork(8, site, core.Config{Seed: 32}, true, 5)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, req := range reqs {
+				netw.Do(req)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		netw := cdn.NewNetwork(8, site, core.Config{Seed: 32}, true, 5)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			netw.DriveParallel(reqs)
+		}
+	})
 }
 
 // BenchmarkSessionObserve measures per-request session accounting.

@@ -9,6 +9,7 @@ package cdn
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"botdetect/internal/agents"
 	"botdetect/internal/captcha"
@@ -48,12 +49,27 @@ type NodeStats struct {
 	CaptchaSolved       int64
 }
 
-// Node is one proxy in the simulated CDN. It implements agents.Client.
-type Node struct {
-	cfg NodeConfig
+// nodeCounters is the internal atomic mirror of NodeStats: each counter is
+// an independent atomic so the parallel driver's workers (and the sharded
+// engine behind them) never serialise on a node-wide statistics lock.
+type nodeCounters struct {
+	requests            atomic.Int64
+	blockedRequests     atomic.Int64
+	throttledRequests   atomic.Int64
+	originBytes         atomic.Int64
+	instrumentationHits atomic.Int64
+	captchaSolved       atomic.Int64
+}
 
-	mu      sync.Mutex
-	stats   NodeStats
+// Node is one proxy in the simulated CDN. It implements agents.Client and is
+// safe for concurrent use: counters are atomic, and the mutex guards only
+// the optional log sinks (writer and in-memory recording).
+type Node struct {
+	cfg       NodeConfig
+	stats     nodeCounters
+	recording atomic.Bool
+
+	mu      sync.Mutex // guards LogWriter writes and entries
 	entries []logfmt.Entry
 }
 
@@ -63,7 +79,9 @@ func NewNode(cfg NodeConfig) *Node {
 	if cfg.Site == nil || cfg.Engine == nil {
 		panic("cdn: NodeConfig.Site and NodeConfig.Engine are required")
 	}
-	return &Node{cfg: cfg}
+	n := &Node{cfg: cfg}
+	n.recording.Store(cfg.RecordEntries)
+	return n
 }
 
 // Name returns the node's name.
@@ -74,16 +92,19 @@ func (n *Node) Engine() *core.Engine { return n.cfg.Engine }
 
 // Stats returns a copy of the node's counters.
 func (n *Node) Stats() NodeStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return NodeStats{
+		Requests:            n.stats.requests.Load(),
+		BlockedRequests:     n.stats.blockedRequests.Load(),
+		ThrottledRequests:   n.stats.throttledRequests.Load(),
+		OriginBytes:         n.stats.originBytes.Load(),
+		InstrumentationHits: n.stats.instrumentationHits.Load(),
+		CaptchaSolved:       n.stats.captchaSolved.Load(),
+	}
 }
 
 // SetRecording enables or disables in-memory recording of observed entries.
 func (n *Node) SetRecording(enabled bool) {
-	n.mu.Lock()
-	n.cfg.RecordEntries = enabled
-	n.mu.Unlock()
+	n.recording.Store(enabled)
 }
 
 // Entries returns the recorded log entries (nil unless RecordEntries is set).
@@ -98,9 +119,7 @@ func (n *Node) Entries() []logfmt.Entry {
 // Do implements agents.Client: it plays the role the instrumented CoDeeN
 // proxy plays for a real client request.
 func (n *Node) Do(req agents.Request) agents.Response {
-	n.mu.Lock()
-	n.stats.Requests++
-	n.mu.Unlock()
+	n.stats.requests.Add(1)
 
 	key := session.Key{IP: req.IP, UserAgent: req.UserAgent}
 	d := n.cfg.Engine
@@ -112,15 +131,11 @@ func (n *Node) Do(req agents.Request) agents.Response {
 			ch := n.cfg.Captcha.Issue(key)
 			if answer, ok := n.cfg.Captcha.Answer(ch.ID); ok && n.cfg.Captcha.Verify(ch.ID, answer) {
 				d.MarkCaptchaPassed(key)
-				n.mu.Lock()
-				n.stats.CaptchaSolved++
-				n.mu.Unlock()
+				n.stats.captchaSolved.Add(1)
 			}
 		} else {
 			d.MarkCaptchaPassed(key)
-			n.mu.Lock()
-			n.stats.CaptchaSolved++
-			n.mu.Unlock()
+			n.stats.captchaSolved.Add(1)
 		}
 		return agents.Response{Status: 200, ContentType: "text/plain", Body: []byte("ok")}
 	}
@@ -130,22 +145,14 @@ func (n *Node) Do(req agents.Request) agents.Response {
 	// marks signals instead) but they do appear in the access log, exactly as
 	// they would in a real proxy's log.
 	if resp, ok := d.HandleBeacon(req.IP, req.UserAgent, req.Path); ok {
-		n.mu.Lock()
-		n.stats.InstrumentationHits++
-		if n.cfg.LogWriter != nil || n.cfg.RecordEntries {
-			entry := logfmt.Entry{
+		n.stats.instrumentationHits.Add(1)
+		if n.cfg.LogWriter != nil || n.recording.Load() {
+			n.log(logfmt.Entry{
 				Time: req.Time, ClientIP: req.IP, UserAgent: req.UserAgent, Method: req.Method,
 				Path: req.Path, Status: resp.Status, Bytes: int64(len(resp.Body)),
 				Referer: req.Referer, ContentType: resp.ContentType,
-			}
-			if n.cfg.LogWriter != nil {
-				_ = n.cfg.LogWriter.Write(entry)
-			}
-			if n.cfg.RecordEntries {
-				n.entries = append(n.entries, entry)
-			}
+			})
 		}
-		n.mu.Unlock()
 		return agents.Response{Status: resp.Status, ContentType: resp.ContentType, Body: resp.Body}
 	}
 
@@ -155,15 +162,11 @@ func (n *Node) Do(req agents.Request) agents.Response {
 			decision := n.cfg.Policy.Evaluate(snap, d.ClassifySnapshot(snap))
 			switch decision.Action {
 			case policy.Block:
-				n.mu.Lock()
-				n.stats.BlockedRequests++
-				n.mu.Unlock()
+				n.stats.blockedRequests.Add(1)
 				n.observe(req, 403, "text/html", 0)
 				return agents.Response{Status: 403, ContentType: "text/html", Body: []byte("<html><body>blocked</body></html>")}
 			case policy.Throttle:
-				n.mu.Lock()
-				n.stats.ThrottledRequests++
-				n.mu.Unlock()
+				n.stats.throttledRequests.Add(1)
 			}
 		}
 	}
@@ -174,9 +177,7 @@ func (n *Node) Do(req agents.Request) agents.Response {
 		body, _ = d.InstrumentPage(req.IP, req.UserAgent, req.Path, obj.Body)
 	}
 	n.observe(req, obj.Status, obj.ContentType, int64(len(obj.Body)))
-	n.mu.Lock()
-	n.stats.OriginBytes += int64(len(obj.Body))
-	n.mu.Unlock()
+	n.stats.originBytes.Add(int64(len(obj.Body)))
 	return agents.Response{Status: obj.Status, ContentType: obj.ContentType, Body: body, RedirectTo: obj.RedirectTo}
 }
 
@@ -188,14 +189,21 @@ func (n *Node) observe(req agents.Request, status int, contentType string, bytes
 		Path: req.Path, Status: status, Bytes: bytes, Referer: req.Referer, ContentType: contentType,
 	}
 	n.cfg.Engine.ObserveRequest(entry)
+	if n.cfg.LogWriter != nil || n.recording.Load() {
+		n.log(entry)
+	}
+}
+
+// log serialises writes to the node's optional log sinks.
+func (n *Node) log(entry logfmt.Entry) {
 	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.cfg.LogWriter != nil {
 		_ = n.cfg.LogWriter.Write(entry)
 	}
-	if n.cfg.RecordEntries {
+	if n.recording.Load() {
 		n.entries = append(n.entries, entry)
 	}
-	n.mu.Unlock()
 }
 
 // Network is a set of nodes sharing one origin site, with clients pinned to
@@ -242,17 +250,56 @@ func (n *Network) Nodes() []*Node { return n.nodes }
 
 // NodeFor returns the node serving the given client IP.
 func (n *Network) NodeFor(ip string) *Node {
+	return n.nodes[n.nodeIndex(ip)]
+}
+
+// nodeIndex hashes a client IP onto a node (FNV-1a), pinning each client to
+// one proxy the way CoDeeN clients stick to a nearby node.
+func (n *Network) nodeIndex(ip string) int {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(ip); i++ {
 		h ^= uint64(ip[i])
 		h *= 1099511628211
 	}
-	return n.nodes[h%uint64(len(n.nodes))]
+	return int(h % uint64(len(n.nodes)))
 }
 
 // Do implements agents.Client by routing to the client's node.
 func (n *Network) Do(req agents.Request) agents.Response {
 	return n.NodeFor(req.IP).Do(req)
+}
+
+// DriveParallel replays a batch of requests across the network with one
+// worker goroutine per node, so multi-node simulations actually exercise the
+// sharded engine layer from many cores at once. Requests are partitioned by
+// the same IP pinning as Do, which preserves each client's request order;
+// only cross-client interleaving differs between runs, so per-node and
+// aggregate statistics match the serial driver. Experiments that need
+// fully reproducible event interleaving should keep driving the network
+// serially on the virtual clock (internal/workload).
+func (n *Network) DriveParallel(reqs []agents.Request) {
+	if len(reqs) == 0 || len(n.nodes) == 0 {
+		return
+	}
+	buckets := make([][]agents.Request, len(n.nodes))
+	for _, req := range reqs {
+		i := n.nodeIndex(req.IP)
+		buckets[i] = append(buckets[i], req)
+	}
+	var wg sync.WaitGroup
+	for i := range buckets {
+		if len(buckets[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(node *Node, batch []agents.Request) {
+			defer wg.Done()
+			for _, req := range batch {
+				node.Do(req)
+			}
+		}(n.nodes[i], buckets[i])
+	}
+	wg.Wait()
 }
 
 // FlushSessions ends all sessions on all nodes and returns them.

@@ -226,3 +226,86 @@ func TestNodeNameGenerator(t *testing.T) {
 		t.Fatalf("node names collide too much: %d distinct of 50", len(seen))
 	}
 }
+
+func parallelTestRequests(netw *Network, count int) []agents.Request {
+	src := rng.New(77)
+	at := time.Date(2006, 1, 6, 0, 0, 0, 0, time.UTC)
+	reqs := make([]agents.Request, 0, count)
+	for i := 0; i < count; i++ {
+		ip := "10." + string(rune('0'+i%10)) + ".0." + string(rune('1'+i%9))
+		path := "/"
+		switch src.Intn(3) {
+		case 1:
+			path = "/page1.html"
+		case 2:
+			path = "/img/photo0_0.jpg"
+		}
+		reqs = append(reqs, agents.Request{
+			Time: at.Add(time.Duration(i) * time.Second), IP: ip,
+			UserAgent: "Firefox/1.5", Method: "GET", Path: path,
+		})
+	}
+	return reqs
+}
+
+func TestDriveParallelMatchesSerial(t *testing.T) {
+	site := webmodel.Generate(webmodel.SiteConfig{Seed: 5, NumPages: 20})
+	cfg := core.Config{Seed: 6}
+	serial := NewNetwork(4, site, cfg, false, 99)
+	parallel := NewNetwork(4, site, cfg, false, 99)
+
+	reqs := parallelTestRequests(serial, 400)
+	for _, req := range reqs {
+		serial.Do(req)
+	}
+	parallel.DriveParallel(reqs)
+
+	ws, wp := serial.TotalStats(), parallel.TotalStats()
+	if ws != wp {
+		t.Fatalf("stats diverged: serial %+v parallel %+v", ws, wp)
+	}
+	// Per-node engines see identical per-client request streams, so the
+	// session populations must match node by node.
+	for i := range serial.Nodes() {
+		s, p := serial.Nodes()[i].Engine().SessionCount(), parallel.Nodes()[i].Engine().SessionCount()
+		if s != p {
+			t.Fatalf("node %d session count: serial %d parallel %d", i, s, p)
+		}
+	}
+	if len(serial.FlushSessions()) != len(parallel.FlushSessions()) {
+		t.Fatal("flushed session counts diverged")
+	}
+}
+
+func TestDriveParallelConcurrentStats(t *testing.T) {
+	// Hammer one network from the parallel driver while readers poll the
+	// atomic counters; run under -race in CI this doubles as the data-race
+	// proof for the lock-free NodeStats.
+	site := webmodel.Generate(webmodel.SiteConfig{Seed: 7, NumPages: 10})
+	netw := NewNetwork(8, site, core.Config{Seed: 8}, true, 13)
+	reqs := parallelTestRequests(netw, 600)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = netw.TotalStats()
+			_ = netw.EngineStats()
+		}
+	}()
+	netw.DriveParallel(reqs)
+	<-done
+
+	if netw.TotalStats().Requests != int64(len(reqs)) {
+		t.Fatalf("requests = %d, want %d", netw.TotalStats().Requests, len(reqs))
+	}
+}
+
+func TestDriveParallelEmpty(t *testing.T) {
+	site := webmodel.Generate(webmodel.SiteConfig{Seed: 9, NumPages: 5})
+	netw := NewNetwork(2, site, core.Config{Seed: 10}, false, 1)
+	netw.DriveParallel(nil)
+	if got := netw.TotalStats().Requests; got != 0 {
+		t.Fatalf("empty drive served %d", got)
+	}
+}

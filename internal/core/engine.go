@@ -242,12 +242,28 @@ type scriptShard struct {
 	max     int
 }
 
+// pagePrecomp caches the per-deployment constant parts of the injection,
+// derived from jsgen's path helpers so the URL formats live in one place:
+// beacon path prefixes/suffixes and the inline reporter script split around
+// its token. Composing these once in New keeps PrepareInstrumentation down
+// to a few short concatenations per page view instead of rebuilding every
+// URL and the whole inline script with fmt.
+type pagePrecomp struct {
+	cssPre, cssSuf       string // around the token in jsgen.CSSPath
+	scriptPre, scriptSuf string // around the token in jsgen.ScriptPath
+	hiddenPre, hiddenSuf string // around the token in jsgen.HiddenPath
+	transpImg            string // jsgen.TransparentImagePath
+	inlinePre            string // inline reporter before the token
+	inlinePost           string // inline reporter after the token
+}
+
 // Engine is the robot-detection engine. It is safe for concurrent use; see
 // the package comment for the sharding design.
 type Engine struct {
 	cfg  Config
 	keys *keystore.Store
 	gen  *jsgen.Generator
+	pre  pagePrecomp
 
 	sessions *session.Tracker
 
@@ -273,6 +289,15 @@ func New(cfg Config) *Engine {
 			Clock:     cfg.Clock,
 		}),
 	}
+	base, prefix := cfg.BeaconBase, cfg.BeaconPrefix
+	e.pre = pagePrecomp{transpImg: base + jsgen.TransparentImagePath(prefix)}
+	cssPre, cssSuf := jsgen.CSSPathParts(prefix)
+	e.pre.cssPre, e.pre.cssSuf = base+cssPre, cssSuf
+	scriptPre, scriptSuf := jsgen.ScriptPathParts(prefix)
+	e.pre.scriptPre, e.pre.scriptSuf = base+scriptPre, scriptSuf
+	hiddenPre, hiddenSuf := jsgen.HiddenPathParts(prefix)
+	e.pre.hiddenPre, e.pre.hiddenSuf = base+hiddenPre, hiddenSuf
+	e.pre.inlinePre, e.pre.inlinePost = jsgen.InlineUAScriptParts(base, prefix)
 	e.sessions = session.NewTracker(session.Config{
 		IdleTimeout: cfg.SessionIdleTimeout,
 		MaxSessions: cfg.MaxSessions,
@@ -327,13 +352,14 @@ func (e *Engine) scriptSeed() uint64 {
 	return z ^ (z >> 31)
 }
 
-// InstrumentPage rewrites one HTML page served to clientIP/userAgent:
-// it issues fresh keys, generates the per-page obfuscated script, injects
-// the beacon stylesheet, the external script, the inline user-agent
-// reporter, the body event handlers, and the hidden trap link. The rewritten
-// page and a description of the injections are returned. Non-HTML bodies
-// should not be passed.
-func (e *Engine) InstrumentPage(clientIP, userAgent, pagePath string, html []byte) ([]byte, Instrumented) {
+// PrepareInstrumentation sets up the injection for one HTML page view served
+// to clientIP/userAgent: it issues fresh keys, generates and stores the
+// per-page obfuscated script, and compiles the injection fragments. The
+// caller applies them — typically by streaming the response body through an
+// htmlmod.StreamRewriter, or buffered via Prepared.Rewrite — and must call
+// RecordInstrumented once the rewrite completes so the paper's overhead
+// accounting stays accurate.
+func (e *Engine) PrepareInstrumentation(clientIP, userAgent, pagePath string) (*htmlmod.Prepared, Instrumented) {
 	iss := e.keys.Issue(clientIP, pagePath)
 	prefix := e.cfg.BeaconPrefix
 
@@ -348,27 +374,43 @@ func (e *Engine) InstrumentPage(clientIP, userAgent, pagePath string, html []byt
 	})
 	e.storeScript(iss.ScriptToken, []byte(script))
 
-	inj := htmlmod.Injection{
-		CSSHref:      e.cfg.BeaconBase + jsgen.CSSPath(prefix, iss.CSSToken),
-		ScriptSrc:    e.cfg.BeaconBase + jsgen.ScriptPath(prefix, iss.ScriptToken),
-		InlineScript: jsgen.InlineUAScript(e.cfg.BeaconBase, prefix, iss.ScriptToken),
+	prep := htmlmod.PrepareInjection(htmlmod.Injection{
+		CSSHref:      e.pre.cssPre + iss.CSSToken + e.pre.cssSuf,
+		ScriptSrc:    e.pre.scriptPre + iss.ScriptToken + e.pre.scriptSuf,
+		InlineScript: e.pre.inlinePre + iss.ScriptToken + e.pre.inlinePost,
 		HandlerName:  e.gen.HandlerName,
-		HiddenHref:   e.cfg.BeaconBase + jsgen.HiddenPath(prefix, iss.HiddenToken),
-		HiddenImgSrc: e.cfg.BeaconBase + jsgen.TransparentImagePath(prefix),
-	}
-	res := htmlmod.Rewrite(html, inj)
-
-	e.stats.pagesInstrumented.Add(1)
-	e.stats.originalBytes.Add(int64(len(html)))
-	e.stats.addedBytes.Add(int64(res.AddedBytes))
-
-	return res.HTML, Instrumented{
+		HiddenHref:   e.pre.hiddenPre + iss.HiddenToken + e.pre.hiddenSuf,
+		HiddenImgSrc: e.pre.transpImg,
+	})
+	return prep, Instrumented{
 		Issued:     iss,
 		ScriptPath: jsgen.ScriptPath(prefix, iss.ScriptToken),
 		CSSPath:    jsgen.CSSPath(prefix, iss.CSSToken),
 		HiddenPath: jsgen.HiddenPath(prefix, iss.HiddenToken),
-		AddedBytes: res.AddedBytes,
 	}
+}
+
+// RecordInstrumented accounts one completed page rewrite (original body
+// size and instrumentation bytes added) for the overhead experiment.
+func (e *Engine) RecordInstrumented(originalBytes, addedBytes int) {
+	e.stats.pagesInstrumented.Add(1)
+	e.stats.originalBytes.Add(int64(originalBytes))
+	e.stats.addedBytes.Add(int64(addedBytes))
+}
+
+// InstrumentPage rewrites one HTML page served to clientIP/userAgent:
+// it issues fresh keys, generates the per-page obfuscated script, injects
+// the beacon stylesheet, the external script, the inline user-agent
+// reporter, the body event handlers, and the hidden trap link. The rewritten
+// page and a description of the injections are returned. Non-HTML bodies
+// should not be passed. Callers that can write the page incrementally should
+// prefer PrepareInstrumentation with a streaming rewriter.
+func (e *Engine) InstrumentPage(clientIP, userAgent, pagePath string, html []byte) ([]byte, Instrumented) {
+	prep, inst := e.PrepareInstrumentation(clientIP, userAgent, pagePath)
+	res := prep.Rewrite(html)
+	inst.AddedBytes = res.AddedBytes
+	e.RecordInstrumented(len(html), res.AddedBytes)
+	return res.HTML, inst
 }
 
 func (e *Engine) scriptShard(token string) *scriptShard {

@@ -1,7 +1,6 @@
 package htmlmod
 
 import (
-	"fmt"
 	"strings"
 )
 
@@ -39,18 +38,100 @@ type RewriteResult struct {
 	AddedBytes int
 }
 
-// Rewrite injects the instrumentation into the document. It never fails:
-// documents without a <head> get head-level injections right after <body>
-// (or prepended), documents without a <body> get body-level injections
-// appended, and non-HTML input is returned with only appended content when
-// nothing can be located safely.
+// Prepared is an Injection compiled into its literal insertion fragments.
+// Composing the fragments costs a handful of small allocations, so callers
+// serving the same logical injection shape (the proxy, the CDN simulator)
+// prepare once per page view and reuse the result across the buffered and
+// streaming rewriters. The zero value injects nothing.
+type Prepared struct {
+	headInsert  []byte // after <head> (stylesheet link + external script)
+	bodyTop     []byte // after <body> (inline user-agent reporter)
+	bodyBottom  []byte // before </body> (hidden trap link)
+	handlerCall string // "return <fn>();" for the body event handlers; "" disables
+
+	cssSet, scriptSet, inlineSet, hiddenSet bool
+}
+
+// PrepareInjection compiles an Injection into its insertion fragments.
+func PrepareInjection(inj Injection) *Prepared {
+	p := &Prepared{
+		cssSet:    inj.CSSHref != "",
+		scriptSet: inj.ScriptSrc != "",
+		inlineSet: inj.InlineScript != "",
+		hiddenSet: inj.HiddenHref != "",
+	}
+
+	// Head fragment: the stylesheet link and the external script tags.
+	if p.cssSet || p.scriptSet {
+		b := make([]byte, 0, 160)
+		if p.cssSet {
+			b = append(b, "\n<link rel=\"stylesheet\" type=\"text/css\" href=\""...)
+			b = appendEscaped(b, inj.CSSHref)
+			b = append(b, "\">"...)
+		}
+		if p.scriptSet {
+			b = append(b, "\n<script language=\"javascript\" type=\"text/javascript\" src=\""...)
+			b = appendEscaped(b, inj.ScriptSrc)
+			b = append(b, "\"></script>"...)
+		}
+		b = append(b, '\n')
+		p.headInsert = b
+	}
+
+	// Body-top fragment: the inline user-agent reporter script.
+	if p.inlineSet {
+		b := make([]byte, 0, len(inj.InlineScript)+48)
+		b = append(b, "\n<script type=\"text/javascript\">\n"...)
+		b = append(b, inj.InlineScript...)
+		b = append(b, "</script>\n"...)
+		p.bodyTop = b
+	}
+
+	// Body-bottom fragment: the hidden trap link.
+	if p.hiddenSet {
+		img := inj.HiddenImgSrc
+		if img == "" {
+			img = inj.HiddenHref
+		}
+		b := make([]byte, 0, 128)
+		b = append(b, "\n<a href=\""...)
+		b = appendEscaped(b, inj.HiddenHref)
+		b = append(b, "\"><img src=\""...)
+		b = appendEscaped(b, img)
+		b = append(b, "\" width=\"1\" height=\"1\" border=\"0\" alt=\"\"></a>\n"...)
+		p.bodyBottom = b
+	}
+
+	if inj.HandlerName != "" {
+		p.handlerCall = "return " + inj.HandlerName + "();"
+	}
+	return p
+}
+
+// Rewrite injects the instrumentation into the document, buffering and
+// rebuilding it in one pass. It never fails: documents without a <head> get
+// head-level injections right after <body> (or after <html>, or prepended),
+// documents without a <body> get body-level injections appended, and
+// non-HTML input is returned with only appended content when nothing can be
+// located safely.
+//
+// This is the reference (store-and-forward) path; the streaming rewriter in
+// stream.go produces byte-identical output without materialising the
+// document and is preferred on hot paths. Rewrite remains the fallback for
+// documents whose anchors arrive in a pathological order.
 func Rewrite(doc []byte, inj Injection) RewriteResult {
+	return PrepareInjection(inj).RewriteBuffered(doc)
+}
+
+// RewriteBuffered is the tokenising store-and-forward rewrite path using
+// prepared fragments. See Rewrite.
+func (p *Prepared) RewriteBuffered(doc []byte) RewriteResult {
 	tokens := Tokenize(doc)
 
-	var headStart *Token // the <head> start tag
-	var bodyStart *Token // the <body> start tag
-	var bodyEnd *Token   // the </body> end tag
-	var htmlStart *Token // the <html> start tag
+	var headStart *Token // the first <head> start tag
+	var bodyStart *Token // the first <body> start tag
+	var bodyEnd *Token   // the first </body> end tag
+	var htmlStart *Token // the first <html> start tag
 	for idx := range tokens {
 		t := &tokens[idx]
 		switch {
@@ -58,197 +139,197 @@ func Rewrite(doc []byte, inj Injection) RewriteResult {
 			headStart = t
 		case t.Type == StartTagToken && t.Name == "body" && bodyStart == nil:
 			bodyStart = t
-		case t.Type == EndTagToken && t.Name == "body":
-			bodyEnd = t // keep the last one
+		case t.Type == EndTagToken && t.Name == "body" && bodyEnd == nil:
+			bodyEnd = t
 		case t.Type == StartTagToken && t.Name == "html" && htmlStart == nil:
 			htmlStart = t
 		}
 	}
 
-	headInsert := buildHeadInsert(inj)
-	bodyTopInsert := buildBodyTopInsert(inj)
-	bodyBottomInsert := buildBodyBottomInsert(inj)
-
 	// Decide insertion offsets in the original document.
-	var inserts []insertion
-
+	var inserts [3]insertion
+	n := 0
 	res := RewriteResult{}
 
-	if headInsert != "" {
+	if len(p.headInsert) > 0 {
 		switch {
 		case headStart != nil:
-			inserts = append(inserts, insertion{headStart.End, headInsert})
+			inserts[n] = insertion{headStart.End, p.headInsert}
 		case bodyStart != nil:
-			inserts = append(inserts, insertion{bodyStart.End, headInsert})
+			inserts[n] = insertion{bodyStart.End, p.headInsert}
 		case htmlStart != nil:
-			inserts = append(inserts, insertion{htmlStart.End, headInsert})
+			inserts[n] = insertion{htmlStart.End, p.headInsert}
 		default:
-			inserts = append(inserts, insertion{0, headInsert})
+			inserts[n] = insertion{0, p.headInsert}
 		}
-		res.InjectedCSS = inj.CSSHref != ""
-		res.InjectedScript = inj.ScriptSrc != ""
+		n++
+		res.InjectedCSS = p.cssSet
+		res.InjectedScript = p.scriptSet
 	}
 
-	if bodyTopInsert != "" {
+	if len(p.bodyTop) > 0 {
 		switch {
 		case bodyStart != nil:
-			inserts = append(inserts, insertion{bodyStart.End, bodyTopInsert})
-		case htmlStart != nil:
-			inserts = append(inserts, insertion{htmlStart.End, bodyTopInsert})
+			inserts[n] = insertion{bodyStart.End, p.bodyTop}
 		default:
-			inserts = append(inserts, insertion{len(doc), bodyTopInsert})
+			inserts[n] = insertion{len(doc), p.bodyTop}
 		}
-		res.InjectedInline = inj.InlineScript != ""
+		n++
+		res.InjectedInline = p.inlineSet
 	}
 
-	if bodyBottomInsert != "" {
+	if len(p.bodyBottom) > 0 {
 		switch {
 		case bodyEnd != nil:
-			inserts = append(inserts, insertion{bodyEnd.Start, bodyBottomInsert})
+			inserts[n] = insertion{bodyEnd.Start, p.bodyBottom}
 		default:
-			inserts = append(inserts, insertion{len(doc), bodyBottomInsert})
+			inserts[n] = insertion{len(doc), p.bodyBottom}
 		}
-		res.InjectedHidden = inj.HiddenHref != ""
+		n++
+		res.InjectedHidden = p.hiddenSet
 	}
 
 	// Event-handler attributes on the <body> tag itself.
-	var bodyTagReplacement string
-	if inj.HandlerName != "" && bodyStart != nil {
-		bodyTagReplacement = rewriteBodyTag(doc, *bodyStart, inj.HandlerName)
-		if bodyTagReplacement != "" {
+	var bodyTagReplacement []byte
+	if p.handlerCall != "" && bodyStart != nil {
+		var attrs []rawAttr
+		if raw, complete, ok := scanStartTagRaw(doc, bodyStart.Start, &attrs); complete && ok {
+			bodyTagReplacement = appendBodyTag(nil, doc, attrs, raw.selfClosing, p.handlerCall)
 			res.InjectedHandlers = true
 		}
 	}
 
-	out := applyEdits(doc, bodyStart, bodyTagReplacement, inserts)
+	out := applyEdits(doc, bodyStart, bodyTagReplacement, inserts[:n])
 	res.HTML = out
 	res.AddedBytes = len(out) - len(doc)
 	return res
 }
 
-// buildHeadInsert renders the stylesheet link and external script tags.
-func buildHeadInsert(inj Injection) string {
-	var b strings.Builder
-	if inj.CSSHref != "" {
-		fmt.Fprintf(&b, "\n<link rel=\"stylesheet\" type=\"text/css\" href=\"%s\">", htmlEscape(inj.CSSHref))
-	}
-	if inj.ScriptSrc != "" {
-		fmt.Fprintf(&b, "\n<script language=\"javascript\" type=\"text/javascript\" src=\"%s\"></script>", htmlEscape(inj.ScriptSrc))
-	}
-	if b.Len() > 0 {
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
-
-// buildBodyTopInsert renders the inline user-agent reporter script.
-func buildBodyTopInsert(inj Injection) string {
-	if inj.InlineScript == "" {
-		return ""
-	}
-	return "\n<script type=\"text/javascript\">\n" + inj.InlineScript + "</script>\n"
-}
-
-// buildBodyBottomInsert renders the hidden trap link.
-func buildBodyBottomInsert(inj Injection) string {
-	if inj.HiddenHref == "" {
-		return ""
-	}
-	img := inj.HiddenImgSrc
-	if img == "" {
-		img = inj.HiddenHref
-	}
-	return fmt.Sprintf("\n<a href=\"%s\"><img src=\"%s\" width=\"1\" height=\"1\" border=\"0\" alt=\"\"></a>\n",
-		htmlEscape(inj.HiddenHref), htmlEscape(img))
-}
-
-// rewriteBodyTag returns the replacement text for the original <body ...>
-// tag with onmousemove/onkeypress handlers added. Handlers already present
-// on the page are preserved by chaining ours in front. It returns "" when
-// the tag cannot be rebuilt safely.
-func rewriteBodyTag(doc []byte, body Token, handler string) string {
-	call := fmt.Sprintf("return %s();", handler)
-	var b strings.Builder
-	b.WriteString("<body")
+// appendBodyTag rebuilds the original <body ...> tag with the
+// onmousemove/onkeypress handler call added, preserving (and chaining in
+// front of) handlers already present on the page. Attribute names are
+// lowercased and values are requoted, matching the historical rewriter.
+func appendBodyTag(dst []byte, doc []byte, attrs []rawAttr, selfClosing bool, call string) []byte {
+	dst = append(dst, "<body"...)
 	seenMouse, seenKey := false, false
-	for _, a := range body.Attrs {
-		val := a.Value
-		switch a.Name {
-		case "onmousemove":
-			val = call + " " + val
-			seenMouse = true
-		case "onkeypress":
-			val = call + " " + val
-			seenKey = true
-		}
-		if val == "" && a.Value == "" {
-			fmt.Fprintf(&b, " %s", a.Name)
+	for _, a := range attrs {
+		name := doc[a.nameStart:a.nameEnd]
+		val := doc[a.valStart:a.valEnd]
+		isMouse := foldEq(name, "onmousemove")
+		isKey := foldEq(name, "onkeypress")
+		if len(val) == 0 && !isMouse && !isKey {
+			dst = append(dst, ' ')
+			dst = appendLower(dst, name)
 			continue
 		}
-		fmt.Fprintf(&b, " %s=\"%s\"", a.Name, htmlEscape(val))
+		dst = append(dst, ' ')
+		dst = appendLower(dst, name)
+		dst = append(dst, '=', '"')
+		if isMouse || isKey {
+			dst = appendEscaped(dst, call)
+			dst = append(dst, ' ')
+			if isMouse {
+				seenMouse = true
+			} else {
+				seenKey = true
+			}
+		}
+		dst = appendEscaped(dst, val)
+		dst = append(dst, '"')
 	}
 	if !seenMouse {
-		fmt.Fprintf(&b, " onmousemove=\"%s\"", htmlEscape(call))
+		dst = append(dst, " onmousemove=\""...)
+		dst = appendEscaped(dst, call)
+		dst = append(dst, '"')
 	}
 	if !seenKey {
-		fmt.Fprintf(&b, " onkeypress=\"%s\"", htmlEscape(call))
+		dst = append(dst, " onkeypress=\""...)
+		dst = appendEscaped(dst, call)
+		dst = append(dst, '"')
 	}
-	if body.SelfClosing {
-		b.WriteString("/>")
+	if selfClosing {
+		dst = append(dst, '/', '>')
 	} else {
-		b.WriteString(">")
+		dst = append(dst, '>')
 	}
-	return b.String()
+	return dst
 }
 
 // insertion is one positional text insertion into the original document.
 type insertion struct {
 	at   int
-	text string
+	text []byte
 }
 
 // applyEdits rebuilds the document applying the body-tag replacement and the
 // positional insertions in one pass.
-func applyEdits(doc []byte, bodyStart *Token, bodyReplacement string, inserts []insertion) []byte {
+func applyEdits(doc []byte, bodyStart *Token, bodyReplacement []byte, inserts []insertion) []byte {
 	// Sort insertions by offset (stable for equal offsets: insertion order).
 	for i := 1; i < len(inserts); i++ {
 		for j := i; j > 0 && inserts[j].at < inserts[j-1].at; j-- {
 			inserts[j], inserts[j-1] = inserts[j-1], inserts[j]
 		}
 	}
-	var b strings.Builder
-	b.Grow(len(doc) + 1024)
+	extra := len(bodyReplacement) + 16
+	for _, ins := range inserts {
+		extra += len(ins.text)
+	}
+	out := make([]byte, 0, len(doc)+extra)
 	pos := 0
 	nextInsert := 0
 	emitUpTo := func(end int) {
 		for nextInsert < len(inserts) && inserts[nextInsert].at <= end {
 			at := inserts[nextInsert].at
 			if at > pos {
-				b.Write(doc[pos:at])
+				out = append(out, doc[pos:at]...)
 				pos = at
 			}
-			b.WriteString(inserts[nextInsert].text)
+			out = append(out, inserts[nextInsert].text...)
 			nextInsert++
 		}
 		if end > pos {
-			b.Write(doc[pos:end])
+			out = append(out, doc[pos:end]...)
 			pos = end
 		}
 	}
-	if bodyReplacement != "" && bodyStart != nil {
+	if len(bodyReplacement) > 0 && bodyStart != nil {
 		emitUpTo(bodyStart.Start)
-		b.WriteString(bodyReplacement)
+		out = append(out, bodyReplacement...)
 		pos = bodyStart.End
 	}
 	emitUpTo(len(doc))
-	return []byte(b.String())
+	return out
 }
 
-// htmlEscape escapes the characters that would break out of a double-quoted
-// attribute value or element context.
-func htmlEscape(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "\"", "&quot;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
+// appendEscaped appends s with the characters that would break out of a
+// double-quoted attribute value or element context escaped.
+func appendEscaped[T ~string | ~[]byte](dst []byte, s T) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '"':
+			dst = append(dst, "&quot;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}
+
+// appendLower appends b ASCII-lowercased.
+func appendLower(dst, b []byte) []byte {
+	for _, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
 }
 
 // PageSummary is the structure of a page as seen by a client: the navigation

@@ -1,0 +1,480 @@
+package htmlmod
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// StreamResult reports what the streaming rewriter injected. It is valid
+// after Close.
+type StreamResult struct {
+	// InjectedCSS, InjectedScript, InjectedHandlers, InjectedInline and
+	// InjectedHidden report which injections were applied.
+	InjectedCSS      bool
+	InjectedScript   bool
+	InjectedHandlers bool
+	InjectedInline   bool
+	InjectedHidden   bool
+	// AddedBytes is the size increase of the document.
+	AddedBytes int
+	// Truncated reports that the hold limit was exceeded: the remaining
+	// input was forwarded verbatim and pending injections were skipped.
+	Truncated bool
+	// UsedFallback reports that the document's anchors arrived in an order
+	// the single-pass injector cannot stream (no <head> before the first
+	// <body>/<body-end>, or no anchors at all), so the whole document was
+	// buffered and rewritten by the reference path.
+	UsedFallback bool
+}
+
+// StreamRewriter injects instrumentation into an HTML document as its bytes
+// flow through, emitting untouched spans verbatim to the underlying writer
+// and splicing the prepared fragments in at the <head>, <body> and </body>
+// anchors as they are recognised. Output is byte-identical to the buffered
+// Rewrite on every input.
+//
+// The rewriter emits eagerly: once the first <head> tag has been seen, the
+// head fragment and everything before it are already on the wire, so
+// time-to-first-byte is proportional to the distance to the first anchor,
+// not to the document length. Input is retained only where the decision is
+// not yet safe:
+//
+//   - everything before the first <head> (a document with no head anchors
+//     its fragments elsewhere, which only the whole-document pass can place);
+//   - raw-text element content (script/style/textarea/title) until its end
+//     tag, because an unterminated raw-text element is re-scanned as markup;
+//   - an incomplete trailing token (a tag split across chunks).
+//
+// Documents whose anchors never resolve — no <head> before the first
+// <body>, or none at all — fall back to the buffered reference rewriter
+// over the retained bytes at Close, which is exactly the store-and-forward
+// behaviour this type replaces.
+//
+// A StreamRewriter is not safe for concurrent use. Use NewStreamRewriter
+// and Release to recycle instances through the package pool.
+type StreamRewriter struct {
+	w io.Writer
+	p *Prepared
+
+	// Pending anchors.
+	needHead, needBody, needBodyEnd bool
+	// holding retains all output while the head anchor is unresolved.
+	holding bool
+
+	mode    int
+	carry   []byte // retained, unemitted input
+	scanPos int    // scan progress within carry
+	// Raw-text state: the element name (rawtext names are at most 8 bytes)
+	// and the resume offset for the incremental close-tag search.
+	rawName    [8]byte
+	rawNameLen int
+	rawProbe   int
+	// minGrow defers re-scanning an ambiguous held region (an open tag or
+	// comment split across chunks) until it has roughly doubled since the
+	// last attempt. Each rescan restarts from the construct's first byte, so
+	// without the backoff a multi-chunk 1 MiB attribute would cost O(n²)
+	// byte scans; with it the total rescan work stays O(n).
+	minGrow int
+
+	attrs   []rawAttr
+	scratch []byte
+
+	holdLimit int
+	inBytes   int64
+	outBytes  int64
+	res       StreamResult
+	err       error
+	closed    bool
+}
+
+const (
+	modeScan        = iota // scanning for tokens and anchors
+	modeRawText            // inside a raw-text element, seeking its end tag
+	modeHoldAll            // fallback pending: retain everything until Close
+	modePassthrough        // nothing left to inject: copy bytes verbatim
+)
+
+var streamPool = sync.Pool{New: func() any { return new(StreamRewriter) }}
+
+// NewStreamRewriter returns a pooled rewriter that streams into w, injecting
+// the prepared fragments. Call Close to finish the document and Release to
+// return the rewriter to the pool.
+func NewStreamRewriter(w io.Writer, p *Prepared) *StreamRewriter {
+	r := streamPool.Get().(*StreamRewriter)
+	r.reset(w, p)
+	return r
+}
+
+func (r *StreamRewriter) reset(w io.Writer, p *Prepared) {
+	r.w, r.p = w, p
+	r.needHead = len(p.headInsert) > 0
+	r.needBody = len(p.bodyTop) > 0 || p.handlerCall != ""
+	r.needBodyEnd = len(p.bodyBottom) > 0
+	r.holding = r.needHead
+	r.mode = modeScan
+	if !r.needHead && !r.needBody && !r.needBodyEnd {
+		r.mode = modePassthrough
+	}
+	r.carry = r.carry[:0]
+	r.scanPos, r.rawNameLen, r.rawProbe, r.minGrow = 0, 0, 0, 0
+	r.holdLimit = 0
+	r.inBytes, r.outBytes = 0, 0
+	r.res = StreamResult{}
+	r.err = nil
+	r.closed = false
+}
+
+// SetHoldLimit bounds the bytes the rewriter may retain while waiting for an
+// anchor (the no-head fallback buffers the whole document otherwise). When
+// the limit is exceeded the retained bytes are forwarded verbatim and the
+// remaining injections are skipped (Result reports Truncated). Zero means
+// unlimited.
+func (r *StreamRewriter) SetHoldLimit(n int) { r.holdLimit = n }
+
+// Release returns the rewriter to the package pool. The rewriter must not
+// be used afterwards.
+func (r *StreamRewriter) Release() {
+	r.w, r.p = nil, nil
+	if cap(r.carry) > 1<<20 {
+		r.carry = nil // do not pin pathological buffers in the pool
+	}
+	streamPool.Put(r)
+}
+
+// Result returns what was injected. It is complete only after Close.
+func (r *StreamRewriter) Result() StreamResult { return r.res }
+
+// Write feeds the next chunk of the original document.
+func (r *StreamRewriter) Write(p []byte) (int, error) {
+	if r.closed {
+		return 0, io.ErrClosedPipe
+	}
+	r.feed(p, false)
+	if r.err != nil {
+		return 0, r.err
+	}
+	return len(p), nil
+}
+
+// Close finishes the document: unresolved constructs are re-scanned under
+// end-of-input rules, fallback documents are rewritten whole, and pending
+// body fragments are appended.
+func (r *StreamRewriter) Close() error {
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	if r.mode != modePassthrough {
+		r.feed(nil, true)
+	}
+	r.res.AddedBytes = int(r.outBytes - r.inBytes)
+	return r.err
+}
+
+func (r *StreamRewriter) feed(data []byte, atEOF bool) {
+	if r.err != nil {
+		return
+	}
+	r.inBytes += int64(len(data))
+	if r.mode == modePassthrough {
+		r.emit(data)
+		return
+	}
+	var buf []byte
+	switch {
+	case len(r.carry) == 0:
+		buf = data
+	case len(data) == 0:
+		buf = r.carry
+	default:
+		r.carry = append(r.carry, data...)
+		buf = r.carry
+	}
+	done := r.process(buf, atEOF)
+	if r.mode == modePassthrough {
+		r.carry = r.carry[:0]
+		r.scanPos, r.rawProbe = 0, 0
+		return
+	}
+	// Retain the unemitted tail and rebase scan offsets onto it.
+	tail := buf[done:]
+	if len(r.carry) == 0 {
+		r.carry = append(r.carry[:0], tail...)
+	} else if done > 0 {
+		n := copy(r.carry, tail)
+		r.carry = r.carry[:n]
+	} else if len(data) > 0 || len(tail) != len(r.carry) {
+		r.carry = r.carry[:len(tail)]
+	}
+	r.scanPos -= done
+	r.rawProbe -= done
+	if r.rawProbe < 0 {
+		r.rawProbe = 0
+	}
+	if r.holdLimit > 0 && len(r.carry) > r.holdLimit {
+		// Bounded memory beats completeness: forward the retained bytes
+		// verbatim and stop injecting.
+		r.res.Truncated = true
+		r.holding = false
+		r.needHead, r.needBody, r.needBodyEnd = false, false, false
+		r.mode = modePassthrough
+		r.emit(r.carry)
+		r.carry = r.carry[:0]
+	}
+}
+
+// process scans buf (the retained input plus the new chunk) and returns how
+// many bytes from its front were emitted. While holding, nothing is emitted
+// and the return value is 0.
+func (r *StreamRewriter) process(buf []byte, atEOF bool) int {
+	done := 0
+	for {
+		switch r.mode {
+		case modeHoldAll:
+			if !atEOF {
+				r.scanPos = len(buf)
+				return 0
+			}
+			r.fallback(buf)
+			return len(buf)
+
+		case modeRawText:
+			name := r.rawName[:r.rawNameLen]
+			idx := findRawTextClose(buf, r.rawProbe, name)
+			if idx < 0 {
+				if !atEOF {
+					// Resume the search next chunk, overlapping enough that a
+					// split "</nam" still matches.
+					r.rawProbe = len(buf) - (2 + len(name)) + 1
+					if r.rawProbe < r.scanPos {
+						r.rawProbe = r.scanPos
+					}
+					return done
+				}
+				// No end tag by EOF: the scanner re-reads the raw content as
+				// ordinary markup (historical behaviour).
+				r.mode = modeScan
+				continue
+			}
+			gt := indexFrom(buf, idx, ">")
+			if gt < 0 {
+				if !atEOF {
+					r.rawProbe = idx
+					return done
+				}
+				// "</name" with no closing '>': the historical scanner stops
+				// here; nothing after idx is a token or an anchor.
+				if r.holding {
+					r.fallback(buf)
+					return len(buf)
+				}
+				r.emitRange(buf, done, len(buf))
+				done = len(buf)
+				r.finishEOF()
+				return done
+			}
+			// Content plus the end tag are inert: no anchors inside.
+			if !r.holding {
+				r.emitRange(buf, done, gt+1)
+				done = gt + 1
+			}
+			r.scanPos = gt + 1
+			r.mode = modeScan
+
+		case modePassthrough:
+			r.emitRange(buf, done, len(buf))
+			return len(buf)
+
+		default: // modeScan
+			if !atEOF && len(buf)-r.scanPos < r.minGrow {
+				// The held construct has not grown enough to be worth
+				// re-scanning from its start yet.
+				return done
+			}
+			tok, textEnd, st := scanNextTag(buf, r.scanPos, atEOF, &r.attrs)
+			switch st {
+			case scanNeedMore:
+				if !r.holding {
+					r.emitRange(buf, done, textEnd)
+					done = textEnd
+				}
+				r.scanPos = textEnd
+				r.minGrow = 2 * (len(buf) - textEnd)
+				return done
+			case scanEOFText:
+				if r.holding {
+					r.fallback(buf)
+					return len(buf)
+				}
+				r.emitRange(buf, done, len(buf))
+				done = len(buf)
+				r.finishEOF()
+				return done
+			default:
+				r.minGrow = 0
+				done = r.handleToken(buf, tok, done)
+			}
+		}
+	}
+}
+
+// handleToken processes one complete non-text token and returns the updated
+// emitted-prefix length.
+func (r *StreamRewriter) handleToken(buf []byte, tok rawToken, done int) int {
+	emitTo := func(to int) {
+		if !r.holding {
+			r.emitRange(buf, done, to)
+			done = to
+		}
+	}
+	switch tok.typ {
+	case StartTagToken:
+		name := buf[tok.nameStart:tok.nameEnd]
+		switch {
+		case r.needHead && foldEq(name, "head"):
+			// Head anchor: release everything up to and including the tag,
+			// then splice the head fragment.
+			r.holding = false
+			r.emitRange(buf, done, tok.end)
+			done = tok.end
+			r.emit(r.p.headInsert)
+			r.needHead = false
+			r.res.InjectedCSS, r.res.InjectedScript = r.p.cssSet, r.p.scriptSet
+		case foldEq(name, "body"):
+			if r.holding {
+				// A <body> before any <head>: the whole-document pass may
+				// anchor the head fragment to a later <head>, so stop
+				// streaming and let it decide at Close.
+				r.mode = modeHoldAll
+				r.scanPos = len(buf)
+				return done
+			}
+			if r.needBody {
+				if r.p.handlerCall != "" {
+					emitTo(tok.start)
+					r.scratch = appendBodyTag(r.scratch[:0], buf, r.attrs, tok.selfClosing, r.p.handlerCall)
+					r.emit(r.scratch)
+					done = tok.end
+					r.res.InjectedHandlers = true
+				} else {
+					emitTo(tok.end)
+				}
+				r.emit(r.p.bodyTop)
+				r.res.InjectedInline = r.p.inlineSet
+				r.needBody = false
+			} else {
+				emitTo(tok.end)
+			}
+		case !tok.selfClosing && isRawTextName(name):
+			emitTo(tok.end)
+			r.rawNameLen = copy(r.rawName[:], name)
+			r.scanPos = tok.end
+			r.rawProbe = tok.end
+			r.mode = modeRawText
+			return done
+		default:
+			emitTo(tok.end)
+		}
+	case EndTagToken:
+		if foldEq(buf[tok.nameStart:tok.nameEnd], "body") {
+			if r.holding {
+				r.mode = modeHoldAll
+				r.scanPos = len(buf)
+				return done
+			}
+			if r.needBodyEnd {
+				emitTo(tok.start)
+				r.emit(r.p.bodyBottom)
+				r.res.InjectedHidden = r.p.hiddenSet
+				r.needBodyEnd = false
+			}
+		}
+		emitTo(tok.end)
+	default: // comments and declarations are inert
+		emitTo(tok.end)
+	}
+	r.scanPos = tok.end
+	if !r.needHead && !r.needBody && !r.needBodyEnd {
+		r.mode = modePassthrough
+	}
+	return done
+}
+
+// finishEOF appends the fragments whose anchors never appeared, in the same
+// order the buffered rewriter appends them.
+func (r *StreamRewriter) finishEOF() {
+	if r.needBody {
+		r.emit(r.p.bodyTop)
+		r.res.InjectedInline = r.p.inlineSet
+		r.needBody = false
+	}
+	if r.needBodyEnd {
+		r.emit(r.p.bodyBottom)
+		r.res.InjectedHidden = r.p.hiddenSet
+		r.needBodyEnd = false
+	}
+	r.mode = modePassthrough
+}
+
+// fallback rewrites the fully retained document with the buffered reference
+// path. Only reachable while holding, i.e. before anything was emitted.
+func (r *StreamRewriter) fallback(buf []byte) {
+	res := r.p.RewriteBuffered(buf)
+	r.emit(res.HTML)
+	r.res.InjectedCSS = res.InjectedCSS
+	r.res.InjectedScript = res.InjectedScript
+	r.res.InjectedHandlers = res.InjectedHandlers
+	r.res.InjectedInline = res.InjectedInline
+	r.res.InjectedHidden = res.InjectedHidden
+	r.res.UsedFallback = true
+	r.holding = false
+	r.needHead, r.needBody, r.needBodyEnd = false, false, false
+	r.mode = modePassthrough
+}
+
+func (r *StreamRewriter) emit(b []byte) {
+	if r.err != nil || len(b) == 0 {
+		return
+	}
+	if _, err := r.w.Write(b); err != nil {
+		r.err = err
+	}
+	r.outBytes += int64(len(b))
+}
+
+func (r *StreamRewriter) emitRange(buf []byte, from, to int) {
+	if to > from {
+		r.emit(buf[from:to])
+	}
+}
+
+// RewriteStream streams doc through a pooled StreamRewriter into w and
+// returns what was injected. Output is byte-identical to Rewrite(doc, inj)
+// for the equivalent injection.
+func RewriteStream(doc []byte, w io.Writer, p *Prepared) (StreamResult, error) {
+	r := NewStreamRewriter(w, p)
+	_, _ = r.Write(doc)
+	err := r.Close()
+	res := r.Result()
+	r.Release()
+	return res, err
+}
+
+// Rewrite is the fast whole-document path over the streaming injector:
+// byte-identical output to the package-level Rewrite, without the token
+// materialisation. The returned HTML is freshly allocated and caller-owned.
+func (p *Prepared) Rewrite(doc []byte) RewriteResult {
+	var b bytes.Buffer
+	b.Grow(len(doc) + len(p.headInsert) + len(p.bodyTop) + len(p.bodyBottom) + 96)
+	sres, _ := RewriteStream(doc, &b, p)
+	return RewriteResult{
+		HTML:             b.Bytes(),
+		InjectedCSS:      sres.InjectedCSS,
+		InjectedScript:   sres.InjectedScript,
+		InjectedHandlers: sres.InjectedHandlers,
+		InjectedInline:   sres.InjectedInline,
+		InjectedHidden:   sres.InjectedHidden,
+		AddedBytes:       sres.AddedBytes,
+	}
+}

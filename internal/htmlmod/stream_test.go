@@ -1,0 +1,237 @@
+package htmlmod
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// diffCorpus is the document corpus the streaming rewriter must reproduce
+// byte-for-byte against the buffered reference: well-formed markup plus the
+// malformed shapes a proxy sees in the wild.
+var diffCorpus = []struct {
+	name string
+	doc  string
+}{
+	{"well-formed", samplePage},
+	{"empty", ""},
+	{"plain-text", "just some text, no markup at all"},
+	{"fragment", "<p>just a fragment</p>"},
+	{"no-head", "<html><body><p>content</p></body></html>"},
+	{"no-body", "<html><head><title>t</title></head><p>loose content</p></html>"},
+	{"html-only", "<html><p>no head, no body</p></html>"},
+	{"head-only", "<html><head><title>t</title></head></html>"},
+	{"body-before-head", "<html><body><p>x</p></body><head><title>late</title></head></html>"},
+	{"bodyend-before-head", "</body><head><title>weird</title></head>"},
+	{"bodyend-before-body", "<html><head></head></body><p>x</p><body><p>y</p></body></html>"},
+	{"two-bodies", "<html><head></head><body>a</body><body>b</body></html>"},
+	{"two-body-ends", "<html><head></head><body>a</body>x</body></html>"},
+	{"self-closing-body", "<html><head></head><body/></html>"},
+	{"uppercase", "<HTML><HEAD><TITLE>T</TITLE></HEAD><BODY CLASS='M'>x</BODY></HTML>"},
+	{"spaced-end-tag", "<html><head></head><body>x</ body ></html>"},
+	{"body-attrs", `<html><head></head><body onmousemove="track();" onkeypress='k()' id=main data-x disabled>x</body></html>`},
+	{"body-attr-gt", `<html><head></head><body title="a>b" onclick="if(a<b){}">x</body></html>`},
+	{"comment-fake-tags", "<html><head><!-- <body>not real</body> --></head><body>x</body></html>"},
+	{"unterminated-comment", "<html><head><!-- never closed <body>y</body>"},
+	{"script-fake-body", `<html><head><script>var s = "</body><body>";</script></head><body>x</body></html>`},
+	{"script-unterminated", `<html><head></head><body>a<script>var x = "<b>";`},
+	{"script-close-no-gt", `<html><head></head><body>a<script>x</script`},
+	{"script-uppercase-close", "<html><head><SCRIPT>x</SCRIPT></head><body>y</body></html>"},
+	{"style-textarea-title", "<html><head><title>a<b</title><style>p{}</style></head><body><textarea></body></textarea>z</body></html>"},
+	{"decl-doctype", "<!DOCTYPE html>\n<html><head></head><body>x</body></html>"},
+	{"decl-unterminated", "<html><head></head><body>x<!unfinished"},
+	{"processing-instruction", "<?xml version=\"1.0\"?><html><head></head><body>x</body></html>"},
+	{"open-tag-at-eof", `<html><head></head><body>x<a href="unclosed`},
+	{"open-quote-hides-body", `<html><head></head><a title="<body>x</body>`},
+	{"lone-lt", "<html><head></head><body>a < b</body></html>"},
+	{"lt-at-eof", "<html><head></head><body>x</body></html><"},
+	{"nested-unterminated-script", "<html><head></head><body><script>a<script>b"},
+	{"head-inside-comment-only", "<!-- <head></head> --><p>no real head</p>"},
+	{"attr-empty-values", `<html><head></head><body onmousemove="" foo="">x</body></html>`},
+	{"weird-end-tags", "<html><head></head><body>x</></body ext></html>"},
+	{"form-feed-spaces", "<html><head></head><body\fclass=x>y</body></html>"},
+}
+
+func diffInjections() []Injection {
+	return []Injection{
+		stdInjection(),
+		{},
+		{CSSHref: "/__bd/x.css"},
+		{HandlerName: "__bd_f"},
+		{HiddenHref: "/__bd/hidden/1.html"},
+		{InlineScript: "document.write('x');\n"},
+		{CSSHref: "/__bd/a.css", HandlerName: "__bd_f"},
+		{ScriptSrc: "/__bd/index_1.js", HiddenHref: "/__bd/hidden/2.html", HiddenImgSrc: "/__bd/transp_1x1.gif"},
+	}
+}
+
+// streamChunked runs doc through a StreamRewriter in chunks of at most size
+// bytes and returns the output and result.
+func streamChunked(t testing.TB, doc []byte, p *Prepared, size int) ([]byte, StreamResult) {
+	var out bytes.Buffer
+	r := NewStreamRewriter(&out, p)
+	for off := 0; off < len(doc); off += size {
+		end := off + size
+		if end > len(doc) {
+			end = len(doc)
+		}
+		if _, err := r.Write(doc[off:end]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	res := r.Result()
+	r.Release()
+	return out.Bytes(), res
+}
+
+// TestStreamMatchesBufferedRewrite is the differential guarantee: for every
+// corpus document, injection shape and chunking, the streaming rewriter's
+// output is byte-identical to the buffered reference path.
+func TestStreamMatchesBufferedRewrite(t *testing.T) {
+	chunkSizes := []int{1, 2, 3, 7, 16, 64, 1 << 20}
+	for _, tc := range diffCorpus {
+		for ij, inj := range diffInjections() {
+			want := Rewrite([]byte(tc.doc), inj)
+			prep := PrepareInjection(inj)
+			for _, size := range chunkSizes {
+				got, res := streamChunked(t, []byte(tc.doc), prep, size)
+				if !bytes.Equal(got, want.HTML) {
+					t.Errorf("%s/inj%d/chunk%d: output diverged\n  buffered: %q\n  streamed: %q",
+						tc.name, ij, size, want.HTML, got)
+					break
+				}
+				if res.AddedBytes != want.AddedBytes {
+					t.Errorf("%s/inj%d/chunk%d: AddedBytes = %d, buffered %d", tc.name, ij, size, res.AddedBytes, want.AddedBytes)
+				}
+				if res.InjectedCSS != want.InjectedCSS || res.InjectedScript != want.InjectedScript ||
+					res.InjectedHandlers != want.InjectedHandlers || res.InjectedInline != want.InjectedInline ||
+					res.InjectedHidden != want.InjectedHidden {
+					t.Errorf("%s/inj%d/chunk%d: flags = %+v, buffered %+v", tc.name, ij, size, res, want)
+				}
+			}
+			// The whole-document fast path must agree too.
+			fast := prep.Rewrite([]byte(tc.doc))
+			if !bytes.Equal(fast.HTML, want.HTML) {
+				t.Errorf("%s/inj%d: Prepared.Rewrite diverged from buffered", tc.name, ij)
+			}
+		}
+	}
+}
+
+// TestStreamEmitsHeadFragmentEarly verifies the time-to-first-byte property:
+// once the bytes through <head> have been written, the head fragment is
+// already on the wire even though the rest of the document never arrives.
+func TestStreamEmitsHeadFragmentEarly(t *testing.T) {
+	var out bytes.Buffer
+	r := NewStreamRewriter(&out, PrepareInjection(stdInjection()))
+	defer r.Release()
+	if _, err := r.Write([]byte("<html><head><meta charset=\"utf-8\">")); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "/__bd/2031464296.css") {
+		t.Fatalf("head fragment not emitted before document end: %q", got)
+	}
+	if strings.Contains(got, "<meta") {
+		// The meta tag is complete, so it should have streamed through too.
+		t.Logf("meta streamed as expected")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamHoldLimit verifies bounded memory: a head-less document larger
+// than the hold limit is forwarded verbatim instead of buffered for the
+// fallback pass.
+func TestStreamHoldLimit(t *testing.T) {
+	doc := []byte("<p>" + strings.Repeat("x", 4096) + "</p>")
+	var out bytes.Buffer
+	r := NewStreamRewriter(&out, PrepareInjection(stdInjection()))
+	defer r.Release()
+	r.SetHoldLimit(1024)
+	for off := 0; off < len(doc); off += 256 {
+		end := off + 256
+		if end > len(doc) {
+			end = len(doc)
+		}
+		if _, err := r.Write(doc[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Result()
+	if !res.Truncated {
+		t.Fatal("expected Truncated result")
+	}
+	if !bytes.Equal(out.Bytes(), doc) {
+		t.Fatal("truncated document was not forwarded verbatim")
+	}
+	if res.InjectedCSS || res.InjectedHidden {
+		t.Fatalf("truncated stream claims injections: %+v", res)
+	}
+}
+
+// TestStreamFallbackReported verifies UsedFallback is set for anchor orders
+// the single pass cannot stream, and not set for the common shape.
+func TestStreamFallbackReported(t *testing.T) {
+	prep := PrepareInjection(stdInjection())
+
+	var out bytes.Buffer
+	res, err := RewriteStream([]byte(samplePage), &out, prep)
+	if err != nil || res.UsedFallback {
+		t.Fatalf("well-formed page took the fallback path: %+v err=%v", res, err)
+	}
+
+	out.Reset()
+	res, err = RewriteStream([]byte("<html><body>no head</body></html>"), &out, prep)
+	if err != nil || !res.UsedFallback {
+		t.Fatalf("head-less page did not report fallback: %+v err=%v", res, err)
+	}
+}
+
+// TestStreamWriteAfterClose ensures the rewriter refuses input once closed.
+func TestStreamWriteAfterClose(t *testing.T) {
+	var out bytes.Buffer
+	r := NewStreamRewriter(&out, PrepareInjection(stdInjection()))
+	defer r.Release()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Write([]byte("late")); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+}
+
+// FuzzStreamVsBuffered fuzzes the differential property over arbitrary
+// documents: chunked streaming output must equal the buffered reference.
+func FuzzStreamVsBuffered(f *testing.F) {
+	for _, tc := range diffCorpus {
+		f.Add([]byte(tc.doc), 7)
+	}
+	f.Add([]byte("<script>"), 1)
+	f.Add([]byte("<head><head><body><body></body></body>"), 3)
+	injections := diffInjections()
+	f.Fuzz(func(t *testing.T, doc []byte, chunk int) {
+		if len(doc) > 1<<16 {
+			t.Skip()
+		}
+		if chunk <= 0 {
+			chunk = 1
+		}
+		inj := injections[(chunk+len(doc))%len(injections)]
+		want := Rewrite(doc, inj)
+		got, res := streamChunked(t, doc, PrepareInjection(inj), chunk)
+		if !bytes.Equal(got, want.HTML) {
+			t.Fatalf("diverged for %q chunk=%d:\n  buffered: %q\n  streamed: %q", doc, chunk, want.HTML, got)
+		}
+		if res.AddedBytes != want.AddedBytes {
+			t.Fatalf("AddedBytes %d != %d for %q", res.AddedBytes, want.AddedBytes, doc)
+		}
+	})
+}

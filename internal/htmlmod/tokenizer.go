@@ -12,11 +12,17 @@
 // needs tag boundaries, attribute lists, comments and raw-text elements
 // (script/style), and it must never reorder or re-serialise untouched
 // content, so it operates on byte offsets into the original document.
+//
+// Two consumers sit on one scanning core. scanNextTag classifies regions by
+// byte offset without allocating: the streaming rewriter (stream.go) drives
+// it incrementally as response bytes flow through the proxy, and the legacy
+// Tokenize drives it over a whole document, materialising the []Token slice
+// (with lowercase name and attribute strings) that the link-extraction
+// consumers in internal/agents still use.
 package htmlmod
 
 import (
 	"bytes"
-	"strings"
 )
 
 // TokenType identifies a scanned token.
@@ -68,122 +74,133 @@ func (t Token) Get(name string) (string, bool) {
 	return "", false
 }
 
-// rawTextElements are elements whose content is scanned as raw text up to
-// the matching end tag.
-var rawTextElements = map[string]bool{
-	"script": true, "style": true, "textarea": true, "title": true,
+// --- raw scanning core ------------------------------------------------------
+
+// rawAttr is one attribute described purely by offsets into the document.
+// Quoted values exclude their quotes; value-less attributes have a zero
+// value range, indistinguishable from `x=""` (both materialise as Value "").
+type rawAttr struct {
+	nameStart, nameEnd int
+	valStart, valEnd   int
 }
 
-// Tokenize scans the document and returns its tokens. The scan is
-// best-effort: malformed markup never causes an error, the scanner simply
-// treats unparseable regions as text, which is the safe behaviour for a
-// rewriter (it will inject less rather than corrupt output).
-func Tokenize(doc []byte) []Token {
-	var tokens []Token
-	i := 0
+// rawToken is one scanned non-text region described purely by offsets, so
+// scanning never allocates. Text is implicit: the bytes between the caller's
+// scan position and the token's start.
+type rawToken struct {
+	typ                TokenType
+	start, end         int
+	nameStart, nameEnd int
+	selfClosing        bool
+}
+
+// scanStatus reports the outcome of one scanNextTag call.
+type scanStatus int
+
+const (
+	// scanTok: a non-text token was found; bytes before it are text.
+	scanTok scanStatus = iota
+	// scanEOFText: no further tokens; everything from pos on is text.
+	// Only returned when atEOF is true.
+	scanEOFText
+	// scanNeedMore: the tail starting at the returned offset cannot be
+	// classified without more input. Bytes before that offset are text.
+	// Only returned when atEOF is false.
+	scanNeedMore
+)
+
+// scanNextTag finds the next non-text token at or after pos. attrs is a
+// reusable scratch slice filled with the attribute offsets of a start tag.
+//
+// When atEOF is false the scanner is conservative: any construct that could
+// still change meaning with more input (an open tag, a comment without its
+// terminator, a "<!" that may yet become "<!--") yields scanNeedMore with
+// the offset of the earliest ambiguous byte. When atEOF is true it
+// reproduces the historical whole-document behaviour exactly: malformed
+// regions degrade to text, an unterminated comment swallows the rest of the
+// document.
+func scanNextTag(doc []byte, pos int, atEOF bool, attrs *[]rawAttr) (rawToken, int, scanStatus) {
 	n := len(doc)
-	textStart := 0
-
-	flushText := func(end int) {
-		if end > textStart {
-			tokens = append(tokens, Token{Type: TextToken, Start: textStart, End: end})
-		}
-	}
-
+	i := pos
 	for i < n {
 		if doc[i] != '<' {
 			i++
 			continue
 		}
-		// Comment?
-		if hasPrefixAt(doc, i, "<!--") {
-			end := indexFrom(doc, i+4, "-->")
-			if end < 0 {
-				// Unterminated comment: treat the rest as a comment.
-				flushText(i)
-				tokens = append(tokens, Token{Type: CommentToken, Start: i, End: n})
-				textStart = n
-				i = n
-				break
+		if i+1 >= n {
+			if atEOF {
+				i++
+				continue
 			}
-			flushText(i)
-			tokens = append(tokens, Token{Type: CommentToken, Start: i, End: end + 3})
-			i = end + 3
-			textStart = i
-			continue
+			return rawToken{}, i, scanNeedMore
 		}
-		// Declaration (<!DOCTYPE ...>, <![CDATA[...)?
-		if i+1 < n && (doc[i+1] == '!' || doc[i+1] == '?') {
+		switch c := doc[i+1]; {
+		case c == '!' || c == '?':
+			// Comment?
+			if hasPrefixAt(doc, i, "<!--") {
+				end := indexFrom(doc, i+4, "-->")
+				if end >= 0 {
+					return rawToken{typ: CommentToken, start: i, end: end + 3}, i, scanTok
+				}
+				if atEOF {
+					// Unterminated comment: the rest of the document.
+					return rawToken{typ: CommentToken, start: i, end: n}, i, scanTok
+				}
+				return rawToken{}, i, scanNeedMore
+			}
+			// "<!" or "<!-" could still become a comment opener.
+			if !atEOF && c == '!' && n-i < 4 && prefixCompatible(doc[i:n], "<!--") {
+				return rawToken{}, i, scanNeedMore
+			}
+			// Declaration (<!DOCTYPE ...>, <![CDATA[..., <?xml ...).
 			end := indexFrom(doc, i+1, ">")
 			if end < 0 {
-				i++
-				continue
+				if atEOF {
+					i++
+					continue
+				}
+				return rawToken{}, i, scanNeedMore
 			}
-			flushText(i)
-			tokens = append(tokens, Token{Type: DeclToken, Start: i, End: end + 1})
-			i = end + 1
-			textStart = i
-			continue
-		}
-		// End tag?
-		if i+1 < n && doc[i+1] == '/' {
+			return rawToken{typ: DeclToken, start: i, end: end + 1}, i, scanTok
+		case c == '/':
 			end := indexFrom(doc, i+2, ">")
 			if end < 0 {
+				if atEOF {
+					i++
+					continue
+				}
+				return rawToken{}, i, scanNeedMore
+			}
+			ns, ne := endTagName(doc, i+2, end)
+			return rawToken{typ: EndTagToken, start: i, end: end + 1, nameStart: ns, nameEnd: ne}, i, scanTok
+		default:
+			tok, complete, ok := scanStartTagRaw(doc, i, attrs)
+			if !complete {
+				if atEOF {
+					i++
+					continue
+				}
+				return rawToken{}, i, scanNeedMore
+			}
+			if !ok {
 				i++
 				continue
 			}
-			name := strings.ToLower(strings.TrimSpace(string(doc[i+2 : end])))
-			// Tag names stop at the first space.
-			if sp := strings.IndexAny(name, " \t\r\n"); sp >= 0 {
-				name = name[:sp]
-			}
-			flushText(i)
-			tokens = append(tokens, Token{Type: EndTagToken, Name: name, Start: i, End: end + 1})
-			i = end + 1
-			textStart = i
-			continue
-		}
-		// Start tag.
-		tok, next, ok := scanStartTag(doc, i)
-		if !ok {
-			i++
-			continue
-		}
-		flushText(i)
-		tokens = append(tokens, tok)
-		i = next
-		textStart = i
-
-		// Raw-text elements: skip to their end tag so "<a href=...>" inside a
-		// script string is not mistaken for markup.
-		if rawTextElements[tok.Name] && !tok.SelfClosing {
-			closing := "</" + tok.Name
-			idx := indexFoldFrom(doc, i, closing)
-			if idx < 0 {
-				continue
-			}
-			if idx > i {
-				tokens = append(tokens, Token{Type: TextToken, Start: i, End: idx})
-			}
-			end := indexFrom(doc, idx, ">")
-			if end < 0 {
-				i = n
-				textStart = n
-				break
-			}
-			tokens = append(tokens, Token{Type: EndTagToken, Name: tok.Name, Start: idx, End: end + 1})
-			i = end + 1
-			textStart = i
+			return tok, i, scanTok
 		}
 	}
-	flushText(n)
-	return tokens
+	if atEOF {
+		return rawToken{}, n, scanEOFText
+	}
+	return rawToken{}, n, scanNeedMore
 }
 
-// scanStartTag scans an opening tag beginning at doc[i] == '<'. It returns
-// the token, the offset just past the closing '>', and whether the scan
-// succeeded.
-func scanStartTag(doc []byte, i int) (Token, int, bool) {
+// scanStartTagRaw scans an opening tag beginning at doc[i] == '<'. complete
+// is false when the scanner ran out of bytes mid-tag (the caller decides
+// whether that means "need more input" or "treat as text"); ok is false when
+// the bytes can never form a start tag.
+func scanStartTagRaw(doc []byte, i int, attrs *[]rawAttr) (tok rawToken, complete, ok bool) {
+	*attrs = (*attrs)[:0]
 	n := len(doc)
 	j := i + 1
 	nameStart := j
@@ -191,9 +208,12 @@ func scanStartTag(doc []byte, i int) (Token, int, bool) {
 		j++
 	}
 	if j == nameStart {
-		return Token{}, 0, false // "<" not followed by a tag name
+		if j >= n {
+			return rawToken{}, false, false
+		}
+		return rawToken{}, true, false // "<" not followed by a tag name
 	}
-	tok := Token{Type: StartTagToken, Name: strings.ToLower(string(doc[nameStart:j])), Start: i}
+	tok = rawToken{typ: StartTagToken, start: i, nameStart: nameStart, nameEnd: j}
 
 	// Scan attributes respecting quotes.
 	for j < n {
@@ -202,16 +222,16 @@ func scanStartTag(doc []byte, i int) (Token, int, bool) {
 			j++
 		}
 		if j >= n {
-			return Token{}, 0, false
+			return rawToken{}, false, false
 		}
 		if doc[j] == '>' {
-			tok.End = j + 1
-			return tok, j + 1, true
+			tok.end = j + 1
+			return tok, true, true
 		}
 		if doc[j] == '/' && j+1 < n && doc[j+1] == '>' {
-			tok.SelfClosing = true
-			tok.End = j + 2
-			return tok, j + 2, true
+			tok.selfClosing = true
+			tok.end = j + 2
+			return tok, true, true
 		}
 		// Attribute name.
 		attrStart := j
@@ -219,13 +239,13 @@ func scanStartTag(doc []byte, i int) (Token, int, bool) {
 			j++
 		}
 		if j >= n {
-			return Token{}, 0, false
+			return rawToken{}, false, false
 		}
-		name := strings.ToLower(string(doc[attrStart:j]))
-		if name == "" {
+		if j == attrStart {
 			j++
 			continue
 		}
+		a := rawAttr{nameStart: attrStart, nameEnd: j}
 		// Optional value.
 		for j < n && isSpaceByte(doc[j]) {
 			j++
@@ -243,22 +263,207 @@ func scanStartTag(doc []byte, i int) (Token, int, bool) {
 					j++
 				}
 				if j >= n {
-					return Token{}, 0, false
+					return rawToken{}, false, false
 				}
-				tok.Attrs = append(tok.Attrs, Attr{Name: name, Value: string(doc[valStart:j])})
+				a.valStart, a.valEnd = valStart, j
+				*attrs = append(*attrs, a)
 				j++
 			} else {
 				valStart := j
 				for j < n && !isSpaceByte(doc[j]) && doc[j] != '>' {
 					j++
 				}
-				tok.Attrs = append(tok.Attrs, Attr{Name: name, Value: string(doc[valStart:j])})
+				a.valStart, a.valEnd = valStart, j
+				*attrs = append(*attrs, a)
 			}
 		} else {
-			tok.Attrs = append(tok.Attrs, Attr{Name: name})
+			*attrs = append(*attrs, a)
 		}
 	}
-	return Token{}, 0, false
+	return rawToken{}, false, false
+}
+
+// endTagName locates the tag name inside an end tag's "</" .. ">" span:
+// ASCII whitespace is trimmed from both ends and the name stops at the first
+// interior whitespace byte.
+func endTagName(doc []byte, s, e int) (int, int) {
+	for s < e && isSpaceByte(doc[s]) {
+		s++
+	}
+	for e > s && isSpaceByte(doc[e-1]) {
+		e--
+	}
+	for j := s; j < e; j++ {
+		if isSpaceByte(doc[j]) {
+			e = j
+			break
+		}
+	}
+	return s, e
+}
+
+// prefixCompatible reports whether got is a prefix of want (byte-exact).
+func prefixCompatible(got []byte, want string) bool {
+	if len(got) > len(want) {
+		return false
+	}
+	return string(got) == want[:len(got)]
+}
+
+// foldEq reports whether name equals lower under ASCII case folding; lower
+// must already be lowercase.
+func foldEq(name []byte, lower string) bool {
+	if len(name) != len(lower) {
+		return false
+	}
+	for k := 0; k < len(name); k++ {
+		c := name[k]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// isRawTextName reports whether the tag name (any case) is an element whose
+// content is scanned as raw text up to the matching end tag.
+func isRawTextName(name []byte) bool {
+	switch len(name) {
+	case 5:
+		return foldEq(name, "style") || foldEq(name, "title")
+	case 6:
+		return foldEq(name, "script")
+	case 8:
+		return foldEq(name, "textarea")
+	}
+	return false
+}
+
+// findRawTextClose finds the "</name" closing sequence case-insensitively at
+// or after pos. name carries the element name in its original case.
+func findRawTextClose(doc []byte, pos int, name []byte) int {
+	for j := pos; j+2+len(name) <= len(doc); j++ {
+		if doc[j] != '<' || doc[j+1] != '/' {
+			continue
+		}
+		match := true
+		for k := 0; k < len(name); k++ {
+			c, d := doc[j+2+k], name[k]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if d >= 'A' && d <= 'Z' {
+				d += 'a' - 'A'
+			}
+			if c != d {
+				match = false
+				break
+			}
+		}
+		if match {
+			return j
+		}
+	}
+	return -1
+}
+
+// --- legacy token materialisation ------------------------------------------
+
+// Tokenize scans the document and returns its tokens. The scan is
+// best-effort: malformed markup never causes an error, the scanner simply
+// treats unparseable regions as text, which is the safe behaviour for a
+// rewriter (it will inject less rather than corrupt output).
+func Tokenize(doc []byte) []Token {
+	var tokens []Token
+	var attrs []rawAttr
+	n := len(doc)
+	i := 0
+	for i < n {
+		raw, _, st := scanNextTag(doc, i, true, &attrs)
+		if st == scanEOFText {
+			if n > i {
+				tokens = append(tokens, Token{Type: TextToken, Start: i, End: n})
+			}
+			return tokens
+		}
+		if raw.start > i {
+			tokens = append(tokens, Token{Type: TextToken, Start: i, End: raw.start})
+		}
+		tokens = append(tokens, materializeToken(doc, raw, attrs))
+		i = raw.end
+
+		// Raw-text elements: skip to their end tag so "<a href=...>" inside a
+		// script string is not mistaken for markup.
+		if raw.typ == StartTagToken && !raw.selfClosing {
+			name := doc[raw.nameStart:raw.nameEnd]
+			if !isRawTextName(name) {
+				continue
+			}
+			idx := findRawTextClose(doc, i, name)
+			if idx < 0 {
+				continue
+			}
+			if idx > i {
+				tokens = append(tokens, Token{Type: TextToken, Start: i, End: idx})
+			}
+			end := indexFrom(doc, idx, ">")
+			if end < 0 {
+				// A "</name" with no closing '>': the historical scanner
+				// stops here, leaving the tail untokenised.
+				return tokens
+			}
+			tokens = append(tokens, Token{
+				Type: EndTagToken, Name: lowerString(name), Start: idx, End: end + 1,
+			})
+			i = end + 1
+		}
+	}
+	return tokens
+}
+
+// materializeToken converts a raw token into the public Token form,
+// allocating the lowercase name and attribute strings the legacy API exposes.
+func materializeToken(doc []byte, raw rawToken, attrs []rawAttr) Token {
+	t := Token{Type: raw.typ, Start: raw.start, End: raw.end, SelfClosing: raw.selfClosing}
+	switch raw.typ {
+	case StartTagToken:
+		t.Name = lowerString(doc[raw.nameStart:raw.nameEnd])
+		if len(attrs) > 0 {
+			t.Attrs = make([]Attr, len(attrs))
+			for k, a := range attrs {
+				t.Attrs[k] = Attr{
+					Name:  lowerString(doc[a.nameStart:a.nameEnd]),
+					Value: string(doc[a.valStart:a.valEnd]),
+				}
+			}
+		}
+	case EndTagToken:
+		t.Name = lowerString(doc[raw.nameStart:raw.nameEnd])
+	}
+	return t
+}
+
+// lowerString allocates the ASCII-lowercased string of b.
+func lowerString(b []byte) string {
+	for k := 0; k < len(b); k++ {
+		if b[k] >= 'A' && b[k] <= 'Z' {
+			goto convert
+		}
+	}
+	return string(b)
+convert:
+	out := make([]byte, len(b))
+	for k := 0; k < len(b); k++ {
+		c := b[k]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[k] = c
+	}
+	return string(out)
 }
 
 func isNameByte(b byte) bool {
@@ -282,38 +487,4 @@ func indexFrom(doc []byte, i int, sub string) int {
 		return -1
 	}
 	return i + idx
-}
-
-// indexFoldFrom finds sub case-insensitively starting at i without copying
-// the remainder of the document.
-func indexFoldFrom(doc []byte, i int, sub string) int {
-	lsub := strings.ToLower(sub)
-	if lsub == "" {
-		return i
-	}
-	first := lsub[0]
-	firstUpper := first
-	if first >= 'a' && first <= 'z' {
-		firstUpper = first - 'a' + 'A'
-	}
-	for j := i; j+len(lsub) <= len(doc); j++ {
-		if doc[j] != first && doc[j] != firstUpper {
-			continue
-		}
-		match := true
-		for k := 1; k < len(lsub); k++ {
-			c := doc[j+k]
-			if c >= 'A' && c <= 'Z' {
-				c += 'a' - 'A'
-			}
-			if c != lsub[k] {
-				match = false
-				break
-			}
-		}
-		if match {
-			return j
-		}
-	}
-	return -1
 }

@@ -64,18 +64,32 @@ func ExecBeaconPath(prefix, key string) string {
 
 // CSSPath returns the request path of the uniquely named empty stylesheet.
 func CSSPath(prefix, token string) string {
+	pre, suf := CSSPathParts(prefix)
+	return pre + token + suf
+}
+
+// CSSPathParts returns the prefix and suffix around the token in CSSPath,
+// so per-deployment callers can precompose them once.
+func CSSPathParts(prefix string) (pre, suf string) {
 	if prefix == "" {
 		prefix = DefaultBeaconPrefix
 	}
-	return prefix + "/" + token + ".css"
+	return prefix + "/", ".css"
 }
 
 // HiddenPath returns the request path of the hidden trap link.
 func HiddenPath(prefix, token string) string {
+	pre, suf := HiddenPathParts(prefix)
+	return pre + token + suf
+}
+
+// HiddenPathParts returns the prefix and suffix around the token in
+// HiddenPath.
+func HiddenPathParts(prefix string) (pre, suf string) {
 	if prefix == "" {
 		prefix = DefaultBeaconPrefix
 	}
-	return prefix + "/hidden/" + token + ".html"
+	return prefix + "/hidden/", ".html"
 }
 
 // TransparentImagePath returns the request path of the 1x1 transparent image
@@ -89,10 +103,17 @@ func TransparentImagePath(prefix string) string {
 
 // ScriptPath returns the request path of the generated external script.
 func ScriptPath(prefix, token string) string {
+	pre, suf := ScriptPathParts(prefix)
+	return pre + token + suf
+}
+
+// ScriptPathParts returns the prefix and suffix around the token in
+// ScriptPath.
+func ScriptPathParts(prefix string) (pre, suf string) {
 	if prefix == "" {
 		prefix = DefaultBeaconPrefix
 	}
-	return prefix + "/index_" + token + ".js"
+	return prefix + "/index_", ".js"
 }
 
 // Generator produces beacon scripts. It is stateless apart from its
@@ -255,17 +276,25 @@ func junkStatements(nm *namer, n int) string {
 // JavaScript-visible agent with the User-Agent header (the "browser type
 // mismatch" signal in Table 1).
 func InlineUAScript(base, prefix, token string) string {
+	pre, post := InlineUAScriptParts(base, prefix)
+	return pre + token + post
+}
+
+// InlineUAScriptParts splits the inline reporter script around its per-page
+// token: InlineUAScript(base, prefix, token) == pre + token + post. Callers
+// that rewrite many pages (the detection engine) compose the parts once per
+// deployment instead of rebuilding the whole script per page view.
+func InlineUAScriptParts(base, prefix string) (pre, post string) {
 	if prefix == "" {
 		prefix = DefaultBeaconPrefix
 	}
-	var b strings.Builder
-	b.WriteString("function getuseragnt() {\n")
-	b.WriteString("  var agt = navigator.userAgent.toLowerCase();\n")
-	b.WriteString("  agt = agt.replace(/ /g, \"\");\n")
-	b.WriteString("  return agt;\n}\n")
-	fmt.Fprintf(&b, "document.write(\"<link rel='stylesheet' type='text/css' href='%s%s/ua/%s/\" + encodeURIComponent(getuseragnt()) + \".css'>\");\n",
-		base, prefix, token)
-	return b.String()
+	pre = "function getuseragnt() {\n" +
+		"  var agt = navigator.userAgent.toLowerCase();\n" +
+		"  agt = agt.replace(/ /g, \"\");\n" +
+		"  return agt;\n}\n" +
+		"document.write(\"<link rel='stylesheet' type='text/css' href='" + base + prefix + "/ua/"
+	post = "/\" + encodeURIComponent(getuseragnt()) + \".css'>\");\n"
+	return pre, post
 }
 
 // UAReportPrefix returns the path prefix of user-agent report requests for

@@ -9,6 +9,7 @@ package policy
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"botdetect/internal/clock"
@@ -113,18 +114,87 @@ type Stats struct {
 	Unblocked   int64
 }
 
-// Engine applies the policy. It is safe for concurrent use.
+// engineStats is the atomic mirror of Stats.
+type engineStats struct {
+	evaluations atomic.Int64
+	allowed     atomic.Int64
+	throttled   atomic.Int64
+	blocked     atomic.Int64
+	unblocked   atomic.Int64
+}
+
+// blockedSet is an immutable snapshot of the block list (key -> expiry).
+// The enforcement read path loads it through an atomic pointer, so checking
+// a request against the block list never takes a lock; mutations (blocking
+// a session, expiring a block) copy the map and publish a new snapshot.
+// The rule set is read on every request and mutated only when a robot trips
+// a threshold, so copy-on-write is the right trade.
+type blockedSet struct {
+	until map[session.Key]time.Time
+}
+
+// Engine applies the policy. It is safe for concurrent use: Evaluate and
+// IsBlocked read an atomically published snapshot of the block list, and
+// the mutex serialises only the rare copy-on-write mutations.
 type Engine struct {
 	cfg Config
 
-	mu      sync.Mutex
-	blocked map[session.Key]time.Time // key -> block expiry
-	stats   Stats
+	blocked atomic.Pointer[blockedSet]
+	mu      sync.Mutex // serialises block-list writers
+	stats   engineStats
 }
 
 // NewEngine creates an Engine.
 func NewEngine(cfg Config) *Engine {
-	return &Engine{cfg: cfg.withDefaults(), blocked: make(map[session.Key]time.Time)}
+	e := &Engine{cfg: cfg.withDefaults()}
+	e.blocked.Store(&blockedSet{until: map[session.Key]time.Time{}})
+	return e
+}
+
+// lookup returns the block expiry for key from the current snapshot.
+func (e *Engine) lookup(key session.Key) (time.Time, bool) {
+	until, ok := e.blocked.Load().until[key]
+	return until, ok
+}
+
+// publishAdd copies the snapshot with key blocked until the given time.
+func (e *Engine) publishAdd(key session.Key, until time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.blocked.Load()
+	next := make(map[session.Key]time.Time, len(cur.until)+1)
+	for k, v := range cur.until {
+		next[k] = v
+	}
+	next[key] = until
+	e.blocked.Store(&blockedSet{until: next})
+	e.stats.blocked.Add(1)
+}
+
+// publishRemoveExpired drops key from the snapshot if its block has expired,
+// counting the unblock exactly once even when readers race on the expiry.
+// It sweeps every other expired entry in the same copy, so draining a block
+// list whose entries lapse together costs one map copy, not one per entry.
+func (e *Engine) publishRemoveExpired(key session.Key) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.blocked.Load()
+	now := e.cfg.Clock.Now()
+	until, ok := cur.until[key]
+	if !ok || now.Before(until) {
+		return
+	}
+	next := make(map[session.Key]time.Time, len(cur.until))
+	removed := int64(0)
+	for k, v := range cur.until {
+		if now.Before(v) {
+			next[k] = v
+		} else {
+			removed++
+		}
+	}
+	e.blocked.Store(&blockedSet{until: next})
+	e.stats.unblocked.Add(removed)
 }
 
 // Thresholds returns the effective thresholds.
@@ -134,25 +204,23 @@ func (e *Engine) Thresholds() Thresholds { return e.cfg.Thresholds }
 func (e *Engine) HumanBandwidthBonus() float64 { return e.cfg.HumanBandwidthBonus }
 
 // Evaluate decides what to do with the session given its current snapshot
-// and the detector's verdict. It also updates the engine's block list.
+// and the detector's verdict. It also updates the engine's block list. The
+// common path (no block, thresholds honoured) is lock-free.
 func (e *Engine) Evaluate(snap session.Snapshot, verdict core.Verdict) Decision {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats.Evaluations++
+	e.stats.evaluations.Add(1)
 	now := e.cfg.Clock.Now()
 
 	// Existing block still in force?
-	if until, ok := e.blocked[snap.Key]; ok {
+	if until, ok := e.lookup(snap.Key); ok {
 		if now.Before(until) {
-			e.stats.Blocked++
+			e.stats.blocked.Add(1)
 			return Decision{Action: Block, Reason: "session is blocked"}
 		}
-		delete(e.blocked, snap.Key)
-		e.stats.Unblocked++
+		e.publishRemoveExpired(snap.Key)
 	}
 
 	if verdict.Class != core.ClassRobot {
-		e.stats.Allowed++
+		e.stats.allowed.Add(1)
 		return Decision{Action: Allow, Reason: "session not classified as robot"}
 	}
 
@@ -165,68 +233,61 @@ func (e *Engine) Evaluate(snap session.Snapshot, verdict core.Verdict) Decision 
 
 	if th.MaxCGIRate > 0 {
 		if rate := float64(c.CGI) / dur; rate > th.MaxCGIRate {
-			e.blockLocked(snap.Key, now)
+			e.publishAdd(snap.Key, now.Add(e.cfg.BlockDuration))
 			return Decision{Action: Block, Reason: fmt.Sprintf("robot CGI rate %.2f/s exceeds %.2f/s", rate, th.MaxCGIRate)}
 		}
 	}
 	if th.MaxErrorShare > 0 && c.Total >= th.MinRequestsForShare {
 		errShare := float64(c.Status4xx+c.Status5xx) / float64(c.Total)
 		if errShare > th.MaxErrorShare {
-			e.blockLocked(snap.Key, now)
+			e.publishAdd(snap.Key, now.Add(e.cfg.BlockDuration))
 			return Decision{Action: Block, Reason: fmt.Sprintf("robot error share %.0f%% exceeds %.0f%%", errShare*100, th.MaxErrorShare*100)}
 		}
 	}
 	if th.MaxRequestRate > 0 {
 		if rate := float64(c.Total) / dur; rate > th.MaxRequestRate {
-			e.stats.Throttled++
+			e.stats.throttled.Add(1)
 			return Decision{Action: Throttle, Reason: fmt.Sprintf("robot request rate %.2f/s exceeds %.2f/s", rate, th.MaxRequestRate)}
 		}
 	}
-	e.stats.Allowed++
+	e.stats.allowed.Add(1)
 	return Decision{Action: Allow, Reason: "robot within behavioural thresholds"}
-}
-
-func (e *Engine) blockLocked(key session.Key, now time.Time) {
-	e.blocked[key] = now.Add(e.cfg.BlockDuration)
-	e.stats.Blocked++
 }
 
 // BlockNow explicitly blocks a session (e.g. after an operator decision).
 func (e *Engine) BlockNow(key session.Key) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.blockLocked(key, e.cfg.Clock.Now())
+	e.publishAdd(key, e.cfg.Clock.Now().Add(e.cfg.BlockDuration))
 }
 
-// IsBlocked reports whether a session is currently blocked.
+// IsBlocked reports whether a session is currently blocked. The check is
+// lock-free unless it observes an expired entry to clean up.
 func (e *Engine) IsBlocked(key session.Key) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	until, ok := e.blocked[key]
+	until, ok := e.lookup(key)
 	if !ok {
 		return false
 	}
 	if e.cfg.Clock.Now().Before(until) {
 		return true
 	}
-	delete(e.blocked, key)
-	e.stats.Unblocked++
+	e.publishRemoveExpired(key)
 	return false
 }
 
 // BlockedCount returns the number of sessions currently on the block list
 // (including entries whose expiry has passed but has not been observed yet).
 func (e *Engine) BlockedCount() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.blocked)
+	return len(e.blocked.Load().until)
 }
 
 // Stats returns a copy of the counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		Evaluations: e.stats.evaluations.Load(),
+		Allowed:     e.stats.allowed.Load(),
+		Throttled:   e.stats.throttled.Load(),
+		Blocked:     e.stats.blocked.Load(),
+		Unblocked:   e.stats.unblocked.Load(),
+	}
 }
 
 // Limiter is a token-bucket rate limiter used by the proxy to throttle

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -200,5 +201,50 @@ func TestZeroThresholdsDisableRules(t *testing.T) {
 	d := e.Evaluate(snap, robotVerdict())
 	if d.Action != Allow {
 		t.Fatalf("disabled rules still fired: %+v", d)
+	}
+}
+
+func TestConcurrentEnforcement(t *testing.T) {
+	// Readers (Evaluate/IsBlocked/BlockedCount) race against block and
+	// expiry writers on the copy-on-write snapshot; run under -race this is
+	// the data-race proof for the lock-free read path.
+	eng, vc := newTestEngine(Config{BlockDuration: time.Minute})
+	start := vc.Now()
+	keys := make([]session.Key, 16)
+	for i := range keys {
+		keys[i] = session.Key{IP: "10.9.0." + string(rune('1'+i%9)), UserAgent: "UA" + string(rune('a'+i))}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := keys[(seed+i)%len(keys)]
+				switch i % 4 {
+				case 0:
+					snap := snapshotWith(k, session.Counts{Total: 5}, 10*time.Second, start)
+					eng.Evaluate(snap, robotVerdict())
+				case 1:
+					eng.BlockNow(k)
+				case 2:
+					eng.IsBlocked(k)
+				default:
+					eng.BlockedCount()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := eng.Stats()
+	if st.Blocked == 0 {
+		t.Fatalf("no blocks recorded: %+v", st)
+	}
+	// Every key was explicitly blocked and the clock never advanced, so the
+	// final snapshot must still hold all of them.
+	if got := eng.BlockedCount(); got != len(keys) {
+		t.Fatalf("BlockedCount = %d, want %d", got, len(keys))
 	}
 }

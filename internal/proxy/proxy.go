@@ -5,10 +5,18 @@
 // ordinary requests for session tracking, rewrites HTML responses on the way
 // to the client, and enforces the policy engine's decisions on
 // robot-classified sessions.
+//
+// Responses are streamed, not buffered: HTML bodies flow through a zero-copy
+// streaming injector (htmlmod.StreamRewriter) that splices the
+// instrumentation in at the head/body anchors as the origin produces bytes,
+// so time-to-first-byte is proportional to the distance to the first anchor
+// rather than to the document length, and non-HTML bodies are forwarded
+// verbatim with no size cap. Only documents whose anchors arrive in a
+// pathological order (no <head> before the first <body>) are held back, up
+// to MaxRewriteBytes, for a whole-document rewrite.
 package proxy
 
 import (
-	"bytes"
 	"fmt"
 	"net"
 	"net/http"
@@ -20,6 +28,7 @@ import (
 
 	"botdetect/internal/captcha"
 	"botdetect/internal/core"
+	"botdetect/internal/htmlmod"
 	"botdetect/internal/logfmt"
 	"botdetect/internal/policy"
 	"botdetect/internal/session"
@@ -34,8 +43,13 @@ type Config struct {
 	// Captcha optionally serves challenge/verify endpoints under the
 	// instrumentation prefix.
 	Captcha *captcha.Service
-	// MaxRewriteBytes caps the size of HTML bodies buffered for rewriting;
-	// larger responses are passed through unmodified (default 2 MiB).
+	// MaxRewriteBytes caps the bytes the streaming rewriter may retain while
+	// a decision is pending: a document with no <head> before its first
+	// <body> is buffered whole for the fallback rewrite, and raw-text
+	// content (an inline script or style body) is held until its end tag.
+	// Documents that exceed the cap are forwarded verbatim from that point
+	// on (default 2 MiB). Well-anchored HTML whose raw-text spans fit the
+	// cap streams regardless of total document size.
 	MaxRewriteBytes int
 	// TrustForwardedFor uses the first X-Forwarded-For address as the client
 	// IP when present (for deployments behind another proxy).
@@ -102,43 +116,26 @@ func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Serve from origin, buffering so HTML can be rewritten and the response
-	// status/size can be observed for session tracking.
-	rec := &bufferingWriter{header: make(http.Header), limit: m.cfg.MaxRewriteBytes}
-	m.origin.ServeHTTP(rec, r)
+	// Serve from origin, streaming the response through: HTML bodies pass
+	// through the streaming injector as they are produced, everything else
+	// is forwarded verbatim. Status and size are observed for session
+	// tracking once the response completes.
+	st := &responseStreamer{m: m, w: w, req: r, clientIP: clientIP, ua: ua}
+	m.origin.ServeHTTP(st, r)
+	st.finish()
 
-	entry := logfmt.Entry{
+	d.ObserveRequest(logfmt.Entry{
 		Time:        time.Now(),
 		ClientIP:    clientIP,
 		Method:      r.Method,
 		Path:        r.URL.RequestURI(),
 		Protocol:    r.Proto,
-		Status:      rec.status(),
-		Bytes:       int64(rec.body.Len()),
+		Status:      st.status,
+		Bytes:       st.originBytes,
 		Referer:     r.Referer(),
 		UserAgent:   ua,
-		ContentType: rec.header.Get("Content-Type"),
-	}
-	d.ObserveRequest(entry)
-
-	body := rec.body.Bytes()
-	isHTML := strings.Contains(strings.ToLower(rec.header.Get("Content-Type")), "text/html")
-	if isHTML && rec.status() == http.StatusOK && !rec.overflowed && r.Method == http.MethodGet {
-		rewritten, _ := d.InstrumentPage(clientIP, ua, r.URL.Path, body)
-		body = rewritten
-	}
-
-	copyHeader(w.Header(), rec.header)
-	w.Header().Del("Content-Length")
-	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
-	if isHTML {
-		// Rewritten pages carry per-view keys and must not be cached.
-		w.Header().Set("Cache-Control", "no-cache, no-store")
-	}
-	w.WriteHeader(rec.status())
-	if r.Method != http.MethodHead {
-		_, _ = w.Write(body)
-	}
+		ContentType: st.contentType,
+	})
 }
 
 // handleCaptcha serves GET <prefix>/captcha/new and POST <prefix>/captcha/verify.
@@ -202,48 +199,100 @@ func writeDetectorResponse(w http.ResponseWriter, resp core.Response) {
 	_, _ = w.Write(resp.Body)
 }
 
-func copyHeader(dst, src http.Header) {
-	for k, vs := range src {
-		for _, v := range vs {
-			dst.Add(k, v)
+// responseStreamer forwards the origin's response to the client as it is
+// produced, routing 200 GET text/html bodies through the streaming
+// instrumentation injector. It records status, content type and origin body
+// size for session tracking.
+type responseStreamer struct {
+	m        *Middleware
+	w        http.ResponseWriter
+	req      *http.Request
+	clientIP string
+	ua       string
+
+	started     bool
+	status      int
+	contentType string
+	originBytes int64
+
+	rewriter *htmlmod.StreamRewriter
+	discard  bool // HEAD responses carry no body
+}
+
+func (s *responseStreamer) Header() http.Header { return s.w.Header() }
+
+func (s *responseStreamer) WriteHeader(code int) {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.status = code
+	h := s.w.Header()
+	s.contentType = h.Get("Content-Type")
+	s.discard = s.req.Method == http.MethodHead
+	isHTML := strings.Contains(strings.ToLower(s.contentType), "text/html")
+	if isHTML {
+		// Instrumented pages carry per-view keys and must not be cached.
+		h.Set("Cache-Control", "no-cache, no-store")
+	}
+	if isHTML && code == http.StatusOK && s.req.Method == http.MethodGet {
+		prep, _ := s.m.cfg.Engine.PrepareInstrumentation(s.clientIP, s.ua, s.req.URL.Path)
+		// The rewritten length is unknown until the document ends; drop the
+		// origin's Content-Length and let net/http pick the framing.
+		h.Del("Content-Length")
+		s.rewriter = htmlmod.NewStreamRewriter(s.w, prep)
+		s.rewriter.SetHoldLimit(s.m.cfg.MaxRewriteBytes)
+	}
+	s.w.WriteHeader(code)
+}
+
+func (s *responseStreamer) Write(p []byte) (int, error) {
+	if !s.started {
+		s.WriteHeader(http.StatusOK)
+	}
+	s.originBytes += int64(len(p))
+	if s.discard {
+		return len(p), nil
+	}
+	if s.rewriter != nil {
+		return s.rewriter.Write(p)
+	}
+	return s.w.Write(p)
+}
+
+// Flush exposes downstream flushing so incremental origins (and the reverse
+// proxy) keep their streaming behaviour through the middleware. Like Write,
+// it commits headers through WriteHeader first so an early flush cannot
+// publish the origin's Content-Length before the rewriter drops it.
+func (s *responseStreamer) Flush() {
+	if !s.started {
+		s.WriteHeader(http.StatusOK)
+	}
+	if f, ok := s.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// finish completes the response once the origin handler returns: headers for
+// empty responses, the tail of a streamed rewrite, and instrumentation
+// accounting.
+func (s *responseStreamer) finish() {
+	if !s.started {
+		s.WriteHeader(http.StatusOK)
+	}
+	if s.rewriter != nil {
+		err := s.rewriter.Close()
+		res := s.rewriter.Result()
+		if err == nil && !res.Truncated {
+			// Skip pages that blew the hold cap (forwarded largely verbatim)
+			// and streams the client abandoned mid-write: both would skew
+			// the per-page overhead accounting, matching the old path which
+			// only recorded fully rewritten, fully delivered pages.
+			s.m.cfg.Engine.RecordInstrumented(int(s.originBytes), res.AddedBytes)
 		}
+		s.rewriter.Release()
+		s.rewriter = nil
 	}
-}
-
-// bufferingWriter captures the origin's response for observation and
-// rewriting. Bodies beyond the limit mark the writer as overflowed; content
-// is still captured (callers skip rewriting but still serve it).
-type bufferingWriter struct {
-	header     http.Header
-	statusCode int
-	body       bytes.Buffer
-	limit      int
-	overflowed bool
-}
-
-func (b *bufferingWriter) Header() http.Header { return b.header }
-
-func (b *bufferingWriter) WriteHeader(code int) {
-	if b.statusCode == 0 {
-		b.statusCode = code
-	}
-}
-
-func (b *bufferingWriter) Write(p []byte) (int, error) {
-	if b.statusCode == 0 {
-		b.statusCode = http.StatusOK
-	}
-	if b.body.Len()+len(p) > b.limit {
-		b.overflowed = true
-	}
-	return b.body.Write(p)
-}
-
-func (b *bufferingWriter) status() int {
-	if b.statusCode == 0 {
-		return http.StatusOK
-	}
-	return b.statusCode
 }
 
 // NewReverseProxy builds a middleware that forwards to the given upstream

@@ -234,6 +234,70 @@ func TestNotFoundPassthrough(t *testing.T) {
 	}
 }
 
+func TestChunkedOriginStreamsInstrumented(t *testing.T) {
+	// An origin that writes the page in many small chunks (with flushes)
+	// must still come out correctly instrumented: the streaming rewriter
+	// reassembles tags split across chunk boundaries.
+	page := []byte("<html><head><title>chunky</title></head><body class=\"m\"><p>" +
+		strings.Repeat("content ", 500) + "</p></body></html>")
+	origin := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		for off := 0; off < len(page); off += 7 {
+			end := off + 7
+			if end > len(page) {
+				end = len(page)
+			}
+			_, _ = w.Write(page[off:end])
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+	})
+	det := core.New(core.Config{Seed: 21})
+	mw := New(origin, Config{Engine: det})
+	rec := doReq(t, mw, http.MethodGet, "/chunky.html", "10.0.0.8", "Firefox/1.5", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	sum := htmlmod.Extract(rec.Body.Bytes())
+	if !sum.BodyMouseHandler || len(sum.HiddenLinks) != 1 {
+		t.Fatal("chunked response not fully instrumented")
+	}
+	if !strings.Contains(rec.Body.String(), strings.Repeat("content ", 500)) {
+		t.Fatal("origin content damaged")
+	}
+	if st := det.Stats(); st.PagesInstrumented != 1 || st.OriginalBytes != int64(len(page)) {
+		t.Fatalf("accounting off: %+v (page %d bytes)", st, len(page))
+	}
+}
+
+func TestLargePageStreamsWithoutSizeCap(t *testing.T) {
+	// The old store-and-forward path skipped pages above MaxRewriteBytes;
+	// the streaming path instruments well-anchored HTML of any size while
+	// retaining only a bounded hold buffer.
+	var b strings.Builder
+	b.WriteString("<html><head></head><body>")
+	for i := 0; i < 20000; i++ {
+		b.WriteString("<p>a paragraph of filler text that pushes the page well past the cap</p>")
+	}
+	b.WriteString("</body></html>")
+	page := b.String()
+	origin := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		_, _ = io.WriteString(w, page)
+	})
+	det := core.New(core.Config{Seed: 22})
+	mw := New(origin, Config{Engine: det, MaxRewriteBytes: 64 << 10})
+	rec := doReq(t, mw, http.MethodGet, "/big.html", "10.0.0.9", "Firefox/1.5", nil)
+	if len(page) <= 64<<10 {
+		t.Fatalf("test page too small: %d", len(page))
+	}
+	sum := htmlmod.Extract(rec.Body.Bytes())
+	if !sum.BodyMouseHandler || len(sum.HiddenLinks) != 1 {
+		t.Fatalf("large page not instrumented (len=%d)", len(page))
+	}
+}
+
 func TestNewPanicsWithoutEngine(t *testing.T) {
 	defer func() {
 		if recover() == nil {
