@@ -349,7 +349,7 @@ func BenchmarkFeatureExtraction(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = features.FromCounts(counts)
+		_ = counts.Vector()
 	}
 }
 
@@ -399,4 +399,86 @@ func BenchmarkAdaBoostPredict(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		model.Predict(probe)
 	}
+}
+
+// BenchmarkClassifyParallel compares the two classification paths of the
+// detect layer from all cores at once: "cached" reads the per-session
+// verdict cache off the tracker's published snapshot (the serving path —
+// 0 allocs/op at steady state), while "recompute" re-derives the feature
+// vector from the counters and re-runs the full chain on every call (what
+// every consumer did before the verdict path was unified).
+func BenchmarkClassifyParallel(b *testing.B) {
+	setup := func(b *testing.B) (*core.Engine, []session.Key) {
+		b.Helper()
+		d := core.New(core.Config{Seed: 42, Shards: 32})
+		var examples []features.Example
+		for i := 0; i < 64; i++ {
+			var v features.Vector
+			if i%2 == 0 {
+				v[features.ReferrerPct] = 0.7
+				examples = append(examples, features.Example{X: v, Human: true})
+			} else {
+				v[features.HTMLPct] = 0.9
+				examples = append(examples, features.Example{X: v, Human: false})
+			}
+		}
+		model, err := adaboost.Train(examples, adaboost.Config{Rounds: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.SetModel(model)
+		keys := make([]session.Key, 256)
+		for i := range keys {
+			keys[i] = session.Key{IP: fmt.Sprintf("10.8.%d.%d", i/250, i%250), UserAgent: "Firefox/1.5"}
+			for r := 0; r < 15; r++ {
+				d.ObserveRequest(logfmt.Entry{
+					ClientIP: keys[i].IP, UserAgent: keys[i].UserAgent, Method: "GET",
+					Path: fmt.Sprintf("/p%d.html", r), Status: 200, Referer: "http://h/x.html",
+				})
+			}
+			d.Classify(keys[i]) // warm the verdict cache
+		}
+		return d, keys
+	}
+
+	b.Run("cached", func(b *testing.B) {
+		d, keys := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				d.Classify(keys[i%len(keys)])
+				i++
+			}
+		})
+	})
+
+	b.Run("recompute", func(b *testing.B) {
+		d, keys := setup(b)
+		// Rebuild cache-less snapshots so every call pays the pre-unification
+		// cost: feature re-derivation from counts plus a full chain walk.
+		snaps := make([]session.Snapshot, len(keys))
+		for i, k := range keys {
+			snap, ok := d.Session(k)
+			if !ok {
+				b.Fatal("session missing")
+			}
+			snaps[i] = session.Snapshot{
+				Key: snap.Key, FirstSeen: snap.FirstSeen, LastSeen: snap.LastSeen,
+				Counts: snap.Counts, Signals: snap.Signals, Epoch: snap.Epoch,
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				s := snaps[i%len(snaps)]
+				s.Features = s.Counts.Vector() // the old re-derive-per-classify cost
+				d.ClassifySnapshot(s)
+				i++
+			}
+		})
+	})
 }

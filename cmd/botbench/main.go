@@ -59,6 +59,7 @@ func main() {
 	run("decoys", func() string { return experiments.AblationDecoys(scale).Format() })
 	run("signals", func() string { return experiments.AblationSignals(scale).Format() })
 	run("staged", func() string { return experiments.Staged(scale).Format() })
+	run("online", func() string { return experiments.OnlineLoop(scale).Format() })
 	run("baselines", func() string { return experiments.BaselineComparison(scale).Format() })
 
 	if ran == 0 {

@@ -22,8 +22,10 @@ import (
 	"sort"
 	"time"
 
+	"botdetect/internal/adaboost"
 	"botdetect/internal/captcha"
 	"botdetect/internal/core"
+	"botdetect/internal/detect"
 	"botdetect/internal/policy"
 	"botdetect/internal/proxy"
 	"botdetect/internal/webmodel"
@@ -31,14 +33,17 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		origin    = flag.String("origin", "", "upstream origin URL (empty: serve the built-in synthetic site)")
-		decoys    = flag.Int("decoys", 4, "decoy beacon functions per page")
-		obfuscate = flag.Bool("obfuscate", true, "lexically obfuscate the generated JavaScript")
-		withPol   = flag.Bool("policy", true, "enable rate limiting / blocking of robot sessions")
-		withCap   = flag.Bool("captcha", true, "enable CAPTCHA endpoints under /__bd/captcha/")
-		seed      = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed for keys and scripts")
-		pages     = flag.Int("pages", 200, "pages in the built-in synthetic site (ignored with -origin)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		origin      = flag.String("origin", "", "upstream origin URL (empty: serve the built-in synthetic site)")
+		decoys      = flag.Int("decoys", 4, "decoy beacon functions per page")
+		obfuscate   = flag.Bool("obfuscate", true, "lexically obfuscate the generated JavaScript")
+		withPol     = flag.Bool("policy", true, "enable rate limiting / blocking of robot sessions")
+		withCap     = flag.Bool("captcha", true, "enable CAPTCHA endpoints under /__bd/captcha/")
+		seed        = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed for keys and scripts")
+		pages       = flag.Int("pages", 200, "pages in the built-in synthetic site (ignored with -origin)")
+		train       = flag.Bool("train", true, "retrain the AdaBoost model online from labelled outcomes and hot-swap it")
+		trainEvery  = flag.Duration("train-every", time.Minute, "how often the online trainer checks for new outcomes")
+		trainMinNew = flag.Int("train-min-new", 64, "minimum new labelled outcomes before a retrain")
 	)
 	flag.Parse()
 
@@ -74,6 +79,16 @@ func main() {
 	stopSweeper := det.StartSweeper(time.Minute)
 	defer stopSweeper()
 
+	// Online training loop: labelled outcomes accumulate as CAPTCHAs resolve
+	// and beacons confirm ground truth; once enough new material exists the
+	// trainer refits the AdaBoost ensemble and hot-swaps it onto the serving
+	// path (a single atomic store — no locks on the read path).
+	if *train {
+		stopTrainer := det.StartTrainer(*trainEvery, *trainMinNew, adaboost.Config{Rounds: 200})
+		defer stopTrainer()
+		log.Printf("botproxy: online trainer enabled (every %s, min %d new outcomes)", *trainEvery, *trainMinNew)
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/", mw)
 	mux.HandleFunc("/__bd/status", func(w http.ResponseWriter, r *http.Request) {
@@ -92,6 +107,12 @@ func main() {
 func writeStatus(w http.ResponseWriter, det *core.Engine) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	stats := det.Stats()
+	fmt.Fprintf(w, "detector chain: %s\n", detect.Describe(det.Detector()))
+	if m := det.Model(); m != nil {
+		fmt.Fprintf(w, "learned model: %s (%d labelled outcomes buffered)\n", m, det.OutcomeCount())
+	} else {
+		fmt.Fprintf(w, "learned model: none yet (%d labelled outcomes buffered)\n", det.OutcomeCount())
+	}
 	fmt.Fprintf(w, "pages instrumented: %d\n", stats.PagesInstrumented)
 	fmt.Fprintf(w, "beacons: mouse=%d decoy=%d replay=%d exec=%d css=%d hidden=%d ua-mismatch=%d\n",
 		stats.MouseBeacons, stats.DecoyBeacons, stats.ReplayBeacons, stats.ExecBeacons,

@@ -22,7 +22,7 @@ import (
 	"strings"
 
 	"botdetect/internal/adaboost"
-	"botdetect/internal/core"
+	"botdetect/internal/detect/rules"
 	"botdetect/internal/features"
 	"botdetect/internal/logfmt"
 	"botdetect/internal/metrics"
@@ -73,7 +73,7 @@ func main() {
 	snaps := tracker.FlushAll()
 
 	// Table 1 style breakdown and combining-rule bounds.
-	b := core.Breakdown(snaps, *minRequests)
+	b := rules.Breakdown(snaps, *minRequests)
 	fmt.Println(b.Table().Format())
 	fmt.Printf("Human-share lower bound (mouse): %s%%\n", metrics.Pct(b.HumanLowerBound()))
 	fmt.Printf("Human-share upper bound (S_H):   %s%%\n", metrics.Pct(b.HumanUpperBound()))
@@ -96,8 +96,8 @@ func main() {
 			continue
 		}
 		isHuman := strings.HasPrefix(kind, "human")
-		cm.Record(core.InHumanSet(s), isHuman)
-		examples = append(examples, features.Example{X: features.FromSnapshot(s), Human: isHuman})
+		cm.Record(rules.InHumanSet(s), isHuman)
+		examples = append(examples, features.Example{X: s.Features, Human: isHuman})
 	}
 	fmt.Printf("Combining rule vs ground truth: %s\n", cm.String())
 

@@ -16,6 +16,7 @@ import (
 
 	"botdetect/internal/agents"
 	"botdetect/internal/core"
+	"botdetect/internal/detect/rules"
 	"botdetect/internal/metrics"
 	"botdetect/internal/session"
 	"botdetect/internal/workload"
@@ -35,13 +36,13 @@ func main() {
 		len(res.Sessions), len(res.Network.Nodes()), res.Network.TotalStats().Requests)
 
 	// Table 1 and the bounds.
-	b := core.Breakdown(res.Snapshots(), 10)
+	b := rules.Breakdown(res.Snapshots(), 10)
 	fmt.Println(b.Table().Format())
 	fmt.Printf("human share bounds: %s%% .. %s%%, max FPR %s%%\n\n",
 		metrics.Pct(b.HumanLowerBound()), metrics.Pct(b.HumanUpperBound()), metrics.Pct(b.MaxFalsePositiveRate()))
 
 	// Figure 2 quantiles.
-	latencies := core.DetectionLatencies(res.Snapshots(), session.SignalMouse, session.SignalCSS)
+	latencies := rules.DetectionLatencies(res.Snapshots(), session.SignalMouse, session.SignalCSS)
 	mouse := latencies[session.SignalMouse]
 	css := latencies[session.SignalCSS]
 	fmt.Printf("detection latency: mouse 80%%≤%.0f reqs, 95%%≤%.0f; CSS 95%%≤%.0f, 99%%≤%.0f\n\n",

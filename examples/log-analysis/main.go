@@ -18,7 +18,7 @@ import (
 	"strings"
 
 	"botdetect/internal/adaboost"
-	"botdetect/internal/core"
+	"botdetect/internal/detect/rules"
 	"botdetect/internal/features"
 	"botdetect/internal/logfmt"
 	"botdetect/internal/metrics"
@@ -80,7 +80,7 @@ func main() {
 	snaps := tracker.FlushAll()
 
 	// 4. The Table 1 breakdown and the combining-rule bounds.
-	b := core.Breakdown(snaps, 10)
+	b := rules.Breakdown(snaps, 10)
 	fmt.Println()
 	fmt.Println(b.Table().Format())
 	fmt.Printf("human share bounds: %s%% .. %s%% (max FPR %s%%)\n\n",
@@ -96,7 +96,7 @@ func main() {
 		if !ok {
 			continue
 		}
-		examples = append(examples, features.Example{X: features.FromSnapshot(s), Human: kind.IsHuman()})
+		examples = append(examples, features.Example{X: s.Features, Human: kind.IsHuman()})
 	}
 	train, test := adaboost.Split(examples, 0.5, 23)
 	model, err := adaboost.Train(train, adaboost.Config{Rounds: 200})

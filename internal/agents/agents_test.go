@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"botdetect/internal/core"
+	"botdetect/internal/detect/rules"
 	"botdetect/internal/jsgen"
 	"botdetect/internal/logfmt"
 	"botdetect/internal/rng"
@@ -109,7 +110,7 @@ func TestHumanWithoutJSDetectedViaCSS(t *testing.T) {
 	if snap.Has(session.SignalJS) || snap.Has(session.SignalMouse) {
 		t.Fatalf("no-JS human produced JS signals: %v", snap.Signals)
 	}
-	if !core.InHumanSet(snap) {
+	if !rules.InHumanSet(snap) {
 		t.Fatal("no-JS human not in S_H")
 	}
 	if h.Kind() != KindHumanNoJS {
@@ -233,7 +234,7 @@ func TestSmartBotCaughtByJSWithoutMouse(t *testing.T) {
 	if snap.Has(session.SignalMouse) || snap.Has(session.SignalDecoy) || snap.Has(session.SignalHidden) || snap.Has(session.SignalUAMismatch) {
 		t.Fatalf("smart bot tripped unexpected signals: %v", snap.Signals)
 	}
-	if core.InHumanSet(snap) {
+	if rules.InHumanSet(snap) {
 		t.Fatal("smart bot must not be in S_H (the S_JS - S_MM term)")
 	}
 	v := tc.verdict(a)

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"botdetect/internal/adaboost"
 	"botdetect/internal/agents"
 	"botdetect/internal/captcha"
 	"botdetect/internal/core"
@@ -43,6 +44,7 @@ type NodeConfig struct {
 type NodeStats struct {
 	Requests            int64
 	BlockedRequests     int64
+	ChallengedRequests  int64
 	ThrottledRequests   int64
 	OriginBytes         int64
 	InstrumentationHits int64
@@ -55,6 +57,7 @@ type NodeStats struct {
 type nodeCounters struct {
 	requests            atomic.Int64
 	blockedRequests     atomic.Int64
+	challengedRequests  atomic.Int64
 	throttledRequests   atomic.Int64
 	originBytes         atomic.Int64
 	instrumentationHits atomic.Int64
@@ -95,6 +98,7 @@ func (n *Node) Stats() NodeStats {
 	return NodeStats{
 		Requests:            n.stats.requests.Load(),
 		BlockedRequests:     n.stats.blockedRequests.Load(),
+		ChallengedRequests:  n.stats.challengedRequests.Load(),
 		ThrottledRequests:   n.stats.throttledRequests.Load(),
 		OriginBytes:         n.stats.originBytes.Load(),
 		InstrumentationHits: n.stats.instrumentationHits.Load(),
@@ -156,15 +160,21 @@ func (n *Node) Do(req agents.Request) agents.Response {
 		return agents.Response{Status: resp.Status, ContentType: resp.ContentType, Body: resp.Body}
 	}
 
-	// Policy enforcement before serving origin content.
+	// Policy enforcement before serving origin content: the escalation
+	// ladder runs off the chain's cached verdict and the tracker's published
+	// snapshot (no copy).
 	if n.cfg.Policy != nil {
-		if snap, tracked := d.Session(key); tracked {
-			decision := n.cfg.Policy.Evaluate(snap, d.ClassifySnapshot(snap))
+		if snap, verdict, tracked := d.Decide(key); tracked {
+			decision := n.cfg.Policy.Evaluate(*snap, verdict)
 			switch decision.Action {
 			case policy.Block:
 				n.stats.blockedRequests.Add(1)
 				n.observe(req, 403, "text/html", 0)
 				return agents.Response{Status: 403, ContentType: "text/html", Body: []byte("<html><body>blocked</body></html>")}
+			case policy.Challenge:
+				n.stats.challengedRequests.Add(1)
+				n.observe(req, 429, "text/plain", 0)
+				return agents.Response{Status: 429, ContentType: "text/plain", Body: []byte("challenge: " + decision.Reason)}
 			case policy.Throttle:
 				n.stats.throttledRequests.Add(1)
 			}
@@ -302,6 +312,15 @@ func (n *Network) DriveParallel(reqs []agents.Request) {
 	wg.Wait()
 }
 
+// SetModel hot-swaps a (re)trained AdaBoost model onto every node's engine.
+// The swap is a single atomic store per node — serving continues uninterrupted,
+// which is how the online training loop publishes models to a live fleet.
+func (n *Network) SetModel(m *adaboost.Model) {
+	for _, node := range n.nodes {
+		node.Engine().SetModel(m)
+	}
+}
+
 // FlushSessions ends all sessions on all nodes and returns them.
 func (n *Network) FlushSessions() []core.ClassifiedSession {
 	var out []core.ClassifiedSession
@@ -318,6 +337,7 @@ func (n *Network) TotalStats() NodeStats {
 		s := node.Stats()
 		total.Requests += s.Requests
 		total.BlockedRequests += s.BlockedRequests
+		total.ChallengedRequests += s.ChallengedRequests
 		total.ThrottledRequests += s.ThrottledRequests
 		total.OriginBytes += s.OriginBytes
 		total.InstrumentationHits += s.InstrumentationHits

@@ -17,18 +17,29 @@
 // internal/proxy, the CoDeeN-scale simulator in internal/cdn, and the
 // offline log analyzer) feed it page bodies and request observations and
 // receive rewritten pages, beacon responses and per-session verdicts.
+//
+// Classification itself lives in the internal/detect layer: the engine owns
+// a pluggable detect.Detector chain (direct evidence → learned model →
+// behavioural browser test by default), caches one verdict per session
+// keyed by the session's decision epoch and the model epoch, and closes the
+// online-training loop — labelled outcomes accumulate as ground truth
+// reveals itself, RetrainFromOutcomes fits a fresh AdaBoost ensemble, and
+// SetModel hot-swaps it onto the read path with a single atomic store.
 package core
 
 import (
 	"container/list"
-	"fmt"
 	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"botdetect/internal/adaboost"
 	"botdetect/internal/clock"
+	"botdetect/internal/detect"
+	"botdetect/internal/detect/rules"
+	"botdetect/internal/features"
 	"botdetect/internal/htmlmod"
 	"botdetect/internal/jsgen"
 	"botdetect/internal/keystore"
@@ -37,67 +48,34 @@ import (
 	"botdetect/internal/shard"
 )
 
-// Class is the engine's decision about a session's traffic source.
-type Class int
+// Class, Confidence and Verdict are defined by the decision layer; the
+// aliases keep the engine's public surface stable for consumers that predate
+// internal/detect.
+type (
+	// Class is the engine's decision about a session's traffic source.
+	Class = detect.Class
+	// Confidence qualifies a verdict.
+	Confidence = detect.Confidence
+	// Verdict is the classification of one session.
+	Verdict = detect.Verdict
+)
 
 const (
 	// ClassUndecided means the engine has not yet seen enough evidence.
-	ClassUndecided Class = iota
+	ClassUndecided = detect.ClassUndecided
 	// ClassHuman means the traffic source is a human user.
-	ClassHuman
+	ClassHuman = detect.ClassHuman
 	// ClassRobot means the traffic source is an automated agent.
-	ClassRobot
-)
+	ClassRobot = detect.ClassRobot
 
-// String returns the class name.
-func (c Class) String() string {
-	switch c {
-	case ClassHuman:
-		return "human"
-	case ClassRobot:
-		return "robot"
-	default:
-		return "undecided"
-	}
-}
-
-// Confidence qualifies a verdict.
-type Confidence int
-
-const (
 	// Tentative verdicts may flip as more requests arrive.
-	Tentative Confidence = iota
-	// Probable verdicts rest on behavioural evidence (browser testing).
-	Probable
+	Tentative = detect.Tentative
+	// Probable verdicts rest on behavioural or statistical evidence.
+	Probable = detect.Probable
 	// Definite verdicts rest on direct evidence (input events, decoy hits,
 	// hidden-link fetches, CAPTCHA).
-	Definite
+	Definite = detect.Definite
 )
-
-// String returns the confidence name.
-func (c Confidence) String() string {
-	switch c {
-	case Definite:
-		return "definite"
-	case Probable:
-		return "probable"
-	default:
-		return "tentative"
-	}
-}
-
-// Verdict is the classification of one session.
-type Verdict struct {
-	// Class is the decision.
-	Class Class
-	// Confidence qualifies the decision.
-	Confidence Confidence
-	// Reason is a human-readable explanation of the dominant evidence.
-	Reason string
-	// AtRequest is the request count at which the dominant evidence was
-	// observed (0 when no evidence has been observed).
-	AtRequest int64
-}
 
 // ClassifiedSession pairs a finished session with its final verdict.
 type ClassifiedSession struct {
@@ -147,6 +125,22 @@ type Config struct {
 	// shard.DefaultShards). Use 1 to recover the strict global-LRU
 	// semantics of a single-lock engine at the cost of concurrency.
 	Shards int
+	// Detector overrides the decision chain. When nil the engine composes
+	// the default serving chain (direct evidence → learned model →
+	// behavioural browser test); SetModel hot-swaps the learned stage either
+	// way. A custom Detector that wants hot-swappable learning should embed
+	// the engine's Learned stage — see New.
+	Detector detect.Detector
+	// Model is an optional initial AdaBoost model for the learned stage;
+	// equivalent to calling SetModel right after New.
+	Model *adaboost.Model
+	// OutcomeCapacity bounds the ring buffer of labelled outcomes collected
+	// for online retraining (default 4096; negative disables collection).
+	OutcomeCapacity int
+	// OutcomeMinRequests is the minimum request count a session needs before
+	// a labelled outcome is recorded for it — vectors from very short
+	// sessions are mostly noise (default 5).
+	OutcomeMinRequests int64
 	// Seed drives key and script generation.
 	Seed uint64
 	// Clock supplies time; defaults to the wall clock.
@@ -179,6 +173,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxScripts <= 0 {
 		c.MaxScripts = 65536
+	}
+	if c.OutcomeCapacity == 0 {
+		c.OutcomeCapacity = 4096
+	}
+	if c.OutcomeMinRequests <= 0 {
+		c.OutcomeMinRequests = 5
 	}
 	c.Shards = shard.Normalize(c.Shards)
 	if c.Clock == nil {
@@ -267,6 +267,10 @@ type Engine struct {
 
 	sessions *session.Tracker
 
+	det      detect.Detector  // the decision chain every verdict flows through
+	learned  *detect.Learned  // hot-swappable learned stage (SetModel)
+	outcomes *detect.Outcomes // labelled material for online retraining
+
 	scriptShards []*scriptShard
 	scriptMask   uint64
 
@@ -289,6 +293,18 @@ func New(cfg Config) *Engine {
 			Clock:     cfg.Clock,
 		}),
 	}
+	e.learned = detect.NewLearned(cfg.MinRequests)
+	if cfg.Model != nil {
+		e.learned.SetModel(cfg.Model)
+	}
+	if cfg.Detector != nil {
+		e.det = cfg.Detector
+	} else {
+		e.det = rules.Serving(cfg.MinRequests, e.learned)
+	}
+	if cfg.OutcomeCapacity > 0 {
+		e.outcomes = detect.NewOutcomes(cfg.OutcomeCapacity)
+	}
 	base, prefix := cfg.BeaconBase, cfg.BeaconPrefix
 	e.pre = pagePrecomp{transpImg: base + jsgen.TransparentImagePath(prefix)}
 	cssPre, cssSuf := jsgen.CSSPathParts(prefix)
@@ -304,6 +320,10 @@ func New(cfg Config) *Engine {
 		Shards:      cfg.Shards,
 		Clock:       cfg.Clock,
 		Evicted:     e.sessionEnded,
+		// Bump the decision epoch when the classification threshold is
+		// crossed: the behavioural rules (and the learned model) first become
+		// decidable there, so cached verdicts must not outlive that point.
+		DecisionMarks: []int64{cfg.MinRequests},
 	})
 	shards := e.sessions.ShardCount()
 	perShard := shard.PerShardCap(cfg.MaxScripts, shards)
@@ -517,7 +537,9 @@ func (e *Engine) HandleBeacon(clientIP, userAgent, path string) (Response, bool)
 		return Response{Status: 200, ContentType: "text/css", Body: emptyCSS, NoCache: true}, true
 
 	case strings.HasPrefix(rest, "hidden/"):
-		e.sessions.Mark(key, session.SignalHidden)
+		if snap, newly := e.sessions.Mark(key, session.SignalHidden); newly {
+			e.recordSignalOutcome(snap, false)
+		}
 		e.stats.hiddenHits.Add(1)
 		return Response{Status: 200, ContentType: "text/html", Body: hiddenPage, NoCache: true}, true
 
@@ -546,17 +568,25 @@ func (e *Engine) HandleBeacon(clientIP, userAgent, path string) (Response, bool)
 		verdict := e.keys.Validate(clientIP, keyStr)
 		switch verdict {
 		case keystore.Human:
-			e.sessions.Mark(key, session.SignalMouse)
+			if snap, newly := e.sessions.Mark(key, session.SignalMouse); newly {
+				e.recordSignalOutcome(snap, true)
+			}
 			e.stats.mouseBeacons.Add(1)
 		case keystore.Decoy:
-			e.sessions.Mark(key, session.SignalDecoy)
+			if snap, newly := e.sessions.Mark(key, session.SignalDecoy); newly {
+				e.recordSignalOutcome(snap, false)
+			}
 			e.stats.decoyBeacons.Add(1)
 		case keystore.Replayed:
-			e.sessions.Mark(key, session.SignalReplay)
+			if snap, newly := e.sessions.Mark(key, session.SignalReplay); newly {
+				e.recordSignalOutcome(snap, false)
+			}
 			e.stats.replayBeacons.Add(1)
 		default:
 			// A key the server never issued: a guess or a stale replay.
-			e.sessions.Mark(key, session.SignalDecoy)
+			if snap, newly := e.sessions.Mark(key, session.SignalDecoy); newly {
+				e.recordSignalOutcome(snap, false)
+			}
 			e.stats.unknownBeacons.Add(1)
 		}
 		return Response{Status: 200, ContentType: "image/jpeg", Body: tinyJPEG, NoCache: true}, true
@@ -568,7 +598,10 @@ func (e *Engine) HandleBeacon(clientIP, userAgent, path string) (Response, bool)
 
 // checkUAMismatch compares the JavaScript-reported agent string with the
 // User-Agent header (both normalised the way the injected script normalises
-// them) and marks the session on mismatch.
+// them) and marks the session on mismatch. The header side is normalised
+// once per session — the tracker stores it on the published snapshot — so a
+// beacon flood does not re-lowercase the same header on every hit; only the
+// reported string (which varies per beacon) is normalised here.
 func (e *Engine) checkUAMismatch(key session.Key, headerUA, reported string) {
 	if unescaped, err := url.PathUnescape(reported); err == nil {
 		reported = unescaped
@@ -576,19 +609,23 @@ func (e *Engine) checkUAMismatch(key session.Key, headerUA, reported string) {
 	if unescaped, err := url.QueryUnescape(reported); err == nil {
 		reported = unescaped
 	}
-	want := normalizeUA(headerUA)
-	got := normalizeUA(reported)
+	var want string
+	if snap, ok := e.sessions.Peek(key); ok {
+		want = snap.NormUA
+	} else {
+		// The session raced away (eviction); fall back to normalising inline.
+		want = session.NormalizeUA(headerUA)
+	}
+	got := session.NormalizeUA(reported)
 	if want == "" || got == "" {
 		return
 	}
 	if want != got {
-		e.sessions.Mark(key, session.SignalUAMismatch)
+		if snap, newly := e.sessions.Mark(key, session.SignalUAMismatch); newly {
+			e.recordSignalOutcome(snap, false)
+		}
 		e.stats.uaMismatches.Add(1)
 	}
-}
-
-func normalizeUA(ua string) string {
-	return strings.ReplaceAll(strings.ToLower(ua), " ", "")
 }
 
 // queryParam extracts a single query parameter value without url.Values
@@ -608,76 +645,205 @@ func queryParam(query, name string) string {
 	return ""
 }
 
-// MarkCaptchaPassed records that the session solved a CAPTCHA challenge.
+// MarkCaptchaPassed records that the session solved a CAPTCHA challenge — a
+// definite human confirmation that also feeds the online training loop.
 func (e *Engine) MarkCaptchaPassed(key session.Key) {
-	e.sessions.Mark(key, session.SignalCaptcha)
+	if snap, newly := e.sessions.Mark(key, session.SignalCaptcha); newly {
+		e.recordSignalOutcome(snap, true)
+	}
+}
+
+// MarkCaptchaFailed records a failed CAPTCHA attempt. A single failure is
+// not definite evidence (humans mistype), so no detection signal is set;
+// the outcome still feeds the training loop as a weak robot label, the way
+// the paper uses CAPTCHA outcomes as ground truth for the learned model.
+func (e *Engine) MarkCaptchaFailed(key session.Key) {
+	if e.outcomes == nil {
+		return
+	}
+	if snap, ok := e.sessions.Peek(key); ok && snap.Counts.Total >= e.cfg.OutcomeMinRequests {
+		e.outcomes.Add(snap.Features, false)
+	}
 }
 
 // Classify returns the current verdict for the session, or an undecided
-// verdict when the session is unknown. The read path is lock-free: the
-// snapshot comes from the tracker's atomically published view.
+// verdict when the session is unknown. The read path is lock-free and, at
+// steady state, allocation-free: the snapshot comes from the tracker's
+// atomically published view, and the verdict comes from the session's cache
+// unless a state-changing event (new signal, new request class, threshold
+// crossing) or a model hot-swap occurred since it was computed.
 func (e *Engine) Classify(key session.Key) Verdict {
-	snap, ok := e.sessions.Get(key)
+	snap, ok := e.sessions.Peek(key)
 	if !ok {
 		return Verdict{Class: ClassUndecided, Confidence: Tentative, Reason: "unknown session"}
 	}
-	return e.ClassifySnapshot(snap)
+	return e.classify(snap)
 }
 
-// ClassifySnapshot applies the detection rules to a session snapshot.
-//
-// Direct robot evidence comes first (Definite): decoy fetches, replayed
-// keys, hidden-link fetches, and a forged User-Agent can only be produced by
-// automation — a browser driven by a human never calls the decoy functions
-// or follows invisible links — so they outrank everything else. This also
-// catches robots that blindly fetch every URL in the script and therefore
-// happen to hit the real key as well.
-//
-// Direct human evidence is next (Definite): a valid input-event beacon or a
-// passed CAPTCHA.
-//
-// Behavioural evidence (Probable, only after MinRequests requests): running
-// the injected JavaScript without ever producing an input event indicates a
-// robot (the S_JS − S_MM term); fetching the injected stylesheet without
-// contrary evidence indicates a standard browser, hence a human (the S_CSS
-// term); fetching neither indicates a robot.
-func (e *Engine) ClassifySnapshot(snap session.Snapshot) Verdict {
-	if at, ok := snap.SignalAt(session.SignalDecoy); ok {
-		return Verdict{ClassRobot, Definite, "fetched a decoy beacon URL without executing the script", at}
+// Decide returns the session's published snapshot together with its (cached)
+// verdict, without copying the snapshot. The snapshot is shared with the
+// tracker and must be treated as read-only; enforcement layers (proxy, cdn)
+// use it to evaluate policy without per-request allocation.
+func (e *Engine) Decide(key session.Key) (*session.Snapshot, Verdict, bool) {
+	snap, ok := e.sessions.Peek(key)
+	if !ok {
+		return nil, Verdict{}, false
 	}
-	if at, ok := snap.SignalAt(session.SignalReplay); ok {
-		return Verdict{ClassRobot, Definite, "replayed an already consumed beacon key", at}
-	}
-	if at, ok := snap.SignalAt(session.SignalHidden); ok {
-		return Verdict{ClassRobot, Definite, "followed a link invisible to human users", at}
-	}
-	if at, ok := snap.SignalAt(session.SignalUAMismatch); ok {
-		return Verdict{ClassRobot, Definite, "User-Agent header does not match the script-reported agent", at}
-	}
-	if at, ok := snap.SignalAt(session.SignalMouse); ok {
-		return Verdict{ClassHuman, Definite, "input event beacon carried a valid key", at}
-	}
-	if at, ok := snap.SignalAt(session.SignalCaptcha); ok {
-		return Verdict{ClassHuman, Definite, "passed CAPTCHA challenge", at}
-	}
+	return snap, e.classify(snap), true
+}
 
-	total := snap.Counts.Total
-	if total < e.cfg.MinRequests {
-		return Verdict{ClassUndecided, Tentative, "fewer requests than the classification threshold", 0}
+// ClassifySnapshot routes a session snapshot through the engine's detector
+// chain. The classification heuristics themselves live in
+// internal/detect/rules; see Config.Detector for the chain composition.
+func (e *Engine) ClassifySnapshot(snap session.Snapshot) Verdict {
+	return e.classify(&snap)
+}
+
+// classify runs the chain with per-session verdict caching. A cached verdict
+// is valid only for the exact (session epoch, model epoch) pair it was
+// computed at, so it is invalidated by new signals, new request classes,
+// threshold crossings and model hot-swaps — and by nothing else.
+func (e *Engine) classify(snap *session.Snapshot) Verdict {
+	cache := snap.Cache()
+	if cache == nil {
+		// Literal snapshots (tests, offline replay) have no cache slot.
+		return e.detect(snap)
 	}
-	jsAt, hasJS := snap.SignalAt(session.SignalJS)
-	if hasJS {
-		// Ran the script but never produced an input event over a full
-		// session prefix: S_JS − S_MM.
-		return Verdict{ClassRobot, Probable, "executed JavaScript but produced no input events", jsAt}
+	modelEpoch := e.learned.Epoch()
+	if v, ok := cache.Load(snap.Epoch, modelEpoch); ok {
+		return v.(Verdict)
 	}
-	if cssAt, ok := snap.SignalAt(session.SignalCSS); ok {
-		return Verdict{ClassHuman, Probable, "fetched the embedded stylesheet like a standard browser", cssAt}
+	v := e.detect(snap)
+	cache.Store(snap.Epoch, modelEpoch, v)
+	return v
+}
+
+// detect runs the chain without caching.
+func (e *Engine) detect(snap *session.Snapshot) Verdict {
+	if v, ok := e.det.Detect(snap); ok {
+		return v
 	}
-	// The "no presentation objects" rule first becomes decidable at the
-	// classification threshold; report that point so downstream consumers
-	// (rate limiting, the complaint model) know when enforcement could start.
-	return Verdict{ClassRobot, Probable, "ignored all embedded presentation objects", e.cfg.MinRequests}
+	return Verdict{Class: ClassUndecided, Confidence: Tentative, Reason: "no detector rendered an opinion"}
+}
+
+// Detector returns the engine's decision chain.
+func (e *Engine) Detector() detect.Detector { return e.det }
+
+// Learned returns the engine's hot-swappable learned stage. Custom detector
+// chains (Config.Detector) can embed it so SetModel keeps working.
+func (e *Engine) Learned() *detect.Learned { return e.learned }
+
+// SetModel atomically publishes a (re)trained AdaBoost model onto the
+// serving path. Readers take no lock: in-flight Classify calls finish on
+// whichever model they loaded, subsequent calls see the new one, and every
+// cached verdict is implicitly invalidated by the model-epoch advance.
+// Passing nil unpublishes the model, reverting to rules-only verdicts.
+func (e *Engine) SetModel(m *adaboost.Model) { e.learned.SetModel(m) }
+
+// Model returns the currently published AdaBoost model, or nil.
+func (e *Engine) Model() *adaboost.Model { return e.learned.Model() }
+
+// RecordOutcome stores a labelled outcome for a tracked session — external
+// ground truth such as a workload label, an operator decision or an abuse
+// report. It feeds the online retraining loop.
+func (e *Engine) RecordOutcome(key session.Key, human bool) {
+	if e.outcomes == nil {
+		return
+	}
+	snap, ok := e.sessions.Peek(key)
+	if !ok || snap.Counts.Total < e.cfg.OutcomeMinRequests {
+		return
+	}
+	e.outcomes.Add(snap.Features, human)
+}
+
+// RecordOutcomeVector stores a labelled attribute vector directly, for
+// callers that computed features offline (log replay, finished sessions).
+func (e *Engine) RecordOutcomeVector(x features.Vector, human bool) {
+	if e.outcomes == nil {
+		return
+	}
+	e.outcomes.Add(x, human)
+}
+
+// recordSignalOutcome feeds the training loop from the serving path itself:
+// a newly observed definite signal is ground truth (CAPTCHA and input-event
+// confirmations label humans; decoy, replay, hidden-link and forged-UA hits
+// label robots). Sessions below OutcomeMinRequests are skipped — their
+// attribute vectors are noise.
+func (e *Engine) recordSignalOutcome(snap session.Snapshot, human bool) {
+	if e.outcomes == nil || snap.Counts.Total < e.cfg.OutcomeMinRequests {
+		return
+	}
+	e.outcomes.Add(snap.Features, human)
+}
+
+// OutcomeCount returns the number of labelled outcomes currently retained.
+func (e *Engine) OutcomeCount() int {
+	if e.outcomes == nil {
+		return 0
+	}
+	return e.outcomes.Len()
+}
+
+// Outcomes returns an independent copy of the retained labelled outcomes.
+func (e *Engine) Outcomes() []features.Example {
+	if e.outcomes == nil {
+		return nil
+	}
+	return e.outcomes.Snapshot()
+}
+
+// RetrainFromOutcomes fits an AdaBoost ensemble to the accumulated labelled
+// outcomes and hot-swaps it onto the serving path. It returns the published
+// model, or an error when the outcome set cannot support training yet (no
+// examples, or a single class); the previous model stays published then.
+func (e *Engine) RetrainFromOutcomes(cfg adaboost.Config) (*adaboost.Model, error) {
+	m, err := adaboost.Train(e.Outcomes(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.SetModel(m)
+	return m, nil
+}
+
+// StartTrainer runs the online training loop until the returned stop
+// function is called: every interval it checks whether at least minNew
+// labelled outcomes arrived since the last (re)train and, if so, retrains
+// and hot-swaps the model. Training runs on the trainer goroutine only; the
+// serving path never blocks on it.
+func (e *Engine) StartTrainer(interval time.Duration, minNew int, cfg adaboost.Config) (stop func()) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	if minNew <= 0 {
+		minNew = 64
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var trainedAt int64
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if e.outcomes == nil {
+					continue
+				}
+				total := e.outcomes.Total()
+				if total-trainedAt < int64(minNew) {
+					continue
+				}
+				if _, err := e.RetrainFromOutcomes(cfg); err == nil {
+					trainedAt = total
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // Sessions returns snapshots of all active sessions, gathered shard by
@@ -781,8 +947,3 @@ func (e *Engine) Stats() Stats {
 
 // Config returns the effective configuration (with defaults applied).
 func (e *Engine) Config() Config { return e.cfg }
-
-// String renders a verdict compactly.
-func (v Verdict) String() string {
-	return fmt.Sprintf("%s (%s, request %d): %s", v.Class, v.Confidence, v.AtRequest, v.Reason)
-}

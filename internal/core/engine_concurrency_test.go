@@ -85,7 +85,7 @@ func TestEngineConcurrentPipeline(t *testing.T) {
 				case 1:
 					e.HandleBeacon(k.IP, k.UserAgent, in.ScriptPath)
 				case 2:
-					e.HandleBeacon(k.IP, k.UserAgent, prefix+"/js/"+in.Issued.ScriptToken+".gif?ua="+normalizeUA(k.UserAgent))
+					e.HandleBeacon(k.IP, k.UserAgent, prefix+"/js/"+in.Issued.ScriptToken+".gif?ua="+session.NormalizeUA(k.UserAgent))
 				case 3:
 					e.HandleBeacon(k.IP, k.UserAgent, prefix+"/"+in.Issued.Key+".jpg")
 				case 4:

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"botdetect/internal/adaboost"
+	"botdetect/internal/detect"
+	"botdetect/internal/features"
+	"botdetect/internal/logfmt"
+	"botdetect/internal/session"
+)
+
+// trainTestModel fits a small separable model: high referrer share = human.
+func trainTestModel(t testing.TB, rounds int) *adaboost.Model {
+	t.Helper()
+	var examples []features.Example
+	for i := 0; i < 60; i++ {
+		var v features.Vector
+		if i%2 == 0 {
+			v[features.ReferrerPct] = 0.7 + float64(i%10)/100
+			examples = append(examples, features.Example{X: v, Human: true})
+		} else {
+			v[features.HTMLPct] = 0.8 + float64(i%10)/100
+			examples = append(examples, features.Example{X: v, Human: false})
+		}
+	}
+	m, err := adaboost.Train(examples, adaboost.Config{Rounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSetModelChangesVerdictAndInvalidatesCache(t *testing.T) {
+	d := New(Config{Seed: 21})
+	key := session.Key{IP: "10.4.0.1", UserAgent: "RefBot"}
+	// A session past the threshold whose every request is a referrered image
+	// fetch: the rules call it robot (no presentation objects), the learned
+	// model below calls it human (high referrer share, no HTML).
+	for i := 0; i < 12; i++ {
+		d.ObserveRequest(logfmt.Entry{
+			ClientIP: key.IP, UserAgent: key.UserAgent, Method: "GET",
+			Path: fmt.Sprintf("/img/p%d.jpg", i), Status: 200, Referer: "http://h/prev.html",
+			ContentType: "image/jpeg",
+		})
+	}
+	v := d.Classify(key)
+	if v.Class != ClassRobot {
+		t.Fatalf("rules-only verdict = %+v", v)
+	}
+	// Classify again: the cached verdict must be identical.
+	if v2 := d.Classify(key); v2 != v {
+		t.Fatalf("cached verdict differs: %+v vs %+v", v2, v)
+	}
+
+	d.SetModel(trainTestModel(t, 40))
+	v = d.Classify(key)
+	if v.Class != ClassHuman {
+		t.Fatalf("verdict after hot swap = %+v", v)
+	}
+	if d.Model() == nil {
+		t.Fatal("Model() lost the published model")
+	}
+
+	// Unpublish: back to the behavioural rules.
+	d.SetModel(nil)
+	if v := d.Classify(key); v.Class != ClassRobot {
+		t.Fatalf("verdict after unpublish = %+v", v)
+	}
+
+	// Direct evidence always outranks the model.
+	d.SetModel(trainTestModel(t, 40))
+	d.HandleBeacon(key.IP, key.UserAgent, d.Config().BeaconPrefix+"/hidden/xyz")
+	if v := d.Classify(key); v.Class != ClassRobot || v.Confidence != Definite {
+		t.Fatalf("direct evidence lost to the model: %+v", v)
+	}
+}
+
+// TestModelHotSwapRace hammers Engine.SetModel concurrently with the full
+// serving surface — ObserveRequest, Classify, Decide, HandleBeacon and
+// retraining — proving (under -race) that model hot-swap takes no locks the
+// read path can trip over and that cached verdicts never tear.
+func TestModelHotSwapRace(t *testing.T) {
+	d := New(Config{Seed: 33, Shards: 8})
+	modelA := trainTestModel(t, 20)
+	modelB := trainTestModel(t, 60)
+
+	keys := make([]session.Key, 32)
+	for i := range keys {
+		keys[i] = session.Key{IP: fmt.Sprintf("10.5.%d.%d", i/8, i%8), UserAgent: "UA-" + string(rune('a'+i%16))}
+	}
+	// Seed every session past the classification threshold.
+	for _, k := range keys {
+		for i := 0; i < 12; i++ {
+			d.ObserveRequest(logfmt.Entry{ClientIP: k.IP, UserAgent: k.UserAgent, Method: "GET",
+				Path: fmt.Sprintf("/s%d.html", i), Status: 200, Referer: "http://h/x.html"})
+		}
+	}
+
+	const iters = 1500
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Swapper: flips between two models, nil, and retrained-from-outcomes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			switch i % 4 {
+			case 0:
+				d.SetModel(modelA)
+			case 1:
+				d.SetModel(nil)
+			case 2:
+				d.SetModel(modelB)
+			default:
+				d.RecordOutcomeVector(features.Vector{features.ReferrerPct: 0.9}, true)
+				d.RecordOutcomeVector(features.Vector{features.HTMLPct: 0.9}, false)
+				_, _ = d.RetrainFromOutcomes(adaboost.Config{Rounds: 4, Thresholds: 4})
+			}
+		}
+		stop.Store(true)
+	}()
+
+	// Readers and writers on the serving surface.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				k := keys[(seed+i)%len(keys)]
+				switch i % 4 {
+				case 0:
+					v := d.Classify(k)
+					if v.Class == ClassUndecided && v.Reason == "" {
+						t.Error("torn verdict")
+						return
+					}
+				case 1:
+					d.ObserveRequest(logfmt.Entry{ClientIP: k.IP, UserAgent: k.UserAgent, Method: "GET",
+						Path: "/r.html", Status: 200})
+				case 2:
+					if snap, v, ok := d.Decide(k); ok && snap.Counts.Total >= 10 && v.Class == ClassUndecided {
+						t.Errorf("decided session came back undecided: %+v", v)
+						return
+					}
+				default:
+					d.HandleBeacon(k.IP, k.UserAgent, d.Config().BeaconPrefix+"/beacon.css")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The engine must still classify coherently after the storm.
+	d.SetModel(modelA)
+	for _, k := range keys {
+		if v := d.Classify(k); v.Class == ClassUndecided {
+			t.Fatalf("session %v undecided after %d requests", k, 12)
+		}
+	}
+}
+
+// TestClassifySteadyStateZeroAllocs pins the acceptance criterion that the
+// cached, incrementally-featured classify path allocates nothing once a
+// session's verdict is cached.
+func TestClassifySteadyStateZeroAllocs(t *testing.T) {
+	d := New(Config{Seed: 55})
+	d.SetModel(trainTestModel(t, 40))
+	key := session.Key{IP: "10.6.0.1", UserAgent: "Steady"}
+	for i := 0; i < 15; i++ {
+		d.ObserveRequest(logfmt.Entry{ClientIP: key.IP, UserAgent: key.UserAgent, Method: "GET",
+			Path: fmt.Sprintf("/p%d.html", i), Status: 200, Referer: "http://h/x.html"})
+	}
+	d.Classify(key) // warm the cache
+
+	if allocs := testing.AllocsPerRun(200, func() { d.Classify(key) }); allocs != 0 {
+		t.Fatalf("steady-state Classify allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestTrainerLoopRetrainsAndSwaps drives StartTrainer with real outcomes and
+// waits for it to publish a model.
+func TestTrainerLoopRetrainsAndSwaps(t *testing.T) {
+	d := New(Config{Seed: 77})
+	for i := 0; i < 40; i++ {
+		var v features.Vector
+		if i%2 == 0 {
+			v[features.ReferrerPct] = 0.8
+		} else {
+			v[features.HTMLPct] = 0.9
+		}
+		d.RecordOutcomeVector(v, i%2 == 0)
+	}
+	stop := d.StartTrainer(time.Millisecond, 10, adaboost.Config{Rounds: 8})
+	defer stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Model() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d.Model() == nil {
+		t.Fatal("trainer never published a model")
+	}
+	// The published model must reflect the outcomes' structure.
+	if !d.Model().Predict(features.Vector{features.ReferrerPct: 0.8}) {
+		t.Fatal("published model misclassifies the training structure")
+	}
+	if d.Learned().Epoch() == 0 {
+		t.Fatal("model epoch did not advance")
+	}
+	_ = detect.Describe(d.Detector())
+}

@@ -277,7 +277,7 @@ func TestClassificationLifecycleHumanWithJS(t *testing.T) {
 	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
 	d.HandleBeacon(ip, ua, inst.CSSPath)
 	d.HandleBeacon(ip, ua, inst.ScriptPath)
-	d.HandleBeacon(ip, ua, d.Config().BeaconPrefix+"/js/"+inst.Issued.ScriptToken+".gif?ua="+normalizeUA(ua))
+	d.HandleBeacon(ip, ua, d.Config().BeaconPrefix+"/js/"+inst.Issued.ScriptToken+".gif?ua="+session.NormalizeUA(ua))
 	// Human moves the mouse: the real key arrives.
 	d.HandleBeacon(ip, ua, d.Config().BeaconPrefix+"/"+inst.Issued.Key+".jpg")
 	v := d.Classify(key)
@@ -292,7 +292,7 @@ func TestClassificationRobotRunningJSWithoutMouse(t *testing.T) {
 	key := session.Key{IP: ip, UserAgent: ua}
 	now := vc.Now()
 	_, inst := d.InstrumentPage(ip, ua, "/", pageHTML())
-	d.HandleBeacon(ip, ua, d.Config().BeaconPrefix+"/js/"+inst.Issued.ScriptToken+".gif?ua="+normalizeUA(ua))
+	d.HandleBeacon(ip, ua, d.Config().BeaconPrefix+"/js/"+inst.Issued.ScriptToken+".gif?ua="+session.NormalizeUA(ua))
 	for i := 0; i < 12; i++ {
 		observe(d, ip, ua, "GET", fmt.Sprintf("/p%d.html", i), 200, "", now)
 	}

@@ -1,0 +1,219 @@
+package detect
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"botdetect/internal/adaboost"
+	"botdetect/internal/features"
+	"botdetect/internal/session"
+)
+
+// stub is a configurable detector for combinator tests.
+type stub struct {
+	name string
+	v    Verdict
+	ok   bool
+}
+
+func (s stub) Name() string                             { return s.name }
+func (s stub) Detect(*session.Snapshot) (Verdict, bool) { return s.v, s.ok }
+
+func robotV(conf Confidence) Verdict {
+	return Verdict{Class: ClassRobot, Confidence: conf, Reason: "stub robot", AtRequest: 1}
+}
+
+func humanV(conf Confidence) Verdict {
+	return Verdict{Class: ClassHuman, Confidence: conf, Reason: "stub human", AtRequest: 2}
+}
+
+func TestChainFirstOpinionWins(t *testing.T) {
+	snap := &session.Snapshot{}
+	c := Chain("test",
+		stub{name: "abstain", ok: false},
+		stub{name: "robot", v: robotV(Definite), ok: true},
+		stub{name: "human", v: humanV(Definite), ok: true},
+	)
+	v, ok := c.Detect(snap)
+	if !ok || v.Class != ClassRobot || v.Reason != "stub robot" {
+		t.Fatalf("verdict = %+v ok=%v", v, ok)
+	}
+	if c.Name() != "test" {
+		t.Fatalf("name = %q", c.Name())
+	}
+}
+
+func TestChainAllAbstain(t *testing.T) {
+	c := Chain("empty", stub{name: "a"}, stub{name: "b"})
+	if _, ok := c.Detect(&session.Snapshot{}); ok {
+		t.Fatal("chain of abstainers must abstain")
+	}
+}
+
+func TestWeightedVote(t *testing.T) {
+	snap := &session.Snapshot{Counts: session.Counts{Total: 42}}
+
+	// A definite robot outvotes a probable human of equal weight.
+	w := Weighted("vote",
+		WeightedMember{Detector: stub{name: "r", v: robotV(Definite), ok: true}, Weight: 1},
+		WeightedMember{Detector: stub{name: "h", v: humanV(Probable), ok: true}, Weight: 1},
+	)
+	v, ok := w.Detect(snap)
+	if !ok || v.Class != ClassRobot {
+		t.Fatalf("verdict = %+v ok=%v", v, ok)
+	}
+
+	// Weight can flip it.
+	w = Weighted("vote",
+		WeightedMember{Detector: stub{name: "r", v: robotV(Definite), ok: true}, Weight: 1},
+		WeightedMember{Detector: stub{name: "h", v: humanV(Probable), ok: true}, Weight: 3},
+	)
+	v, _ = w.Detect(snap)
+	if v.Class != ClassHuman {
+		t.Fatalf("weighted human lost: %+v", v)
+	}
+
+	// All abstain -> abstain; undecided members do not vote.
+	w = Weighted("vote",
+		WeightedMember{Detector: stub{name: "a"}, Weight: 1},
+		WeightedMember{Detector: stub{name: "u", v: Undecided("no idea"), ok: true}, Weight: 1},
+	)
+	if _, ok := w.Detect(snap); ok {
+		t.Fatal("vote with no opinions must abstain")
+	}
+
+	// Exact tie -> explicit undecided verdict.
+	w = Weighted("vote",
+		WeightedMember{Detector: stub{name: "r", v: robotV(Definite), ok: true}, Weight: 1},
+		WeightedMember{Detector: stub{name: "h", v: humanV(Definite), ok: true}, Weight: 1},
+	)
+	v, ok = w.Detect(snap)
+	if !ok || v.Class != ClassUndecided {
+		t.Fatalf("tie verdict = %+v ok=%v", v, ok)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	l := NewLearned(10)
+	d := Chain("serving", stub{name: "direct"}, l, Weighted("vote", WeightedMember{Detector: stub{name: "x"}, Weight: 2}))
+	s := Describe(d)
+	for _, want := range []string{"serving(", "direct", "learned", "vote(", "x×2.0"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Describe = %q missing %q", s, want)
+		}
+	}
+}
+
+func trainToyModel(t *testing.T) *adaboost.Model {
+	t.Helper()
+	var examples []features.Example
+	for i := 0; i < 40; i++ {
+		var v features.Vector
+		if i%2 == 0 {
+			v[features.ReferrerPct] = 0.8
+			examples = append(examples, features.Example{X: v, Human: true})
+		} else {
+			v[features.HTMLPct] = 0.9
+			examples = append(examples, features.Example{X: v, Human: false})
+		}
+	}
+	m, err := adaboost.Train(examples, adaboost.Config{Rounds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLearnedAbstainsAndDecides(t *testing.T) {
+	l := NewLearned(10)
+	var human features.Vector
+	human[features.ReferrerPct] = 0.8
+	long := &session.Snapshot{Counts: session.Counts{Total: 20}, Features: human}
+
+	if _, ok := l.Detect(long); ok {
+		t.Fatal("learned without a model must abstain")
+	}
+	if l.Epoch() != 0 || l.Model() != nil {
+		t.Fatal("fresh learned should have epoch 0 and nil model")
+	}
+
+	m := trainToyModel(t)
+	l.SetModel(m)
+	if l.Epoch() != 1 || l.Model() != m {
+		t.Fatalf("epoch=%d model=%p", l.Epoch(), l.Model())
+	}
+
+	v, ok := l.Detect(long)
+	if !ok || v.Class != ClassHuman || v.Confidence != Probable || v.AtRequest != 20 {
+		t.Fatalf("verdict = %+v ok=%v", v, ok)
+	}
+	var robot features.Vector
+	robot[features.HTMLPct] = 0.9
+	v, ok = l.Detect(&session.Snapshot{Counts: session.Counts{Total: 20}, Features: robot})
+	if !ok || v.Class != ClassRobot {
+		t.Fatalf("robot verdict = %+v ok=%v", v, ok)
+	}
+
+	// Too-short sessions abstain even with a model.
+	if _, ok := l.Detect(&session.Snapshot{Counts: session.Counts{Total: 5}, Features: human}); ok {
+		t.Fatal("learned must abstain below MinRequests")
+	}
+
+	// Unpublishing reverts to abstention and advances the epoch.
+	l.SetModel(nil)
+	if _, ok := l.Detect(long); ok {
+		t.Fatal("unpublished model must abstain")
+	}
+	if l.Epoch() != 2 {
+		t.Fatalf("epoch = %d", l.Epoch())
+	}
+}
+
+func TestOutcomesRing(t *testing.T) {
+	o := NewOutcomes(16)
+	for i := 0; i < 20; i++ {
+		var v features.Vector
+		v[0] = float64(i)
+		o.Add(v, i%2 == 0)
+	}
+	if o.Len() != 16 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+	if o.Total() != 20 {
+		t.Fatalf("Total = %d", o.Total())
+	}
+	snap := o.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	// Oldest retained example is #4 (0..3 overwritten), newest is #19.
+	if snap[0].X[0] != 4 || snap[15].X[0] != 19 {
+		t.Fatalf("ring order wrong: first=%v last=%v", snap[0].X[0], snap[15].X[0])
+	}
+}
+
+func TestOutcomesConcurrent(t *testing.T) {
+	o := NewOutcomes(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				var v features.Vector
+				v[0] = float64(seed*1000 + i)
+				o.Add(v, i%2 == 0)
+				_ = o.Snapshot()
+				_ = o.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if o.Total() != 800 {
+		t.Fatalf("Total = %d", o.Total())
+	}
+	if o.Len() != 64 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+}

@@ -1,0 +1,83 @@
+package detect
+
+import (
+	"sync"
+
+	"botdetect/internal/features"
+)
+
+// Outcomes is a bounded, concurrency-safe buffer of labelled examples — the
+// raw material of the online training loop. The serving path appends an
+// example whenever ground truth reveals itself (a CAPTCHA outcome, a
+// beacon-confirmed input event, a decoy or hidden-link hit, an operator or
+// workload label), and the background trainer periodically drains a copy to
+// retrain the AdaBoost model it then hot-swaps via Learned.SetModel.
+//
+// The buffer is a ring: once full, new outcomes overwrite the oldest, so a
+// long-running deployment trains on a sliding window of recent behaviour.
+// Appends are rare events (at most a handful per session), so a plain mutex
+// is the right cost model; classification never touches this structure.
+type Outcomes struct {
+	mu    sync.Mutex
+	buf   []features.Example
+	next  int   // ring cursor once full
+	full  bool  // buf has wrapped
+	total int64 // lifetime appends
+}
+
+// NewOutcomes creates a buffer retaining the most recent capacity examples
+// (minimum 16).
+func NewOutcomes(capacity int) *Outcomes {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Outcomes{buf: make([]features.Example, 0, capacity)}
+}
+
+// Add appends one labelled outcome.
+func (o *Outcomes) Add(x features.Vector, human bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ex := features.Example{X: x, Human: human}
+	if o.full {
+		o.buf[o.next] = ex
+		o.next = (o.next + 1) % len(o.buf)
+	} else {
+		o.buf = append(o.buf, ex)
+		if len(o.buf) == cap(o.buf) {
+			o.full = true
+		}
+	}
+	o.total++
+}
+
+// Len returns the number of retained examples.
+func (o *Outcomes) Len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.buf)
+}
+
+// Total returns the lifetime number of appended outcomes, including ones
+// that have been overwritten. Trainers use it to detect new material since
+// the last retrain.
+func (o *Outcomes) Total() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.total
+}
+
+// Snapshot returns an independent copy of the retained examples (oldest
+// first once the ring has wrapped; insertion order before that).
+func (o *Outcomes) Snapshot() []features.Example {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]features.Example, 0, len(o.buf))
+	if o.full {
+		out = append(out, o.buf[o.next:]...)
+		out = append(out, o.buf[:o.next]...)
+	} else {
+		out = append(out, o.buf...)
+	}
+	return out
+}

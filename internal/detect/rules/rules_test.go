@@ -1,0 +1,108 @@
+package rules
+
+import (
+	"testing"
+
+	"botdetect/internal/detect"
+	"botdetect/internal/session"
+)
+
+func sigSnap(total int64, sigs map[session.Signal]int64) *session.Snapshot {
+	return &session.Snapshot{Counts: session.Counts{Total: total}, Signals: sigs}
+}
+
+func TestDirectPriorityOrder(t *testing.T) {
+	// Decoy outranks mouse: a robot that blindly fetches every URL hits the
+	// real key too, and must still be classified robot.
+	v, ok := (Direct{}).Detect(sigSnap(5, map[session.Signal]int64{
+		session.SignalDecoy: 3, session.SignalMouse: 2,
+	}))
+	if !ok || v.Class != detect.ClassRobot || v.Confidence != detect.Definite || v.AtRequest != 3 {
+		t.Fatalf("verdict = %+v ok=%v", v, ok)
+	}
+
+	cases := []struct {
+		sig   session.Signal
+		class detect.Class
+	}{
+		{session.SignalDecoy, detect.ClassRobot},
+		{session.SignalReplay, detect.ClassRobot},
+		{session.SignalHidden, detect.ClassRobot},
+		{session.SignalUAMismatch, detect.ClassRobot},
+		{session.SignalMouse, detect.ClassHuman},
+		{session.SignalCaptcha, detect.ClassHuman},
+	}
+	for _, tc := range cases {
+		v, ok := (Direct{}).Detect(sigSnap(1, map[session.Signal]int64{tc.sig: 1}))
+		if !ok || v.Class != tc.class || v.Confidence != detect.Definite {
+			t.Fatalf("signal %v: verdict = %+v ok=%v", tc.sig, v, ok)
+		}
+	}
+
+	// No direct evidence: abstain (CSS/JS are behavioural, not direct).
+	if _, ok := (Direct{}).Detect(sigSnap(50, map[session.Signal]int64{session.SignalCSS: 1, session.SignalJS: 1})); ok {
+		t.Fatal("Direct must abstain without direct evidence")
+	}
+}
+
+func TestBrowserTestRules(t *testing.T) {
+	b := BrowserTest{MinRequests: 10}
+
+	v, ok := b.Detect(sigSnap(5, nil))
+	if !ok || v.Class != detect.ClassUndecided {
+		t.Fatalf("short session verdict = %+v ok=%v", v, ok)
+	}
+
+	v, _ = b.Detect(sigSnap(12, map[session.Signal]int64{session.SignalJS: 4}))
+	if v.Class != detect.ClassRobot || v.AtRequest != 4 {
+		t.Fatalf("JS-no-mouse verdict = %+v", v)
+	}
+
+	v, _ = b.Detect(sigSnap(12, map[session.Signal]int64{session.SignalCSS: 2}))
+	if v.Class != detect.ClassHuman || v.AtRequest != 2 {
+		t.Fatalf("CSS verdict = %+v", v)
+	}
+
+	// JS outranks CSS (S_JS − S_MM subtraction).
+	v, _ = b.Detect(sigSnap(12, map[session.Signal]int64{session.SignalCSS: 2, session.SignalJS: 3}))
+	if v.Class != detect.ClassRobot {
+		t.Fatalf("JS+CSS verdict = %+v", v)
+	}
+
+	v, _ = b.Detect(sigSnap(12, nil))
+	if v.Class != detect.ClassRobot || v.AtRequest != 10 {
+		t.Fatalf("no-presentation verdict = %+v", v)
+	}
+}
+
+func TestServingChainEquivalentToLegacyClassifier(t *testing.T) {
+	// The rules-only serving chain must reproduce the old core classifier's
+	// decision table exactly.
+	chain := Serving(10, nil)
+
+	cases := []struct {
+		name  string
+		snap  *session.Snapshot
+		class detect.Class
+		conf  detect.Confidence
+	}{
+		{"decoy robot", sigSnap(3, map[session.Signal]int64{session.SignalDecoy: 1}), detect.ClassRobot, detect.Definite},
+		{"mouse human", sigSnap(3, map[session.Signal]int64{session.SignalMouse: 1}), detect.ClassHuman, detect.Definite},
+		{"short undecided", sigSnap(3, nil), detect.ClassUndecided, detect.Tentative},
+		{"js robot", sigSnap(20, map[session.Signal]int64{session.SignalJS: 5}), detect.ClassRobot, detect.Probable},
+		{"css human", sigSnap(20, map[session.Signal]int64{session.SignalCSS: 5}), detect.ClassHuman, detect.Probable},
+		{"silent robot", sigSnap(20, nil), detect.ClassRobot, detect.Probable},
+	}
+	for _, tc := range cases {
+		v, ok := chain.Detect(tc.snap)
+		if !ok || v.Class != tc.class || v.Confidence != tc.conf {
+			t.Fatalf("%s: verdict = %+v ok=%v", tc.name, v, ok)
+		}
+	}
+
+	// With a learned stage the chain composes three detectors.
+	withModel := Serving(10, detect.NewLearned(10))
+	if got := detect.Describe(withModel); got != "serving(direct-evidence → learned → browser-test)" {
+		t.Fatalf("Describe = %q", got)
+	}
+}

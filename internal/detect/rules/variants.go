@@ -1,4 +1,4 @@
-package core
+package rules
 
 import "botdetect/internal/session"
 

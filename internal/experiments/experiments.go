@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"strings"
 
-	"botdetect/internal/core"
+	"botdetect/internal/detect/rules"
 	"botdetect/internal/metrics"
 	"botdetect/internal/session"
 	"botdetect/internal/workload"
@@ -48,7 +48,7 @@ func (s Scale) withDefaults() Scale {
 type Table1Result struct {
 	// Breakdown is the Table 1 signal breakdown over sessions with more than
 	// ten requests.
-	Breakdown core.SetBreakdown
+	Breakdown rules.SetBreakdown
 	// PaperCSS etc. are the shares reported in the paper, for side-by-side
 	// printing.
 	PaperCSS, PaperJS, PaperMouse, PaperCaptcha, PaperHidden, PaperUAMismatch float64
@@ -75,7 +75,7 @@ func Table1(scale Scale) Table1Result {
 
 func table1From(res *workload.Result) Table1Result {
 	snaps := res.Snapshots()
-	b := core.Breakdown(snaps, 10)
+	b := rules.Breakdown(snaps, 10)
 
 	var cm metrics.ConfusionMatrix
 	humans := 0
@@ -88,7 +88,7 @@ func table1From(res *workload.Result) Table1Result {
 		if s.IsHuman() {
 			humans++
 		}
-		cm.Record(core.InHumanSet(s.Snapshot), s.IsHuman())
+		cm.Record(rules.InHumanSet(s.Snapshot), s.IsHuman())
 	}
 	out := Table1Result{
 		Breakdown:       b,

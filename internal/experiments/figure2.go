@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"botdetect/internal/core"
+	"botdetect/internal/detect/rules"
 	"botdetect/internal/metrics"
 	"botdetect/internal/session"
 	"botdetect/internal/workload"
@@ -44,7 +44,7 @@ func Figure2(scale Scale) Figure2Result {
 }
 
 func figure2From(res *workload.Result) Figure2Result {
-	latencies := core.DetectionLatencies(res.Snapshots(),
+	latencies := rules.DetectionLatencies(res.Snapshots(),
 		session.SignalMouse, session.SignalCSS, session.SignalJSFile)
 	out := Figure2Result{
 		MouseCDF:  latencies[session.SignalMouse],

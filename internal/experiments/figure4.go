@@ -109,7 +109,7 @@ func figure4From(res *workload.Result, scale Scale) Figure4Result {
 			if !ok || len(entries) <= 10 {
 				continue
 			}
-			acc := features.NewAccumulator(int64(n))
+			acc := session.NewAccumulator(int64(n))
 			for _, e := range entries {
 				if !acc.Observe(e) {
 					break

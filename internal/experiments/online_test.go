@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOnlineLoopEndToEnd is the end-to-end proof of the online training
+// loop: a CoDeeN-mix workload is served, the fleet's labelled outcomes are
+// aggregated and a model retrained from them, the model is hot-swapped onto
+// a live fleet serving a held-out (shifted) mix, and the resulting serving
+// verdicts must be at least as accurate as the offline AdaBoost baseline on
+// the very same held-out sessions.
+func TestOnlineLoopEndToEnd(t *testing.T) {
+	r := OnlineLoop(Scale{Sessions: 300, Seed: 2006})
+
+	if r.TrainingSessions < 50 || r.HeldOutSessions < 50 {
+		t.Fatalf("workloads too small: train=%d heldout=%d", r.TrainingSessions, r.HeldOutSessions)
+	}
+	if r.SelfLabelled == 0 {
+		t.Fatal("serving engines collected no self-labelled outcomes")
+	}
+	if r.OutcomesTotal <= r.SelfLabelled {
+		t.Fatal("ground-truth labels were not fed back into the outcome buffer")
+	}
+	if r.ModelRounds == 0 {
+		t.Fatal("retraining produced no model")
+	}
+	if r.OnlineAccuracy < 0.85 {
+		t.Fatalf("online chain accuracy %.3f below sanity floor", r.OnlineAccuracy)
+	}
+	// The acceptance criterion: the online loop (serve → label → retrain →
+	// hot-swap) must not lose to the offline experiments baseline.
+	if r.OnlineAccuracy < r.OfflineMLAccuracy {
+		t.Fatalf("online chain accuracy %.3f < offline AdaBoost baseline %.3f",
+			r.OnlineAccuracy, r.OfflineMLAccuracy)
+	}
+
+	out := r.Format()
+	for _, want := range []string{"online chain", "offline AdaBoost baseline", "rules only", "hot-swapped"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}

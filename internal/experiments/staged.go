@@ -6,6 +6,8 @@ import (
 
 	"botdetect/internal/adaboost"
 	"botdetect/internal/core"
+	"botdetect/internal/detect"
+	"botdetect/internal/detect/rules"
 	"botdetect/internal/features"
 	"botdetect/internal/metrics"
 	"botdetect/internal/workload"
@@ -35,7 +37,7 @@ func AblationSignals(scale Scale) AblationSignalsResult {
 	scale = scale.withDefaults()
 	res := workload.Run(workload.Config{Sessions: scale.Sessions, Seed: scale.Seed ^ 0x51a})
 
-	variants := []core.Rule{core.CSSOnlyRule(), core.MouseOnlyRule(), core.UnionOnlyRule(), core.FullRule()}
+	variants := []rules.Rule{rules.CSSOnlyRule(), rules.MouseOnlyRule(), rules.UnionOnlyRule(), rules.FullRule()}
 	var out AblationSignalsResult
 	for _, rule := range variants {
 		var cm metrics.ConfusionMatrix
@@ -100,7 +102,7 @@ func Staged(scale Scale) StagedResult {
 		if s.Snapshot.Counts.Total <= 10 {
 			continue
 		}
-		trainExamples = append(trainExamples, features.Example{X: features.FromSnapshot(s.Snapshot), Human: s.IsHuman()})
+		trainExamples = append(trainExamples, features.Example{X: s.Snapshot.Features, Human: s.IsHuman()})
 	}
 	model, err := adaboost.Train(trainExamples, adaboost.Config{Rounds: 200})
 	if err != nil {
@@ -110,6 +112,14 @@ func Staged(scale Scale) StagedResult {
 	// Evaluation workload.
 	evalRes := workload.Run(workload.Config{Sessions: scale.Sessions, Seed: scale.Seed ^ 0x7a12})
 
+	// The staged configuration is the serving chain itself — direct evidence,
+	// then the learned model — composed from the same detect combinators the
+	// live engine uses, so this ablation measures exactly what deployment
+	// would deploy.
+	learnedStage := detect.NewLearned(10)
+	learnedStage.SetModel(model)
+	staged := detect.Chain("staged", rules.Direct{}, learnedStage)
+
 	var rulesCM, mlCM, stagedCM metrics.ConfusionMatrix
 	fastDecided, total := 0, 0
 	for _, s := range evalRes.Sessions {
@@ -118,20 +128,19 @@ func Staged(scale Scale) StagedResult {
 		}
 		total++
 		isHuman := s.IsHuman()
-		mlSaysHuman := model.Predict(features.FromSnapshot(s.Snapshot))
+		mlSaysHuman := model.Predict(s.Snapshot.Features)
 
 		// Rules only: the detector's verdict, undecided counted as robot.
 		rulesCM.Record(s.Verdict.Class == core.ClassHuman, isHuman)
 		// ML only.
 		mlCM.Record(mlSaysHuman, isHuman)
-		// Staged: definite verdicts are accepted as-is; everything else
-		// (probable and undecided) goes to the ML stage.
-		if s.Verdict.Confidence == core.Definite && s.Verdict.Class != core.ClassUndecided {
+		// Staged: run the chain; a definite verdict means the direct-evidence
+		// fast path decided, everything else fell through to the ML stage.
+		v, ok := staged.Detect(&s.Snapshot)
+		if ok && v.Confidence == core.Definite {
 			fastDecided++
-			stagedCM.Record(s.Verdict.Class == core.ClassHuman, isHuman)
-		} else {
-			stagedCM.Record(mlSaysHuman, isHuman)
 		}
+		stagedCM.Record(ok && v.Class == core.ClassHuman, isHuman)
 	}
 
 	out := StagedResult{Rows: []StagedRow{

@@ -1,17 +1,18 @@
-// Package features computes the 12 per-session attributes of Table 2, the
+// Package features defines the 12 per-session attributes of Table 2, the
 // input representation for the machine-learning detector of Section 4.2.
 // Each attribute is the percentage (expressed as a fraction in [0, 1]) of a
 // session's requests with a given property, computed over the first n
 // requests of the session (the paper builds classifiers at n = 20, 40, ...,
 // 160).
+//
+// The package is a leaf: it holds only the vector type, the attribute
+// indices and the labelled-example container, so that both the session layer
+// (which maintains each session's vector incrementally; see
+// session.Counts.Vector) and the decision layer (internal/detect, which
+// feeds vectors to the learned model) can depend on it without cycles.
 package features
 
-import (
-	"fmt"
-
-	"botdetect/internal/logfmt"
-	"botdetect/internal/session"
-)
+import "fmt"
 
 // Index of each attribute in a Vector, in the order of Table 2.
 const (
@@ -73,152 +74,6 @@ type Example struct {
 	X Vector
 	// Human is the ground-truth label (true = human session).
 	Human bool
-}
-
-// FromCounts derives the attribute vector from accumulated request counters.
-// A session with zero requests yields the zero vector.
-func FromCounts(c session.Counts) Vector {
-	var v Vector
-	if c.Total == 0 {
-		return v
-	}
-	total := float64(c.Total)
-	v[HeadPct] = float64(c.Head) / total
-	v[HTMLPct] = float64(c.HTML) / total
-	v[ImagePct] = float64(c.Image) / total
-	v[CGIPct] = float64(c.CGI) / total
-	v[ReferrerPct] = float64(c.WithReferrer) / total
-	v[UnseenReferrerPct] = float64(c.UnseenReferrer) / total
-	v[EmbeddedObjPct] = float64(c.Embedded) / total
-	v[LinkFollowingPct] = float64(c.LinkFollowing) / total
-	v[Resp2xxPct] = float64(c.Status2xx) / total
-	v[Resp3xxPct] = float64(c.Status3xx) / total
-	v[Resp4xxPct] = float64(c.Status4xx) / total
-	v[FaviconPct] = float64(c.Favicon) / total
-	return v
-}
-
-// FromSnapshot derives the attribute vector from a session snapshot.
-func FromSnapshot(s session.Snapshot) Vector { return FromCounts(s.Counts) }
-
-// Accumulator incrementally computes a session's attribute vector from a
-// request stream, optionally truncated to the first Limit requests. It is a
-// lightweight re-implementation of the counting in the session tracker for
-// use by the offline path (log replay) and the prefix-classifier experiments
-// (Figure 4), where the caller controls exactly which requests contribute.
-type Accumulator struct {
-	// Limit caps the number of requests considered (0 = unlimited).
-	Limit int64
-
-	counts    session.Counts
-	seenPaths map[string]bool
-}
-
-// NewAccumulator creates an Accumulator considering at most limit requests
-// (0 for unlimited).
-func NewAccumulator(limit int64) *Accumulator {
-	return &Accumulator{Limit: limit, seenPaths: make(map[string]bool)}
-}
-
-// Observe adds one request if the limit has not been reached. It reports
-// whether the request was counted.
-func (a *Accumulator) Observe(e logfmt.Entry) bool {
-	if a.Limit > 0 && a.counts.Total >= a.Limit {
-		return false
-	}
-	c := &a.counts
-	c.Total++
-	c.Bytes += e.Bytes
-	switch {
-	case e.IsHead():
-		c.Head++
-	case e.Method == "POST" || e.Method == "post":
-		c.Post++
-	default:
-		c.Get++
-	}
-	if e.IsHTML() {
-		c.HTML++
-	}
-	if e.IsImage() {
-		c.Image++
-	}
-	if e.IsCGI() {
-		c.CGI++
-	}
-	if e.IsFavicon() {
-		c.Favicon++
-	}
-	if e.IsEmbedded() {
-		c.Embedded++
-	}
-	if e.Referer != "" {
-		c.WithReferrer++
-		if a.seenPaths[refPath(e.Referer)] {
-			c.LinkFollowing++
-		} else {
-			c.UnseenReferrer++
-		}
-	}
-	switch e.StatusClass() {
-	case 2:
-		c.Status2xx++
-	case 3:
-		c.Status3xx++
-	case 4:
-		c.Status4xx++
-	case 5:
-		c.Status5xx++
-	}
-	if len(a.seenPaths) < 4096 {
-		a.seenPaths[e.PathOnly()] = true
-	}
-	return true
-}
-
-// Requests returns the number of requests counted so far.
-func (a *Accumulator) Requests() int64 { return a.counts.Total }
-
-// Counts returns the accumulated counters.
-func (a *Accumulator) Counts() session.Counts { return a.counts }
-
-// Vector returns the attribute vector over the counted requests.
-func (a *Accumulator) Vector() Vector { return FromCounts(a.counts) }
-
-// refPath reduces a Referer URL to its path (scheme/host stripped, query and
-// fragment removed), matching the session tracker's normalisation.
-func refPath(ref string) string {
-	s := ref
-	for i := 0; i+2 < len(s); i++ {
-		if s[i] == ':' && s[i+1] == '/' && s[i+2] == '/' {
-			s = s[i+3:]
-			if j := indexByte(s, '/'); j >= 0 {
-				s = s[j:]
-			} else {
-				s = "/"
-			}
-			break
-		}
-	}
-	if i := indexByte(s, '?'); i >= 0 {
-		s = s[:i]
-	}
-	if i := indexByte(s, '#'); i >= 0 {
-		s = s[:i]
-	}
-	if s == "" {
-		s = "/"
-	}
-	return s
-}
-
-func indexByte(s string, b byte) int {
-	for i := 0; i < len(s); i++ {
-		if s[i] == b {
-			return i
-		}
-	}
-	return -1
 }
 
 // String renders the vector with attribute names, for debugging and reports.

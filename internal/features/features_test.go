@@ -1,46 +1,9 @@
 package features
 
 import (
-	"math"
 	"strings"
 	"testing"
-	"testing/quick"
-	"time"
-
-	"botdetect/internal/logfmt"
-	"botdetect/internal/session"
 )
-
-func TestFromCountsZero(t *testing.T) {
-	v := FromCounts(session.Counts{})
-	for i, val := range v {
-		if val != 0 {
-			t.Fatalf("attribute %d = %f for empty counts", i, val)
-		}
-	}
-}
-
-func TestFromCountsValues(t *testing.T) {
-	c := session.Counts{
-		Total: 10, Head: 1, HTML: 4, Image: 3, CGI: 2, Favicon: 1,
-		Embedded: 4, WithReferrer: 6, UnseenReferrer: 2, LinkFollowing: 4,
-		Status2xx: 7, Status3xx: 1, Status4xx: 2,
-	}
-	v := FromCounts(c)
-	want := map[int]float64{
-		HeadPct: 0.1, HTMLPct: 0.4, ImagePct: 0.3, CGIPct: 0.2, FaviconPct: 0.1,
-		EmbeddedObjPct: 0.4, ReferrerPct: 0.6, UnseenReferrerPct: 0.2, LinkFollowingPct: 0.4,
-		Resp2xxPct: 0.7, Resp3xxPct: 0.1, Resp4xxPct: 0.2,
-	}
-	for idx, w := range want {
-		if math.Abs(v[idx]-w) > 1e-9 {
-			t.Fatalf("attribute %s = %f, want %f", Names[idx], v[idx], w)
-		}
-	}
-	if err := v.Validate(); err != nil {
-		t.Fatal(err)
-	}
-}
 
 func TestNamesAndDescriptionsComplete(t *testing.T) {
 	if len(Names) != NumAttributes || len(Descriptions) != NumAttributes {
@@ -81,112 +44,5 @@ func TestVectorValidate(t *testing.T) {
 	v[3] = -0.1
 	if err := v.Validate(); err == nil {
 		t.Fatal("expected validation error for negative")
-	}
-}
-
-func entryAt(method, path string, status int, ref string) logfmt.Entry {
-	return logfmt.Entry{
-		Time: time.Date(2006, 1, 6, 0, 0, 0, 0, time.UTC), ClientIP: "1.1.1.1",
-		UserAgent: "UA", Method: method, Path: path, Status: status, Referer: ref, Bytes: 100,
-	}
-}
-
-func TestAccumulatorMatchesTrackerSemantics(t *testing.T) {
-	reqs := []logfmt.Entry{
-		entryAt("GET", "/index.html", 200, ""),
-		entryAt("GET", "/a.css", 200, "http://h/index.html"),
-		entryAt("GET", "/b.jpg", 200, "http://h/index.html"),
-		entryAt("HEAD", "/index.html", 200, ""),
-		entryAt("GET", "/cgi-bin/x.cgi?q=1", 302, "http://elsewhere/page.html"),
-		entryAt("GET", "/favicon.ico", 404, ""),
-	}
-	acc := NewAccumulator(0)
-	for _, e := range reqs {
-		if !acc.Observe(e) {
-			t.Fatal("Observe rejected a request with no limit")
-		}
-	}
-	if acc.Requests() != 6 {
-		t.Fatalf("Requests = %d", acc.Requests())
-	}
-	c := acc.Counts()
-	if c.Head != 1 || c.HTML != 2 || c.CGI != 1 || c.Favicon != 1 {
-		t.Fatalf("counts = %+v", c)
-	}
-	if c.WithReferrer != 3 || c.LinkFollowing != 2 || c.UnseenReferrer != 1 {
-		t.Fatalf("referrer counts = %+v", c)
-	}
-	v := acc.Vector()
-	if math.Abs(v[ReferrerPct]-0.5) > 1e-9 {
-		t.Fatalf("REFERRER%% = %f", v[ReferrerPct])
-	}
-	if err := v.Validate(); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestAccumulatorLimit(t *testing.T) {
-	acc := NewAccumulator(3)
-	for i := 0; i < 10; i++ {
-		acc.Observe(entryAt("GET", "/p.html", 200, ""))
-	}
-	if acc.Requests() != 3 {
-		t.Fatalf("Requests = %d, want 3 (limit)", acc.Requests())
-	}
-	if acc.Observe(entryAt("GET", "/p.html", 200, "")) {
-		t.Fatal("Observe should report false beyond the limit")
-	}
-}
-
-func TestAccumulatorVsTrackerEquivalence(t *testing.T) {
-	// The offline accumulator and the online tracker must produce identical
-	// attribute vectors for the same request stream.
-	reqs := []logfmt.Entry{
-		entryAt("GET", "/index.html", 200, ""),
-		entryAt("GET", "/style.css", 200, "http://x/index.html"),
-		entryAt("GET", "/p1.html", 200, "http://x/index.html"),
-		entryAt("GET", "/img.gif", 200, "http://x/p1.html"),
-		entryAt("POST", "/cgi-bin/form.cgi", 500, "http://x/p1.html"),
-		entryAt("GET", "/missing.html", 404, "http://other/site.html"),
-		entryAt("HEAD", "/p2.html", 200, ""),
-		entryAt("GET", "/favicon.ico", 200, ""),
-	}
-	tracker := session.NewTracker(session.Config{})
-	acc := NewAccumulator(0)
-	var snap session.Snapshot
-	for _, e := range reqs {
-		snap = tracker.Observe(e)
-		acc.Observe(e)
-	}
-	vOnline := FromSnapshot(snap)
-	vOffline := acc.Vector()
-	for i := range vOnline {
-		if math.Abs(vOnline[i]-vOffline[i]) > 1e-12 {
-			t.Fatalf("attribute %s differs: online %f offline %f", Names[i], vOnline[i], vOffline[i])
-		}
-	}
-}
-
-func TestFromCountsBoundedProperty(t *testing.T) {
-	f := func(head, html, img, cgi, ref, unseen, emb, link, s2, s3, s4, fav uint8, extra uint8) bool {
-		// Build counts where each category is at most Total.
-		total := int64(head) + int64(html) + int64(img) + int64(extra) + 1
-		clamp := func(v uint8) int64 {
-			x := int64(v)
-			if x > total {
-				return total
-			}
-			return x
-		}
-		c := session.Counts{
-			Total: total, Head: clamp(head), HTML: clamp(html), Image: clamp(img), CGI: clamp(cgi),
-			WithReferrer: clamp(ref), UnseenReferrer: clamp(unseen), Embedded: clamp(emb),
-			LinkFollowing: clamp(link), Status2xx: clamp(s2), Status3xx: clamp(s3), Status4xx: clamp(s4),
-			Favicon: clamp(fav),
-		}
-		return FromCounts(c).Validate() == nil
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
-		t.Fatal(err)
 	}
 }

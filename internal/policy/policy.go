@@ -1,9 +1,14 @@
 // Package policy implements the enforcement stage the paper deployed on
-// CoDeeN after classification (Section 3.2): once a session is classified as
-// a robot, its behaviour is watched against per-behaviour thresholds (CGI
-// request rate, GET request rate, error-response share) and traffic is
-// rate-limited or blocked as soon as a threshold is exceeded. Human sessions
-// can be given a higher bandwidth allowance (the CAPTCHA incentive).
+// CoDeeN after classification (Section 3.2). Enforcement is driven by
+// verdict transitions rather than raw counters: a session starts in the
+// monitor stage, is challenged (offered a CAPTCHA) the moment the detection
+// chain first classifies it as a robot, and is blocked when it keeps
+// behaving like a robot under challenge — definite evidence that ignores the
+// challenge, or behaviour past the paper's per-session thresholds (CGI
+// request rate, error-response share). A definite human verdict (input
+// events, a passed CAPTCHA) de-escalates the session back to monitor, and
+// verified humans can be given a higher bandwidth allowance (the CAPTCHA
+// incentive).
 package policy
 
 import (
@@ -13,16 +18,19 @@ import (
 	"time"
 
 	"botdetect/internal/clock"
-	"botdetect/internal/core"
+	"botdetect/internal/detect"
 	"botdetect/internal/session"
 )
 
-// Action is the policy decision for a request or session.
+// Action is the policy decision for a request.
 type Action int
 
 const (
 	// Allow lets the traffic through at the normal service level.
 	Allow Action = iota
+	// Challenge serves a CAPTCHA interstitial instead of origin content; it
+	// is returned exactly once, on the monitor→challenge transition.
+	Challenge
 	// Throttle lets the traffic through at a reduced rate.
 	Throttle
 	// Block rejects the traffic.
@@ -32,6 +40,8 @@ const (
 // String returns the action name.
 func (a Action) String() string {
 	switch a {
+	case Challenge:
+		return "challenge"
 	case Throttle:
 		return "throttle"
 	case Block:
@@ -41,19 +51,45 @@ func (a Action) String() string {
 	}
 }
 
+// Stage is a session's position on the escalation ladder.
+type Stage int
+
+const (
+	// StageMonitor means no robot verdict has been acted on.
+	StageMonitor Stage = iota
+	// StageChallenge means the session was classified robot and challenged.
+	StageChallenge
+	// StageBlock means the session is blocked until the block expires.
+	StageBlock
+)
+
+// String returns the stage name.
+func (s Stage) String() string {
+	switch s {
+	case StageChallenge:
+		return "challenge"
+	case StageBlock:
+		return "block"
+	default:
+		return "monitor"
+	}
+}
+
 // Decision explains a policy outcome.
 type Decision struct {
-	// Action is what the engine decided.
+	// Action is what the engine decided for this request.
 	Action Action
+	// Stage is the session's escalation stage after the decision.
+	Stage Stage
 	// Reason explains the dominant rule.
 	Reason string
 }
 
-// Thresholds are the per-session behaviour limits applied to robot-classified
-// sessions.
+// Thresholds are the per-session behaviour limits applied to sessions in the
+// challenge stage — robots that keep going instead of proving humanity.
 type Thresholds struct {
-	// MaxRequestRate is the maximum sustained requests/second for a robot
-	// session before throttling (0 disables).
+	// MaxRequestRate is the maximum sustained requests/second for a
+	// challenged robot session before throttling (0 disables).
 	MaxRequestRate float64
 	// MaxCGIRate is the maximum CGI requests/second before blocking.
 	MaxCGIRate float64
@@ -78,10 +114,15 @@ func DefaultThresholds() Thresholds {
 
 // Config controls the engine.
 type Config struct {
-	// Thresholds are the robot-session limits.
+	// Thresholds are the challenged-robot behaviour limits.
 	Thresholds Thresholds
 	// BlockDuration is how long a blocked session stays blocked.
 	BlockDuration time.Duration
+	// ChallengeGraceRequests is how many further requests a session with a
+	// definite robot verdict may make after being challenged before the
+	// ladder escalates to block regardless of rates — direct evidence plus
+	// an ignored challenge is as certain as enforcement gets (default 25).
+	ChallengeGraceRequests int64
 	// HumanBandwidthBonus is a multiplicative bandwidth allowance granted to
 	// CAPTCHA-verified humans (informational; the proxy applies it).
 	HumanBandwidthBonus float64
@@ -96,6 +137,9 @@ func (c Config) withDefaults() Config {
 	if c.BlockDuration <= 0 {
 		c.BlockDuration = time.Hour
 	}
+	if c.ChallengeGraceRequests <= 0 {
+		c.ChallengeGraceRequests = 25
+	}
 	if c.HumanBandwidthBonus <= 0 {
 		c.HumanBandwidthBonus = 2.0
 	}
@@ -109,91 +153,140 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	Evaluations int64
 	Allowed     int64
+	Challenged  int64
 	Throttled   int64
 	Blocked     int64
 	Unblocked   int64
+	DeEscalated int64
 }
 
 // engineStats is the atomic mirror of Stats.
 type engineStats struct {
 	evaluations atomic.Int64
 	allowed     atomic.Int64
+	challenged  atomic.Int64
 	throttled   atomic.Int64
 	blocked     atomic.Int64
 	unblocked   atomic.Int64
+	deescalated atomic.Int64
 }
 
-// blockedSet is an immutable snapshot of the block list (key -> expiry).
-// The enforcement read path loads it through an atomic pointer, so checking
-// a request against the block list never takes a lock; mutations (blocking
-// a session, expiring a block) copy the map and publish a new snapshot.
-// The rule set is read on every request and mutated only when a robot trips
-// a threshold, so copy-on-write is the right trade.
-type blockedSet struct {
-	until map[session.Key]time.Time
+// stageState is one session's position on the ladder.
+type stageState struct {
+	stage Stage
+	// enteredTotal is the session's request count when it entered the stage,
+	// for the challenge-grace computation.
+	enteredTotal int64
+	// until is the block expiry (block stage only).
+	until time.Time
+}
+
+// stageSet is an immutable snapshot of the per-session ladder state. The
+// enforcement read path loads it through an atomic pointer, so checking a
+// request never takes a lock; mutations (stage transitions, block expiry)
+// copy the map and publish a new snapshot. Transitions are rare — at most a
+// handful per session lifetime — so copy-on-write is the right trade.
+type stageSet struct {
+	m map[session.Key]stageState
 }
 
 // Engine applies the policy. It is safe for concurrent use: Evaluate and
-// IsBlocked read an atomically published snapshot of the block list, and
-// the mutex serialises only the rare copy-on-write mutations.
+// IsBlocked read an atomically published snapshot of the ladder state, and
+// the mutex serialises only the rare copy-on-write transitions.
 type Engine struct {
 	cfg Config
 
-	blocked atomic.Pointer[blockedSet]
-	mu      sync.Mutex // serialises block-list writers
-	stats   engineStats
+	stages atomic.Pointer[stageSet]
+	mu     sync.Mutex // serialises stage writers
+	stats  engineStats
 }
 
 // NewEngine creates an Engine.
 func NewEngine(cfg Config) *Engine {
 	e := &Engine{cfg: cfg.withDefaults()}
-	e.blocked.Store(&blockedSet{until: map[session.Key]time.Time{}})
+	e.stages.Store(&stageSet{m: map[session.Key]stageState{}})
 	return e
 }
 
-// lookup returns the block expiry for key from the current snapshot.
-func (e *Engine) lookup(key session.Key) (time.Time, bool) {
-	until, ok := e.blocked.Load().until[key]
-	return until, ok
+// stage returns the session's ladder state from the current snapshot.
+func (e *Engine) stage(key session.Key) (stageState, bool) {
+	st, ok := e.stages.Load().m[key]
+	return st, ok
 }
 
-// publishAdd copies the snapshot with key blocked until the given time.
-func (e *Engine) publishAdd(key session.Key, until time.Time) {
+// setStage copies the snapshot with key at the given state.
+func (e *Engine) setStage(key session.Key, st stageState) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	cur := e.blocked.Load()
-	next := make(map[session.Key]time.Time, len(cur.until)+1)
-	for k, v := range cur.until {
+	e.setStageLocked(key, st)
+}
+
+func (e *Engine) setStageLocked(key session.Key, st stageState) {
+	cur := e.stages.Load()
+	next := make(map[session.Key]stageState, len(cur.m)+1)
+	for k, v := range cur.m {
 		next[k] = v
 	}
-	next[key] = until
-	e.blocked.Store(&blockedSet{until: next})
-	e.stats.blocked.Add(1)
+	next[key] = st
+	e.stages.Store(&stageSet{m: next})
 }
 
-// publishRemoveExpired drops key from the snapshot if its block has expired,
-// counting the unblock exactly once even when readers race on the expiry.
-// It sweeps every other expired entry in the same copy, so draining a block
-// list whose entries lapse together costs one map copy, not one per entry.
-func (e *Engine) publishRemoveExpired(key session.Key) {
+// escalateChallenge promotes key from monitor to challenge. The caller's
+// stage read was lock-free, so the current state is re-validated under the
+// mutex: if a concurrent evaluation already challenged — or blocked — the
+// session, that state wins and transitioned is false. Without this check a
+// stale monitor read could overwrite a just-published block.
+func (e *Engine) escalateChallenge(key session.Key, total int64) (st stageState, transitioned bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	cur := e.blocked.Load()
-	now := e.cfg.Clock.Now()
-	until, ok := cur.until[key]
-	if !ok || now.Before(until) {
+	if cur, ok := e.stages.Load().m[key]; ok {
+		return cur, false
+	}
+	st = stageState{stage: StageChallenge, enteredTotal: total}
+	e.setStageLocked(key, st)
+	return st, true
+}
+
+// demote removes key from the ladder (back to monitor).
+func (e *Engine) demote(key session.Key) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.stages.Load()
+	if _, ok := cur.m[key]; !ok {
 		return
 	}
-	next := make(map[session.Key]time.Time, len(cur.until))
-	removed := int64(0)
-	for k, v := range cur.until {
-		if now.Before(v) {
+	next := make(map[session.Key]stageState, len(cur.m))
+	for k, v := range cur.m {
+		if k != key {
 			next[k] = v
-		} else {
-			removed++
 		}
 	}
-	e.blocked.Store(&blockedSet{until: next})
+	e.stages.Store(&stageSet{m: next})
+}
+
+// expireBlock drops key if its block has lapsed, counting the unblock
+// exactly once even when readers race on the expiry. It sweeps every other
+// expired block in the same copy, so draining a ladder whose blocks lapse
+// together costs one map copy, not one per entry.
+func (e *Engine) expireBlock(key session.Key) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.stages.Load()
+	now := e.cfg.Clock.Now()
+	st, ok := cur.m[key]
+	if !ok || st.stage != StageBlock || now.Before(st.until) {
+		return
+	}
+	next := make(map[session.Key]stageState, len(cur.m))
+	removed := int64(0)
+	for k, v := range cur.m {
+		if v.stage == StageBlock && !now.Before(v.until) {
+			removed++
+			continue
+		}
+		next[k] = v
+	}
+	e.stages.Store(&stageSet{m: next})
 	e.stats.unblocked.Add(removed)
 }
 
@@ -203,27 +296,57 @@ func (e *Engine) Thresholds() Thresholds { return e.cfg.Thresholds }
 // HumanBandwidthBonus returns the bandwidth multiplier for verified humans.
 func (e *Engine) HumanBandwidthBonus() float64 { return e.cfg.HumanBandwidthBonus }
 
-// Evaluate decides what to do with the session given its current snapshot
-// and the detector's verdict. It also updates the engine's block list. The
-// common path (no block, thresholds honoured) is lock-free.
-func (e *Engine) Evaluate(snap session.Snapshot, verdict core.Verdict) Decision {
+// Evaluate walks the session one step along the escalation ladder given its
+// current snapshot and the detection chain's verdict. The common path (no
+// transition) is lock-free.
+func (e *Engine) Evaluate(snap session.Snapshot, verdict detect.Verdict) Decision {
 	e.stats.evaluations.Add(1)
 	now := e.cfg.Clock.Now()
+	key := snap.Key
 
-	// Existing block still in force?
-	if until, ok := e.lookup(snap.Key); ok {
-		if now.Before(until) {
+	st, ok := e.stage(key)
+	if ok && st.stage == StageBlock {
+		if now.Before(st.until) {
 			e.stats.blocked.Add(1)
-			return Decision{Action: Block, Reason: "session is blocked"}
+			return Decision{Action: Block, Stage: StageBlock, Reason: "session is blocked"}
 		}
-		e.publishRemoveExpired(snap.Key)
+		e.expireBlock(key)
+		st, ok = e.stage(key)
 	}
 
-	if verdict.Class != core.ClassRobot {
+	if verdict.Class != detect.ClassRobot {
+		stage := StageMonitor
+		if ok {
+			stage = st.stage
+		}
+		if ok && st.stage == StageChallenge && verdict.Class == detect.ClassHuman && verdict.Confidence == detect.Definite {
+			// The challenge worked: direct human evidence (CAPTCHA pass,
+			// input events) de-escalates the session.
+			e.demote(key)
+			e.stats.deescalated.Add(1)
+			stage = StageMonitor
+		}
 		e.stats.allowed.Add(1)
-		return Decision{Action: Allow, Reason: "session not classified as robot"}
+		return Decision{Action: Allow, Stage: stage, Reason: "session not classified as robot"}
 	}
 
+	// Robot verdict: monitor → challenge on the first one. The transition
+	// re-validates under the writer mutex; a concurrent block wins.
+	if !ok || st.stage != StageChallenge {
+		st2, transitioned := e.escalateChallenge(key, snap.Counts.Total)
+		if transitioned {
+			e.stats.challenged.Add(1)
+			return Decision{Action: Challenge, Stage: StageChallenge, Reason: "robot verdict (" + verdict.Reason + "): challenge issued"}
+		}
+		if st2.stage == StageBlock {
+			e.stats.blocked.Add(1)
+			return Decision{Action: Block, Stage: StageBlock, Reason: "session is blocked"}
+		}
+		st = st2 // already challenged by a concurrent evaluation
+	}
+
+	// Challenged and still behaving like a robot: behavioural thresholds and
+	// the definite-evidence grace decide between block, throttle and allow.
 	th := e.cfg.Thresholds
 	dur := snap.Duration().Seconds()
 	if dur < 1 {
@@ -233,50 +356,87 @@ func (e *Engine) Evaluate(snap session.Snapshot, verdict core.Verdict) Decision 
 
 	if th.MaxCGIRate > 0 {
 		if rate := float64(c.CGI) / dur; rate > th.MaxCGIRate {
-			e.publishAdd(snap.Key, now.Add(e.cfg.BlockDuration))
-			return Decision{Action: Block, Reason: fmt.Sprintf("robot CGI rate %.2f/s exceeds %.2f/s", rate, th.MaxCGIRate)}
+			e.block(key, now)
+			return Decision{Action: Block, Stage: StageBlock, Reason: fmt.Sprintf("challenged robot CGI rate %.2f/s exceeds %.2f/s", rate, th.MaxCGIRate)}
 		}
 	}
 	if th.MaxErrorShare > 0 && c.Total >= th.MinRequestsForShare {
 		errShare := float64(c.Status4xx+c.Status5xx) / float64(c.Total)
 		if errShare > th.MaxErrorShare {
-			e.publishAdd(snap.Key, now.Add(e.cfg.BlockDuration))
-			return Decision{Action: Block, Reason: fmt.Sprintf("robot error share %.0f%% exceeds %.0f%%", errShare*100, th.MaxErrorShare*100)}
+			e.block(key, now)
+			return Decision{Action: Block, Stage: StageBlock, Reason: fmt.Sprintf("challenged robot error share %.0f%% exceeds %.0f%%", errShare*100, th.MaxErrorShare*100)}
 		}
+	}
+	if verdict.Confidence == detect.Definite && c.Total-st.enteredTotal >= e.cfg.ChallengeGraceRequests {
+		e.block(key, now)
+		return Decision{Action: Block, Stage: StageBlock, Reason: fmt.Sprintf("definite robot ignored the challenge for %d requests", c.Total-st.enteredTotal)}
 	}
 	if th.MaxRequestRate > 0 {
 		if rate := float64(c.Total) / dur; rate > th.MaxRequestRate {
 			e.stats.throttled.Add(1)
-			return Decision{Action: Throttle, Reason: fmt.Sprintf("robot request rate %.2f/s exceeds %.2f/s", rate, th.MaxRequestRate)}
+			return Decision{Action: Throttle, Stage: StageChallenge, Reason: fmt.Sprintf("challenged robot request rate %.2f/s exceeds %.2f/s", rate, th.MaxRequestRate)}
 		}
 	}
 	e.stats.allowed.Add(1)
-	return Decision{Action: Allow, Reason: "robot within behavioural thresholds"}
+	return Decision{Action: Allow, Stage: StageChallenge, Reason: "challenged robot within behavioural thresholds"}
+}
+
+// block promotes key to the block stage.
+func (e *Engine) block(key session.Key, now time.Time) {
+	e.setStage(key, stageState{stage: StageBlock, until: now.Add(e.cfg.BlockDuration)})
+	e.stats.blocked.Add(1)
 }
 
 // BlockNow explicitly blocks a session (e.g. after an operator decision).
 func (e *Engine) BlockNow(key session.Key) {
-	e.publishAdd(key, e.cfg.Clock.Now().Add(e.cfg.BlockDuration))
+	e.block(key, e.cfg.Clock.Now())
 }
 
 // IsBlocked reports whether a session is currently blocked. The check is
-// lock-free unless it observes an expired entry to clean up.
+// lock-free unless it observes an expired block to clean up.
 func (e *Engine) IsBlocked(key session.Key) bool {
-	until, ok := e.lookup(key)
-	if !ok {
+	st, ok := e.stage(key)
+	if !ok || st.stage != StageBlock {
 		return false
 	}
-	if e.cfg.Clock.Now().Before(until) {
+	if e.cfg.Clock.Now().Before(st.until) {
 		return true
 	}
-	e.publishRemoveExpired(key)
+	e.expireBlock(key)
 	return false
 }
 
-// BlockedCount returns the number of sessions currently on the block list
-// (including entries whose expiry has passed but has not been observed yet).
+// StageOf returns the session's current escalation stage.
+func (e *Engine) StageOf(key session.Key) Stage {
+	st, ok := e.stage(key)
+	if !ok {
+		return StageMonitor
+	}
+	return st.stage
+}
+
+// BlockedCount returns the number of sessions currently in the block stage
+// (including blocks whose expiry has passed but has not been observed yet).
 func (e *Engine) BlockedCount() int {
-	return len(e.blocked.Load().until)
+	n := 0
+	for _, st := range e.stages.Load().m {
+		if st.stage == StageBlock {
+			n++
+		}
+	}
+	return n
+}
+
+// ChallengedCount returns the number of sessions currently in the challenge
+// stage.
+func (e *Engine) ChallengedCount() int {
+	n := 0
+	for _, st := range e.stages.Load().m {
+		if st.stage == StageChallenge {
+			n++
+		}
+	}
+	return n
 }
 
 // Stats returns a copy of the counters.
@@ -284,9 +444,11 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		Evaluations: e.stats.evaluations.Load(),
 		Allowed:     e.stats.allowed.Load(),
+		Challenged:  e.stats.challenged.Load(),
 		Throttled:   e.stats.throttled.Load(),
 		Blocked:     e.stats.blocked.Load(),
 		Unblocked:   e.stats.unblocked.Load(),
+		DeEscalated: e.stats.deescalated.Load(),
 	}
 }
 

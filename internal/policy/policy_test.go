@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"botdetect/internal/clock"
-	"botdetect/internal/core"
+	"botdetect/internal/detect"
 	"botdetect/internal/session"
 )
 
@@ -17,16 +17,30 @@ func newTestEngine(cfg Config) (*Engine, *clock.Virtual) {
 	return NewEngine(cfg), vc
 }
 
-func robotVerdict() core.Verdict {
-	return core.Verdict{Class: core.ClassRobot, Confidence: core.Definite, Reason: "test"}
+func robotVerdict() detect.Verdict {
+	return detect.Verdict{Class: detect.ClassRobot, Confidence: detect.Definite, Reason: "test"}
 }
 
-func humanVerdict() core.Verdict {
-	return core.Verdict{Class: core.ClassHuman, Confidence: core.Definite, Reason: "test"}
+func probableRobotVerdict() detect.Verdict {
+	return detect.Verdict{Class: detect.ClassRobot, Confidence: detect.Probable, Reason: "test"}
+}
+
+func humanVerdict() detect.Verdict {
+	return detect.Verdict{Class: detect.ClassHuman, Confidence: detect.Definite, Reason: "test"}
 }
 
 func snapshotWith(key session.Key, counts session.Counts, dur time.Duration, start time.Time) session.Snapshot {
 	return session.Snapshot{Key: key, FirstSeen: start, LastSeen: start.Add(dur), Counts: counts}
+}
+
+// challenge primes the ladder: the first robot verdict moves the session
+// from monitor to challenge and must return the Challenge action.
+func challenge(t *testing.T, e *Engine, snap session.Snapshot, v detect.Verdict) {
+	t.Helper()
+	d := e.Evaluate(snap, v)
+	if d.Action != Challenge || d.Stage != StageChallenge {
+		t.Fatalf("first robot verdict did not challenge: %+v", d)
+	}
 }
 
 func TestHumanAlwaysAllowed(t *testing.T) {
@@ -42,14 +56,45 @@ func TestHumanAlwaysAllowed(t *testing.T) {
 	}
 }
 
-func TestRobotWithinThresholdsAllowed(t *testing.T) {
+func TestRobotChallengedOnceThenWatched(t *testing.T) {
 	e, vc := newTestEngine(Config{})
 	key := session.Key{IP: "2.2.2.2", UserAgent: "Bot"}
 	snap := snapshotWith(key, session.Counts{Total: 30, CGI: 1, Status2xx: 30}, 10*time.Minute, vc.Now())
-	d := e.Evaluate(snap, robotVerdict())
+
+	challenge(t, e, snap, probableRobotVerdict())
+	if e.Stats().Challenged != 1 || e.ChallengedCount() != 1 {
+		t.Fatalf("stats = %+v challenged=%d", e.Stats(), e.ChallengedCount())
+	}
+	// A well-behaved challenged robot is allowed through, not re-challenged.
+	d := e.Evaluate(snap, probableRobotVerdict())
+	if d.Action != Allow || d.Stage != StageChallenge {
+		t.Fatalf("second evaluation = %+v", d)
+	}
+	if e.Stats().Challenged != 1 {
+		t.Fatalf("challenged again: %+v", e.Stats())
+	}
+}
+
+func TestChallengePassedDeEscalates(t *testing.T) {
+	e, vc := newTestEngine(Config{})
+	key := session.Key{IP: "2.2.2.3", UserAgent: "MaybeHuman"}
+	snap := snapshotWith(key, session.Counts{Total: 30, Status2xx: 30}, 10*time.Minute, vc.Now())
+
+	challenge(t, e, snap, probableRobotVerdict())
+	// Direct human evidence (e.g. the CAPTCHA the challenge pointed at)
+	// drops the session back to monitor.
+	d := e.Evaluate(snap, humanVerdict())
 	if d.Action != Allow {
 		t.Fatalf("decision = %+v", d)
 	}
+	if e.StageOf(key) != StageMonitor || e.ChallengedCount() != 0 {
+		t.Fatalf("session not de-escalated: stage=%v", e.StageOf(key))
+	}
+	if e.Stats().DeEscalated != 1 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+	// The next robot verdict starts a fresh challenge.
+	challenge(t, e, snap, probableRobotVerdict())
 }
 
 func TestRobotCGIRateBlocks(t *testing.T) {
@@ -57,12 +102,13 @@ func TestRobotCGIRateBlocks(t *testing.T) {
 	key := session.Key{IP: "3.3.3.3", UserAgent: "ClickBot"}
 	// 300 CGI requests in 60 seconds = 5/s, above the 0.2/s default.
 	snap := snapshotWith(key, session.Counts{Total: 320, CGI: 300, Status2xx: 320}, time.Minute, vc.Now())
+	challenge(t, e, snap, robotVerdict())
 	d := e.Evaluate(snap, robotVerdict())
 	if d.Action != Block || !strings.Contains(d.Reason, "CGI rate") {
 		t.Fatalf("decision = %+v", d)
 	}
 	if !e.IsBlocked(key) {
-		t.Fatal("session should be on the block list")
+		t.Fatal("session should be blocked")
 	}
 	// A later evaluation stays blocked even if the verdict were to change.
 	d = e.Evaluate(snap, humanVerdict())
@@ -75,6 +121,7 @@ func TestRobotErrorShareBlocks(t *testing.T) {
 	e, vc := newTestEngine(Config{})
 	key := session.Key{IP: "4.4.4.4", UserAgent: "VulnScanner"}
 	snap := snapshotWith(key, session.Counts{Total: 50, Status4xx: 30, Status2xx: 20}, 10*time.Minute, vc.Now())
+	challenge(t, e, snap, robotVerdict())
 	d := e.Evaluate(snap, robotVerdict())
 	if d.Action != Block || !strings.Contains(d.Reason, "error share") {
 		t.Fatalf("decision = %+v", d)
@@ -86,6 +133,7 @@ func TestErrorShareNeedsMinimumRequests(t *testing.T) {
 	key := session.Key{IP: "5.5.5.5", UserAgent: "Bot"}
 	// 100% errors but only 5 requests: below MinRequestsForShare.
 	snap := snapshotWith(key, session.Counts{Total: 5, Status4xx: 5}, 10*time.Minute, vc.Now())
+	challenge(t, e, snap, robotVerdict())
 	d := e.Evaluate(snap, robotVerdict())
 	if d.Action == Block {
 		t.Fatalf("blocked on too few requests: %+v", d)
@@ -97,12 +145,39 @@ func TestRobotRequestRateThrottles(t *testing.T) {
 	key := session.Key{IP: "6.6.6.6", UserAgent: "Crawler"}
 	// 600 requests in 60 seconds = 10/s, above 2/s: throttle (no CGI, no errors).
 	snap := snapshotWith(key, session.Counts{Total: 600, Status2xx: 600}, time.Minute, vc.Now())
-	d := e.Evaluate(snap, robotVerdict())
+	challenge(t, e, snap, probableRobotVerdict())
+	d := e.Evaluate(snap, probableRobotVerdict())
 	if d.Action != Throttle {
 		t.Fatalf("decision = %+v", d)
 	}
 	if e.Stats().Throttled != 1 {
 		t.Fatalf("stats = %+v", e.Stats())
+	}
+}
+
+func TestDefiniteRobotIgnoringChallengeBlocks(t *testing.T) {
+	e, vc := newTestEngine(Config{ChallengeGraceRequests: 10})
+	key := session.Key{IP: "6.6.6.7", UserAgent: "Harvester"}
+	// Slow enough to stay under every rate threshold.
+	early := snapshotWith(key, session.Counts{Total: 30, Status2xx: 30}, time.Hour, vc.Now())
+	challenge(t, e, early, robotVerdict())
+
+	// Within the grace window: still allowed.
+	within := snapshotWith(key, session.Counts{Total: 35, Status2xx: 35}, time.Hour, vc.Now())
+	if d := e.Evaluate(within, robotVerdict()); d.Action != Allow {
+		t.Fatalf("within grace = %+v", d)
+	}
+	// Past the grace window with definite evidence: blocked.
+	past := snapshotWith(key, session.Counts{Total: 41, Status2xx: 41}, time.Hour, vc.Now())
+	d := e.Evaluate(past, robotVerdict())
+	if d.Action != Block || !strings.Contains(d.Reason, "ignored the challenge") {
+		t.Fatalf("past grace = %+v", d)
+	}
+	// A merely probable robot is never grace-blocked.
+	e2, vc2 := newTestEngine(Config{ChallengeGraceRequests: 10})
+	challenge(t, e2, snapshotWith(key, session.Counts{Total: 30, Status2xx: 30}, time.Hour, vc2.Now()), probableRobotVerdict())
+	if d := e2.Evaluate(snapshotWith(key, session.Counts{Total: 100, Status2xx: 100}, time.Hour, vc2.Now()), probableRobotVerdict()); d.Action != Allow {
+		t.Fatalf("probable robot past grace = %+v", d)
 	}
 }
 
@@ -128,12 +203,21 @@ func TestBlockExpiryViaEvaluate(t *testing.T) {
 	e.BlockNow(key)
 	vc.Advance(11 * time.Minute)
 	snap := snapshotWith(key, session.Counts{Total: 30, Status2xx: 30}, 10*time.Minute, vc.Now())
+	// After the block lapses, a still-robot verdict re-enters the ladder at
+	// the challenge stage rather than staying blocked.
 	d := e.Evaluate(snap, robotVerdict())
-	if d.Action != Allow {
+	if d.Action != Challenge {
 		t.Fatalf("decision after expiry = %+v", d)
 	}
 	if e.BlockedCount() != 0 {
 		t.Fatalf("BlockedCount = %d", e.BlockedCount())
+	}
+	// A human verdict after expiry simply allows.
+	e2, vc2 := newTestEngine(Config{BlockDuration: 10 * time.Minute})
+	e2.BlockNow(key)
+	vc2.Advance(11 * time.Minute)
+	if d := e2.Evaluate(snap, humanVerdict()); d.Action != Allow {
+		t.Fatalf("human after expiry = %+v", d)
 	}
 }
 
@@ -146,11 +230,18 @@ func TestDefaultsApplied(t *testing.T) {
 	if e.HumanBandwidthBonus() != 2.0 {
 		t.Fatalf("bonus = %f", e.HumanBandwidthBonus())
 	}
+	if e.cfg.ChallengeGraceRequests != 25 {
+		t.Fatalf("grace = %d", e.cfg.ChallengeGraceRequests)
+	}
 }
 
-func TestActionString(t *testing.T) {
-	if Allow.String() != "allow" || Throttle.String() != "throttle" || Block.String() != "block" || Action(9).String() != "allow" {
+func TestActionAndStageStrings(t *testing.T) {
+	if Allow.String() != "allow" || Challenge.String() != "challenge" || Throttle.String() != "throttle" ||
+		Block.String() != "block" || Action(9).String() != "allow" {
 		t.Fatal("Action names wrong")
+	}
+	if StageMonitor.String() != "monitor" || StageChallenge.String() != "challenge" || StageBlock.String() != "block" {
+		t.Fatal("Stage names wrong")
 	}
 }
 
@@ -198,14 +289,15 @@ func TestZeroThresholdsDisableRules(t *testing.T) {
 	// per-rule zero values disable individual rules.
 	key := session.Key{IP: "9.9.9.9", UserAgent: "Bot"}
 	snap := snapshotWith(key, session.Counts{Total: 100000, CGI: 100000, Status4xx: 100000}, time.Second, vc.Now())
-	d := e.Evaluate(snap, robotVerdict())
+	challenge(t, e, snap, probableRobotVerdict())
+	d := e.Evaluate(snap, probableRobotVerdict())
 	if d.Action != Allow {
 		t.Fatalf("disabled rules still fired: %+v", d)
 	}
 }
 
 func TestConcurrentEnforcement(t *testing.T) {
-	// Readers (Evaluate/IsBlocked/BlockedCount) race against block and
+	// Readers (Evaluate/IsBlocked/BlockedCount) race against transition and
 	// expiry writers on the copy-on-write snapshot; run under -race this is
 	// the data-race proof for the lock-free read path.
 	eng, vc := newTestEngine(Config{BlockDuration: time.Minute})
@@ -243,7 +335,7 @@ func TestConcurrentEnforcement(t *testing.T) {
 		t.Fatalf("no blocks recorded: %+v", st)
 	}
 	// Every key was explicitly blocked and the clock never advanced, so the
-	// final snapshot must still hold all of them.
+	// final ladder must still hold all of them in the block stage.
 	if got := eng.BlockedCount(); got != len(keys) {
 		t.Fatalf("BlockedCount = %d, want %d", got, len(keys))
 	}

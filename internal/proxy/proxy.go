@@ -100,13 +100,18 @@ func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Policy enforcement for already-blocked or newly classified robots.
+	// Policy enforcement: the escalation ladder is driven by the detection
+	// chain's (cached) verdict, read off the tracker's published snapshot
+	// without copying it.
 	if m.cfg.Policy != nil {
-		if snap, tracked := d.Session(key); tracked {
-			decision := m.cfg.Policy.Evaluate(snap, d.ClassifySnapshot(snap))
+		if snap, verdict, tracked := d.Decide(key); tracked {
+			decision := m.cfg.Policy.Evaluate(*snap, verdict)
 			switch decision.Action {
 			case policy.Block:
 				http.Error(w, "blocked: "+decision.Reason, http.StatusForbidden)
+				return
+			case policy.Challenge:
+				m.writeChallenge(w, decision)
 				return
 			case policy.Throttle:
 				// Throttling is implemented as a constant service delay, the
@@ -163,12 +168,31 @@ func (m *Middleware) handleCaptcha(w http.ResponseWriter, r *http.Request, key s
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			fmt.Fprintln(w, "ok")
 		} else {
+			// A failed attempt is a weak robot label for the online training
+			// loop (the paper's CAPTCHA ground truth), but not a detection
+			// signal: humans mistype.
+			m.cfg.Engine.MarkCaptchaFailed(key)
 			http.Error(w, "wrong answer", http.StatusForbidden)
 		}
 	default:
 		http.NotFound(w, r)
 	}
 	return true
+}
+
+// writeChallenge serves the CAPTCHA interstitial for the policy engine's
+// monitor→challenge transition: a 429 pointing the client at the challenge
+// endpoints. A human proves itself (de-escalating the ladder); a robot that
+// keeps going faces the behavioural thresholds on every further request.
+func (m *Middleware) writeChallenge(w http.ResponseWriter, d policy.Decision) {
+	prefix := m.cfg.Engine.Config().BeaconPrefix
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache, no-store")
+	w.WriteHeader(http.StatusTooManyRequests)
+	fmt.Fprintf(w, "challenge: %s\n", d.Reason)
+	if m.cfg.Captcha != nil {
+		fmt.Fprintf(w, "solve: GET %s/captcha/new then POST %s/captcha/verify (id, answer)\n", prefix, prefix)
+	}
 }
 
 // clientIP extracts the client address.

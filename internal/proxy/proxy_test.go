@@ -335,3 +335,58 @@ func TestReverseProxyConstruction(t *testing.T) {
 		t.Fatal("Engine accessor broken")
 	}
 }
+
+func TestChallengeInterstitialAndDeEscalation(t *testing.T) {
+	cap := captcha.NewService(captcha.Config{Seed: 11})
+	pol := policy.NewEngine(policy.Config{BlockDuration: time.Hour})
+	mw, det, _ := newTestStack(t, pol, cap)
+	ip, ua := "10.0.0.9", "SilentFetcher"
+	key := session.Key{IP: ip, UserAgent: ua}
+
+	// A slow robot that ignores all presentation objects: after the
+	// classification threshold the chain says robot (probable) and the
+	// ladder issues exactly one challenge interstitial.
+	challenged := 0
+	for i := 0; i < 15; i++ {
+		rec := doReq(t, mw, http.MethodGet, "/page1.html", ip, ua, nil)
+		if rec.Code == http.StatusTooManyRequests {
+			challenged++
+			if !strings.Contains(rec.Body.String(), "/__bd/captcha/new") {
+				t.Fatalf("challenge page lacks captcha pointer: %q", rec.Body.String())
+			}
+		}
+	}
+	if challenged != 1 {
+		t.Fatalf("challenged %d times, want exactly 1 (stats=%+v)", challenged, pol.Stats())
+	}
+	if pol.StageOf(key) != policy.StageChallenge {
+		t.Fatalf("stage = %v", pol.StageOf(key))
+	}
+
+	// Solving the CAPTCHA flips the verdict to definite human and the next
+	// request de-escalates the ladder back to monitor.
+	rec := doReq(t, mw, http.MethodGet, "/__bd/captcha/new", ip, ua, nil)
+	var id string
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if strings.HasPrefix(line, "id=") {
+			id = strings.TrimPrefix(line, "id=")
+		}
+	}
+	answer, ok := cap.Answer(id)
+	if !ok {
+		t.Fatal("challenge not stored")
+	}
+	form := url.Values{"id": {id}, "answer": {answer}}
+	if rec := doReq(t, mw, http.MethodPost, "/__bd/captcha/verify", ip, ua, form); rec.Code != http.StatusOK {
+		t.Fatalf("verify status = %d", rec.Code)
+	}
+	if rec := doReq(t, mw, http.MethodGet, "/page1.html", ip, ua, nil); rec.Code != http.StatusOK {
+		t.Fatalf("post-captcha request status = %d", rec.Code)
+	}
+	if pol.StageOf(key) != policy.StageMonitor {
+		t.Fatalf("stage after captcha = %v", pol.StageOf(key))
+	}
+	if v := det.Classify(key); v.Class != core.ClassHuman {
+		t.Fatalf("verdict = %+v", v)
+	}
+}

@@ -1,0 +1,233 @@
+package session
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"botdetect/internal/features"
+	"botdetect/internal/logfmt"
+)
+
+func entryAt(method, path string, status int, ref string) logfmt.Entry {
+	return logfmt.Entry{
+		Time: time.Date(2006, 1, 6, 0, 0, 0, 0, time.UTC), ClientIP: "1.1.1.1",
+		UserAgent: "UA", Method: method, Path: path, Status: status, Referer: ref, Bytes: 100,
+	}
+}
+
+func TestCountsVectorZero(t *testing.T) {
+	v := Counts{}.Vector()
+	for i, val := range v {
+		if val != 0 {
+			t.Fatalf("attribute %d = %f for empty counts", i, val)
+		}
+	}
+}
+
+func TestCountsVectorValues(t *testing.T) {
+	c := Counts{
+		Total: 10, Head: 1, HTML: 4, Image: 3, CGI: 2, Favicon: 1,
+		Embedded: 4, WithReferrer: 6, UnseenReferrer: 2, LinkFollowing: 4,
+		Status2xx: 7, Status3xx: 1, Status4xx: 2,
+	}
+	v := c.Vector()
+	want := map[int]float64{
+		features.HeadPct: 0.1, features.HTMLPct: 0.4, features.ImagePct: 0.3,
+		features.CGIPct: 0.2, features.FaviconPct: 0.1, features.EmbeddedObjPct: 0.4,
+		features.ReferrerPct: 0.6, features.UnseenReferrerPct: 0.2, features.LinkFollowingPct: 0.4,
+		features.Resp2xxPct: 0.7, features.Resp3xxPct: 0.1, features.Resp4xxPct: 0.2,
+	}
+	for idx, w := range want {
+		if math.Abs(v[idx]-w) > 1e-9 {
+			t.Fatalf("attribute %s = %f, want %f", features.Names[idx], v[idx], w)
+		}
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorMatchesTrackerSemantics(t *testing.T) {
+	reqs := []logfmt.Entry{
+		entryAt("GET", "/index.html", 200, ""),
+		entryAt("GET", "/a.css", 200, "http://h/index.html"),
+		entryAt("GET", "/b.jpg", 200, "http://h/index.html"),
+		entryAt("HEAD", "/index.html", 200, ""),
+		entryAt("GET", "/cgi-bin/x.cgi?q=1", 302, "http://elsewhere/page.html"),
+		entryAt("GET", "/favicon.ico", 404, ""),
+	}
+	acc := NewAccumulator(0)
+	for _, e := range reqs {
+		if !acc.Observe(e) {
+			t.Fatal("Observe rejected a request with no limit")
+		}
+	}
+	if acc.Requests() != 6 {
+		t.Fatalf("Requests = %d", acc.Requests())
+	}
+	c := acc.Counts()
+	if c.Head != 1 || c.HTML != 2 || c.CGI != 1 || c.Favicon != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.WithReferrer != 3 || c.LinkFollowing != 2 || c.UnseenReferrer != 1 {
+		t.Fatalf("referrer counts = %+v", c)
+	}
+	v := acc.Vector()
+	if math.Abs(v[features.ReferrerPct]-0.5) > 1e-9 {
+		t.Fatalf("REFERRER%% = %f", v[features.ReferrerPct])
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorLimit(t *testing.T) {
+	acc := NewAccumulator(3)
+	for i := 0; i < 10; i++ {
+		acc.Observe(entryAt("GET", "/p.html", 200, ""))
+	}
+	if acc.Requests() != 3 {
+		t.Fatalf("Requests = %d, want 3 (limit)", acc.Requests())
+	}
+	if acc.Observe(entryAt("GET", "/p.html", 200, "")) {
+		t.Fatal("Observe should report false beyond the limit")
+	}
+}
+
+func TestAccumulatorVsTrackerEquivalence(t *testing.T) {
+	// The offline accumulator and the online tracker must produce identical
+	// attribute vectors for the same request stream, and the tracker's
+	// incrementally maintained Snapshot.Features must equal both.
+	reqs := []logfmt.Entry{
+		entryAt("GET", "/index.html", 200, ""),
+		entryAt("GET", "/style.css", 200, "http://x/index.html"),
+		entryAt("GET", "/p1.html", 200, "http://x/index.html"),
+		entryAt("GET", "/img.gif", 200, "http://x/p1.html"),
+		entryAt("POST", "/cgi-bin/form.cgi", 500, "http://x/p1.html"),
+		entryAt("GET", "/missing.html", 404, "http://other/site.html"),
+		entryAt("HEAD", "/p2.html", 200, ""),
+		entryAt("GET", "/favicon.ico", 200, ""),
+	}
+	tracker := NewTracker(Config{})
+	acc := NewAccumulator(0)
+	var snap Snapshot
+	for _, e := range reqs {
+		snap = tracker.Observe(e)
+		acc.Observe(e)
+	}
+	vOnline := snap.Features
+	vOffline := acc.Vector()
+	for i := range vOnline {
+		if math.Abs(vOnline[i]-vOffline[i]) > 1e-12 {
+			t.Fatalf("attribute %s differs: online %f offline %f", features.Names[i], vOnline[i], vOffline[i])
+		}
+	}
+	if got := snap.Counts.Vector(); got != snap.Features {
+		t.Fatalf("published Features %v != Counts.Vector() %v", snap.Features, got)
+	}
+}
+
+func TestCountsVectorBoundedProperty(t *testing.T) {
+	f := func(head, html, img, cgi, ref, unseen, emb, link, s2, s3, s4, fav uint8, extra uint8) bool {
+		// Build counts where each category is at most Total.
+		total := int64(head) + int64(html) + int64(img) + int64(extra) + 1
+		clamp := func(v uint8) int64 {
+			x := int64(v)
+			if x > total {
+				return total
+			}
+			return x
+		}
+		c := Counts{
+			Total: total, Head: clamp(head), HTML: clamp(html), Image: clamp(img), CGI: clamp(cgi),
+			WithReferrer: clamp(ref), UnseenReferrer: clamp(unseen), Embedded: clamp(emb),
+			LinkFollowing: clamp(link), Status2xx: clamp(s2), Status3xx: clamp(s3), Status4xx: clamp(s4),
+			Favicon: clamp(fav),
+		}
+		return c.Vector().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochBumpsOnlyOnStateChanges(t *testing.T) {
+	tracker := NewTracker(Config{DecisionMarks: []int64{5}})
+	key := Key{IP: "1.1.1.1", UserAgent: "UA"}
+
+	// First request: creation (epoch 1) + new classes (GET, HTML, 2xx).
+	snap := tracker.Observe(entryAt("GET", "/a.html", 200, ""))
+	first := snap.Epoch
+	if first == 0 {
+		t.Fatal("epoch must start non-zero")
+	}
+	// Identical requests introduce no new class: epoch stays flat.
+	snap = tracker.Observe(entryAt("GET", "/a.html", 200, ""))
+	snap = tracker.Observe(entryAt("GET", "/a.html", 200, ""))
+	if snap.Epoch != first {
+		t.Fatalf("epoch moved on identical requests: %d -> %d", first, snap.Epoch)
+	}
+	// A new request class bumps it.
+	snap = tracker.Observe(entryAt("HEAD", "/a.html", 200, ""))
+	afterHead := snap.Epoch
+	if afterHead <= first {
+		t.Fatalf("new request class did not bump epoch: %d", afterHead)
+	}
+	// Crossing the decision mark (request 5) bumps it.
+	snap = tracker.Observe(entryAt("HEAD", "/a.html", 200, ""))
+	if snap.Epoch <= afterHead {
+		t.Fatalf("decision mark did not bump epoch: %d", snap.Epoch)
+	}
+	atMark := snap.Epoch
+	// A newly observed signal bumps it; re-marking does not.
+	s, newly := tracker.Mark(key, SignalCSS)
+	if !newly || s.Epoch <= atMark {
+		t.Fatalf("signal did not bump epoch: newly=%v epoch=%d", newly, s.Epoch)
+	}
+	s2, newly2 := tracker.Mark(key, SignalCSS)
+	if newly2 || s2.Epoch != s.Epoch {
+		t.Fatalf("re-marked signal changed epoch: %d -> %d", s.Epoch, s2.Epoch)
+	}
+}
+
+func TestPeekSharesPublishedSnapshot(t *testing.T) {
+	tracker := NewTracker(Config{})
+	key := Key{IP: "2.2.2.2", UserAgent: "Mozilla Firefox"}
+	tracker.Observe(logfmt.Entry{ClientIP: key.IP, UserAgent: key.UserAgent, Method: "GET", Path: "/x.html", Status: 200})
+
+	p1, ok := tracker.Peek(key)
+	if !ok || p1 == nil {
+		t.Fatal("Peek missed a tracked session")
+	}
+	p2, _ := tracker.Peek(key)
+	if p1 != p2 {
+		t.Fatal("Peek must return the shared published snapshot")
+	}
+	if p1.Cache() == nil {
+		t.Fatal("tracker snapshots must carry a verdict-cache slot")
+	}
+	if p1.NormUA != "mozillafirefox" {
+		t.Fatalf("NormUA = %q", p1.NormUA)
+	}
+	if _, ok := tracker.Peek(Key{IP: "none"}); ok {
+		t.Fatal("Peek invented a session")
+	}
+	// The cache slot is shared across republishes and respects epochs.
+	p1.Cache().Store(p1.Epoch, 7, "verdict")
+	if v, ok := p1.Cache().Load(p1.Epoch, 7); !ok || v != "verdict" {
+		t.Fatal("cache round-trip failed")
+	}
+	if _, ok := p1.Cache().Load(p1.Epoch+1, 7); ok {
+		t.Fatal("cache hit across session epochs")
+	}
+	if _, ok := p1.Cache().Load(p1.Epoch, 8); ok {
+		t.Fatal("cache hit across model epochs")
+	}
+	tracker.Observe(logfmt.Entry{ClientIP: key.IP, UserAgent: key.UserAgent, Method: "HEAD", Path: "/x.html", Status: 200})
+	p3, _ := tracker.Peek(key)
+	if p3.Cache() != p1.Cache() {
+		t.Fatal("cache slot must be shared across republished snapshots")
+	}
+}

@@ -112,6 +112,13 @@ type Config struct {
 	// DetectorConfig overrides parts of the per-node detector configuration;
 	// Seed and Clock are always managed by the driver.
 	DetectorConfig core.Config
+	// Prepare, when non-nil, runs after the network is built and before any
+	// agent is scheduled. It receives the network and the virtual clock, so
+	// callers can pre-load models (cdn.Network.SetModel) or schedule
+	// mid-run interventions — e.g. hot-swapping a freshly trained model at a
+	// virtual time while traffic is being served, as the online-training
+	// experiment does.
+	Prepare func(*cdn.Network, *clock.Virtual)
 	// Start is the virtual start time (defaults to 2006-01-06, the first day
 	// of the paper's measurement week).
 	Start time.Time
@@ -237,6 +244,9 @@ func Run(cfg Config) *Result {
 		for _, node := range network.Nodes() {
 			node.SetRecording(true)
 		}
+	}
+	if cfg.Prepare != nil {
+		cfg.Prepare(network, vc)
 	}
 
 	truth := make(map[session.Key]agents.Kind)

@@ -5,6 +5,7 @@ import (
 
 	"botdetect/internal/agents"
 	"botdetect/internal/core"
+	"botdetect/internal/detect/rules"
 	"botdetect/internal/session"
 )
 
@@ -115,7 +116,7 @@ func TestDetectionQualityOnDefaultMix(t *testing.T) {
 
 func TestSignalSharesRoughlyMatchTable1(t *testing.T) {
 	res := Run(Config{Sessions: 400, Seed: 13})
-	b := core.Breakdown(res.Snapshots(), 10)
+	b := rules.Breakdown(res.Snapshots(), 10)
 	if b.Total < 150 {
 		t.Fatalf("too few sessions with >10 requests: %d", b.Total)
 	}
