@@ -24,6 +24,7 @@ import (
 	"botdetect/internal/features"
 	"botdetect/internal/htmlmod"
 	"botdetect/internal/jsgen"
+	"botdetect/internal/keystore"
 	"botdetect/internal/logfmt"
 	"botdetect/internal/rng"
 	"botdetect/internal/session"
@@ -170,16 +171,86 @@ func BenchmarkBaselineComparison(b *testing.B) {
 // --- micro-benchmarks for the detection pipeline hot paths ------------------
 
 // BenchmarkInstrumentPage measures rewriting one origin page (key issue,
-// script generation, HTML injection).
+// script generation, HTML injection). The client IP pool is built outside the
+// timed loop so the measurement isolates the engine, not fmt.Sprintf.
 func BenchmarkInstrumentPage(b *testing.B) {
 	site := webmodel.Generate(webmodel.SiteConfig{Seed: 1, NumPages: 50})
 	det := core.New(core.Config{Seed: 1, ObfuscateJS: true})
 	page := site.Lookup("/").Body
+	ips := benchClientIPs(1024)
 	b.SetBytes(int64(len(page)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ip := fmt.Sprintf("10.0.%d.%d", i/250%250, i%250)
-		det.InstrumentPage(ip, "Firefox/1.5", "/", page)
+		det.InstrumentPage(ips[i%len(ips)], "Firefox/1.5", "/", page)
+	}
+}
+
+// BenchmarkPrepareInstrumentation measures the streaming serve path's
+// per-page instrumentation cost in isolation — key issue, pooled script
+// render, cache store, fragment composition — without the HTML rewrite the
+// proxy streams separately.
+func BenchmarkPrepareInstrumentation(b *testing.B) {
+	det := core.New(core.Config{Seed: 4, ObfuscateJS: true})
+	ips := benchClientIPs(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prep, _ := det.PrepareInstrumentation(ips[i%len(ips)], "Firefox/1.5", "/")
+		prep.Release()
+	}
+}
+
+// BenchmarkScriptRender measures pooled per-page script generation (template
+// copy plus key splices) — the cost that replaced BenchmarkOverheadJSGeneration's
+// per-page compile on the serving path.
+func BenchmarkScriptRender(b *testing.B) {
+	gen := jsgen.NewGenerator()
+	pool := jsgen.NewPool(gen, jsgen.TemplateConfig{
+		BeaconBase: "http://www.example.com",
+		KeyDigits:  10, Decoys: 4, UAReport: true, Obfuscate: true,
+	}, 8, 9)
+	src := rng.New(9)
+	decoys := []string{src.DigitKey(10), src.DigitKey(10), src.DigitKey(10), src.DigitKey(10)}
+	dst := make([]byte, 0, pool.MaxSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	size := 0
+	for i := 0; i < b.N; i++ {
+		dst = pool.Render(dst[:0], uint64(i), "0729395160", "5550001111", decoys)
+		size = len(dst)
+	}
+	b.ReportMetric(float64(size), "script_bytes")
+}
+
+// BenchmarkKeystoreIssue measures per-page key issuance against a warm
+// client (the steady state of a busy session).
+func BenchmarkKeystoreIssue(b *testing.B) {
+	s := keystore.New(keystore.Config{Seed: 6})
+	ips := benchClientIPs(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Issue(ips[i%len(ips)], "/page1.html")
+	}
+}
+
+// BenchmarkKeystoreIssueN measures batched issuance (16 pages per batch for
+// one client), reporting per-page cost so the lock/scan amortisation is
+// directly comparable with BenchmarkKeystoreIssue.
+func BenchmarkKeystoreIssueN(b *testing.B) {
+	const batch = 16
+	s := keystore.New(keystore.Config{Seed: 6, MaxPerClient: 2 * batch})
+	ips := benchClientIPs(1024)
+	pages := make([]string, batch)
+	for i := range pages {
+		pages[i] = fmt.Sprintf("/p%d.html", i)
+	}
+	out := make([]keystore.Issued, 0, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		out = s.IssueN(ips[(i/batch)%len(ips)], pages, out[:0])
 	}
 }
 

@@ -53,22 +53,26 @@ func main() {
 		in = f
 	}
 
-	entries, err := logfmt.ReadAll(in)
-	if err != nil {
-		log.Fatalf("loganalyze: %v", err)
-	}
-	if len(entries) == 0 {
-		log.Fatal("loganalyze: log contains no entries")
-	}
-
+	// Stream the log straight into the session tracker: replay memory is
+	// bounded by the live session table, not by the log size, so multi-GB
+	// access logs replay without materialising a []Entry.
 	tracker := session.NewTracker(session.Config{})
-	for _, e := range entries {
+	var total int64
+	err := logfmt.ReadEach(in, func(e logfmt.Entry) error {
+		total++
 		key := session.Key{IP: e.ClientIP, UserAgent: e.UserAgent}
 		if sig, ok := signalFromPath(e.Path); ok {
 			tracker.Mark(key, sig)
-			continue
+			return nil
 		}
 		tracker.Observe(e)
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("loganalyze: %v", err)
+	}
+	if total == 0 {
+		log.Fatal("loganalyze: log contains no entries")
 	}
 	snaps := tracker.FlushAll()
 

@@ -28,7 +28,6 @@
 package core
 
 import (
-	"container/list"
 	"net/url"
 	"strings"
 	"sync"
@@ -44,6 +43,7 @@ import (
 	"botdetect/internal/jsgen"
 	"botdetect/internal/keystore"
 	"botdetect/internal/logfmt"
+	"botdetect/internal/rng"
 	"botdetect/internal/session"
 	"botdetect/internal/shard"
 )
@@ -111,6 +111,12 @@ type Config struct {
 	KeyDigits int
 	// ObfuscateJS enables lexical obfuscation of the generated script.
 	ObfuscateJS bool
+	// ScriptVariants is the number of precompiled obfuscated script templates
+	// per rotation epoch (default jsgen.DefaultVariants). Per page view the
+	// engine picks one variant off its RNG stream and splices the page's keys
+	// in, so generation is a pooled copy instead of a rebuild; RotateScripts
+	// recompiles the whole set.
+	ScriptVariants int
 	// MinRequests is the number of requests a session must reach before the
 	// behavioural (browser-test) rules classify it (paper: 10).
 	MinRequests int64
@@ -174,6 +180,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxScripts <= 0 {
 		c.MaxScripts = 65536
 	}
+	if c.ScriptVariants <= 0 {
+		c.ScriptVariants = jsgen.DefaultVariants
+	}
 	if c.OutcomeCapacity == 0 {
 		c.OutcomeCapacity = 4096
 	}
@@ -227,10 +236,15 @@ type engineStats struct {
 	uaMismatches      atomic.Int64
 }
 
+// storedScript is one cached generated script, linked into its shard's
+// intrusive LRU list. Evicted entries are recycled through the shard free
+// list; their body buffers are not (a script body handed to a concurrent
+// download must stay immutable), so steady-state storage costs one body
+// allocation per page and nothing else.
 type storedScript struct {
-	token   string
-	body    []byte
-	element *list.Element
+	token      string
+	body       []byte
+	prev, next *storedScript
 }
 
 // scriptShard is one independently locked partition of the generated-script
@@ -238,8 +252,44 @@ type storedScript struct {
 type scriptShard struct {
 	mu      sync.Mutex
 	scripts map[string]*storedScript
-	lru     *list.List
+	head    *storedScript // most recently used
+	tail    *storedScript // least recently used
+	free    *storedScript // recycled entries, singly linked via next
 	max     int
+}
+
+func (sh *scriptShard) pushFront(s *storedScript) {
+	s.prev = nil
+	s.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = s
+	}
+	sh.head = s
+	if sh.tail == nil {
+		sh.tail = s
+	}
+}
+
+func (sh *scriptShard) unlink(s *storedScript) {
+	if s.prev != nil {
+		s.prev.next = s.next
+	} else {
+		sh.head = s.next
+	}
+	if s.next != nil {
+		s.next.prev = s.prev
+	} else {
+		sh.tail = s.prev
+	}
+	s.prev, s.next = nil, nil
+}
+
+func (sh *scriptShard) moveToFront(s *storedScript) {
+	if sh.head == s {
+		return
+	}
+	sh.unlink(s)
+	sh.pushFront(s)
 }
 
 // pagePrecomp caches the per-deployment constant parts of the injection,
@@ -263,6 +313,7 @@ type Engine struct {
 	cfg  Config
 	keys *keystore.Store
 	gen  *jsgen.Generator
+	pool *jsgen.Pool // precompiled script variants; see RotateScripts
 	pre  pagePrecomp
 
 	sessions *session.Tracker
@@ -306,6 +357,14 @@ func New(cfg Config) *Engine {
 		e.outcomes = detect.NewOutcomes(cfg.OutcomeCapacity)
 	}
 	base, prefix := cfg.BeaconBase, cfg.BeaconPrefix
+	e.pool = jsgen.NewPool(e.gen, jsgen.TemplateConfig{
+		BeaconBase:   base,
+		BeaconPrefix: prefix,
+		KeyDigits:    cfg.KeyDigits,
+		Decoys:       cfg.Decoys,
+		UAReport:     true,
+		Obfuscate:    cfg.ObfuscateJS,
+	}, cfg.ScriptVariants, rng.New(cfg.Seed).Fork("script-pool").Uint64())
 	e.pre = pagePrecomp{transpImg: base + jsgen.TransparentImagePath(prefix)}
 	cssPre, cssSuf := jsgen.CSSPathParts(prefix)
 	e.pre.cssPre, e.pre.cssSuf = base+cssPre, cssSuf
@@ -332,7 +391,6 @@ func New(cfg Config) *Engine {
 	for i := range e.scriptShards {
 		e.scriptShards[i] = &scriptShard{
 			scripts: make(map[string]*storedScript),
-			lru:     list.New(),
 			max:     perShard,
 		}
 	}
@@ -350,7 +408,9 @@ func (e *Engine) sessionEnded(snap session.Snapshot) {
 
 // Instrumented describes what InstrumentPage injected for one page view.
 type Instrumented struct {
-	// Issued carries the keys and tokens generated for the page.
+	// Issued carries the keys and tokens generated for the page. Treat
+	// Issued.Decoys as read-only: the slice is shared with the keystore's
+	// eviction bookkeeping (see keystore.Issued).
 	Issued keystore.Issued
 	// ScriptPath, CSSPath, HiddenPath are the request paths of the injected
 	// objects.
@@ -383,16 +443,14 @@ func (e *Engine) PrepareInstrumentation(clientIP, userAgent, pagePath string) (*
 	iss := e.keys.Issue(clientIP, pagePath)
 	prefix := e.cfg.BeaconPrefix
 
-	script := e.gen.Script(jsgen.Params{
-		BeaconBase:   e.cfg.BeaconBase,
-		BeaconPrefix: prefix,
-		RealKey:      iss.Key,
-		DecoyKeys:    iss.Decoys,
-		UAReportKey:  iss.ScriptToken,
-		Obfuscate:    e.cfg.ObfuscateJS,
-		Seed:         e.scriptSeed(),
-	})
-	e.storeScript(iss.ScriptToken, []byte(script))
+	// Per-page script generation is a pooled template copy plus key splices:
+	// the variant is picked off the engine's RNG stream, so consecutive page
+	// views still receive differing obfuscated bodies. The body buffer is
+	// sized exactly (engine keys always have KeyDigits digits) and handed to
+	// the script cache, which owns it until eviction.
+	v := e.pool.Pick(e.scriptSeed())
+	body := v.Render(make([]byte, 0, v.Size()), iss.Key, iss.ScriptToken, iss.Decoys)
+	e.storeScript(iss.ScriptToken, body)
 
 	prep := htmlmod.PrepareInjection(htmlmod.Injection{
 		CSSHref:      e.pre.cssPre + iss.CSSToken + e.pre.cssSuf,
@@ -418,6 +476,15 @@ func (e *Engine) RecordInstrumented(originalBytes, addedBytes int) {
 	e.stats.addedBytes.Add(int64(addedBytes))
 }
 
+// RotateScripts compiles a fresh epoch of script variants and publishes it
+// atomically under concurrent page serving. Deployments rotate periodically
+// so no obfuscated body survives long enough to be signature-matched.
+func (e *Engine) RotateScripts() { e.pool.Rotate(e.scriptSeed()) }
+
+// ScriptVariants returns the number of precompiled script variants per
+// rotation epoch.
+func (e *Engine) ScriptVariants() int { return e.pool.Variants() }
+
 // InstrumentPage rewrites one HTML page served to clientIP/userAgent:
 // it issues fresh keys, generates the per-page obfuscated script, injects
 // the beacon stylesheet, the external script, the inline user-agent
@@ -428,6 +495,7 @@ func (e *Engine) RecordInstrumented(originalBytes, addedBytes int) {
 func (e *Engine) InstrumentPage(clientIP, userAgent, pagePath string, html []byte) ([]byte, Instrumented) {
 	prep, inst := e.PrepareInstrumentation(clientIP, userAgent, pagePath)
 	res := prep.Rewrite(html)
+	prep.Release()
 	inst.AddedBytes = res.AddedBytes
 	e.RecordInstrumented(len(html), res.AddedBytes)
 	return res.HTML, inst
@@ -437,26 +505,38 @@ func (e *Engine) scriptShard(token string) *scriptShard {
 	return e.scriptShards[shard.HashString(token)&e.scriptMask]
 }
 
+// storeScript caches body (ownership transfers to the cache) under token.
+// Entry structs are recycled through the shard free list; body buffers are
+// not, because loadScript hands them out unlocked (see storedScript).
 func (e *Engine) storeScript(token string, body []byte) {
 	sh := e.scriptShard(token)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if old, ok := sh.scripts[token]; ok {
 		old.body = body
-		sh.lru.MoveToFront(old.element)
+		sh.moveToFront(old)
 		return
 	}
-	s := &storedScript{token: token, body: body}
-	s.element = sh.lru.PushFront(s)
+	s := sh.free
+	if s != nil {
+		sh.free = s.next
+		s.next = nil
+	} else {
+		s = new(storedScript)
+	}
+	s.token, s.body = token, body
+	sh.pushFront(s)
 	sh.scripts[token] = s
 	for len(sh.scripts) > sh.max {
-		back := sh.lru.Back()
-		if back == nil {
+		victim := sh.tail
+		if victim == nil {
 			break
 		}
-		victim := back.Value.(*storedScript)
-		sh.lru.Remove(back)
+		sh.unlink(victim)
 		delete(sh.scripts, victim.token)
+		victim.token, victim.body = "", nil
+		victim.next = sh.free
+		sh.free = victim
 	}
 }
 
@@ -468,7 +548,7 @@ func (e *Engine) loadScript(token string) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
-	sh.lru.MoveToFront(s.element)
+	sh.moveToFront(s)
 	return s.body, true
 }
 

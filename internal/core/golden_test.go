@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenPage and the request sequence below must not change: the golden file
+// was captured from the pre-template-pool engine (PR 4), so this test proves
+// the instrumentation fast path still emits byte-identical pages — same keys,
+// same tokens, same injection fragments, same rewrite — from a fixed seed.
+var goldenPage = []byte(`<html>
+<head><title>golden</title><style>body { color: #000; }</style></head>
+<body class="main">
+<p>hello <a href="/a.html">next</a></p>
+<script>var inline = 1;</script>
+</body>
+</html>`)
+
+// TestInstrumentPageGoldenBytes replays a fixed-seed instrumentation
+// sequence and compares every rewritten page (and the issued key/token
+// paths) against the checked-in capture. Any drift in the keystore's RNG
+// consumption, the injection composition or the rewriter shows up here as a
+// byte diff.
+func TestInstrumentPageGoldenBytes(t *testing.T) {
+	e := New(Config{Seed: 7, ObfuscateJS: true})
+	var got []byte
+	for _, c := range []struct{ ip, pagePath string }{
+		{"10.1.2.3", "/"},
+		{"10.1.2.3", "/a.html"},
+		{"10.9.8.7", "/"},
+	} {
+		html, inst := e.InstrumentPage(c.ip, "Firefox/1.5", c.pagePath, goldenPage)
+		got = append(got, fmt.Sprintf("=== %s %s key=%s css=%s script=%s hidden=%s added=%d\n",
+			c.ip, c.pagePath, inst.Issued.Key, inst.CSSPath, inst.ScriptPath, inst.HiddenPath, inst.AddedBytes)...)
+		got = append(got, html...)
+		got = append(got, '\n')
+	}
+
+	path := filepath.Join("testdata", "instrumented_golden.txt")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("instrumented output drifted from the PR 4 golden capture\n--- got (%d bytes):\n%s\n--- want (%d bytes):\n%s",
+			len(got), firstDiffContext(got, want), len(want), firstDiffContext(want, got))
+	}
+}
+
+// firstDiffContext returns a window of a around its first difference from b.
+func firstDiffContext(a, b []byte) []byte {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo, hi := i-80, i+80
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return a[lo:hi]
+}

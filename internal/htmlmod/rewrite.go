@@ -2,6 +2,7 @@ package htmlmod
 
 import (
 	"strings"
+	"sync"
 )
 
 // Injection describes the content the rewriter adds to one HTML page. All
@@ -39,31 +40,44 @@ type RewriteResult struct {
 }
 
 // Prepared is an Injection compiled into its literal insertion fragments.
-// Composing the fragments costs a handful of small allocations, so callers
-// serving the same logical injection shape (the proxy, the CDN simulator)
-// prepare once per page view and reuse the result across the buffered and
-// streaming rewriters. The zero value injects nothing.
+// Callers serving the same logical injection shape (the proxy, the CDN
+// simulator) prepare once per page view and reuse the result across the
+// buffered and streaming rewriters. Instances come from a package pool and
+// their fragment buffers are recycled: a caller that is done with a Prepared
+// (the page has been fully rewritten or abandoned) should call Release, after
+// which the per-page composition is allocation-free at steady state. The zero
+// value injects nothing.
 type Prepared struct {
 	headInsert  []byte // after <head> (stylesheet link + external script)
 	bodyTop     []byte // after <body> (inline user-agent reporter)
 	bodyBottom  []byte // before </body> (hidden trap link)
-	handlerCall string // "return <fn>();" for the body event handlers; "" disables
+	handlerCall []byte // "return <fn>();" for the body event handlers; empty disables
 
 	cssSet, scriptSet, inlineSet, hiddenSet bool
 }
 
-// PrepareInjection compiles an Injection into its insertion fragments.
+var preparedPool = sync.Pool{New: func() any { return new(Prepared) }}
+
+// Release returns p to the package pool, recycling its fragment buffers. The
+// Prepared must not be used afterwards; fragments previously copied into
+// rewritten documents stay valid (both rewrite paths copy, never alias).
+func (p *Prepared) Release() {
+	preparedPool.Put(p)
+}
+
+// PrepareInjection compiles an Injection into its insertion fragments. The
+// returned Prepared comes from the package pool; call Release when the page
+// view is finished to make per-page composition allocation-free.
 func PrepareInjection(inj Injection) *Prepared {
-	p := &Prepared{
-		cssSet:    inj.CSSHref != "",
-		scriptSet: inj.ScriptSrc != "",
-		inlineSet: inj.InlineScript != "",
-		hiddenSet: inj.HiddenHref != "",
-	}
+	p := preparedPool.Get().(*Prepared)
+	p.cssSet = inj.CSSHref != ""
+	p.scriptSet = inj.ScriptSrc != ""
+	p.inlineSet = inj.InlineScript != ""
+	p.hiddenSet = inj.HiddenHref != ""
 
 	// Head fragment: the stylesheet link and the external script tags.
+	b := p.headInsert[:0]
 	if p.cssSet || p.scriptSet {
-		b := make([]byte, 0, 160)
 		if p.cssSet {
 			b = append(b, "\n<link rel=\"stylesheet\" type=\"text/css\" href=\""...)
 			b = appendEscaped(b, inj.CSSHref)
@@ -75,36 +89,40 @@ func PrepareInjection(inj Injection) *Prepared {
 			b = append(b, "\"></script>"...)
 		}
 		b = append(b, '\n')
-		p.headInsert = b
 	}
+	p.headInsert = b
 
 	// Body-top fragment: the inline user-agent reporter script.
+	b = p.bodyTop[:0]
 	if p.inlineSet {
-		b := make([]byte, 0, len(inj.InlineScript)+48)
 		b = append(b, "\n<script type=\"text/javascript\">\n"...)
 		b = append(b, inj.InlineScript...)
 		b = append(b, "</script>\n"...)
-		p.bodyTop = b
 	}
+	p.bodyTop = b
 
 	// Body-bottom fragment: the hidden trap link.
+	b = p.bodyBottom[:0]
 	if p.hiddenSet {
 		img := inj.HiddenImgSrc
 		if img == "" {
 			img = inj.HiddenHref
 		}
-		b := make([]byte, 0, 128)
 		b = append(b, "\n<a href=\""...)
 		b = appendEscaped(b, inj.HiddenHref)
 		b = append(b, "\"><img src=\""...)
 		b = appendEscaped(b, img)
 		b = append(b, "\" width=\"1\" height=\"1\" border=\"0\" alt=\"\"></a>\n"...)
-		p.bodyBottom = b
 	}
+	p.bodyBottom = b
 
+	b = p.handlerCall[:0]
 	if inj.HandlerName != "" {
-		p.handlerCall = "return " + inj.HandlerName + "();"
+		b = append(b, "return "...)
+		b = append(b, inj.HandlerName...)
+		b = append(b, "();"...)
 	}
+	p.handlerCall = b
 	return p
 }
 
@@ -120,7 +138,10 @@ func PrepareInjection(inj Injection) *Prepared {
 // document and is preferred on hot paths. Rewrite remains the fallback for
 // documents whose anchors arrive in a pathological order.
 func Rewrite(doc []byte, inj Injection) RewriteResult {
-	return PrepareInjection(inj).RewriteBuffered(doc)
+	p := PrepareInjection(inj)
+	res := p.RewriteBuffered(doc)
+	p.Release()
+	return res
 }
 
 // RewriteBuffered is the tokenising store-and-forward rewrite path using
@@ -191,7 +212,7 @@ func (p *Prepared) RewriteBuffered(doc []byte) RewriteResult {
 
 	// Event-handler attributes on the <body> tag itself.
 	var bodyTagReplacement []byte
-	if p.handlerCall != "" && bodyStart != nil {
+	if len(p.handlerCall) > 0 && bodyStart != nil {
 		var attrs []rawAttr
 		if raw, complete, ok := scanStartTagRaw(doc, bodyStart.Start, &attrs); complete && ok {
 			bodyTagReplacement = appendBodyTag(nil, doc, attrs, raw.selfClosing, p.handlerCall)
@@ -209,7 +230,7 @@ func (p *Prepared) RewriteBuffered(doc []byte) RewriteResult {
 // onmousemove/onkeypress handler call added, preserving (and chaining in
 // front of) handlers already present on the page. Attribute names are
 // lowercased and values are requoted, matching the historical rewriter.
-func appendBodyTag(dst []byte, doc []byte, attrs []rawAttr, selfClosing bool, call string) []byte {
+func appendBodyTag(dst []byte, doc []byte, attrs []rawAttr, selfClosing bool, call []byte) []byte {
 	dst = append(dst, "<body"...)
 	seenMouse, seenKey := false, false
 	for _, a := range attrs {

@@ -109,7 +109,7 @@ func NewStreamRewriter(w io.Writer, p *Prepared) *StreamRewriter {
 func (r *StreamRewriter) reset(w io.Writer, p *Prepared) {
 	r.w, r.p = w, p
 	r.needHead = len(p.headInsert) > 0
-	r.needBody = len(p.bodyTop) > 0 || p.handlerCall != ""
+	r.needBody = len(p.bodyTop) > 0 || len(p.handlerCall) > 0
 	r.needBodyEnd = len(p.bodyBottom) > 0
 	r.holding = r.needHead
 	r.mode = modeScan
@@ -351,7 +351,7 @@ func (r *StreamRewriter) handleToken(buf []byte, tok rawToken, done int) int {
 				return done
 			}
 			if r.needBody {
-				if r.p.handlerCall != "" {
+				if len(r.p.handlerCall) > 0 {
 					emitTo(tok.start)
 					r.scratch = appendBodyTag(r.scratch[:0], buf, r.attrs, tok.selfClosing, r.p.handlerCall)
 					r.emit(r.scratch)

@@ -13,7 +13,6 @@ package jsgen
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 
 	"botdetect/internal/rng"
@@ -47,19 +46,34 @@ const DefaultBeaconPrefix = "/__bd"
 
 // BeaconPath returns the request path of the beacon image carrying key.
 func BeaconPath(prefix, key string) string {
+	pre, suf := BeaconPathParts(prefix)
+	return pre + key + suf
+}
+
+// BeaconPathParts returns the prefix and suffix around the key in
+// BeaconPath, so template compilation splices keys into the same URL format
+// HandleBeacon parses.
+func BeaconPathParts(prefix string) (pre, suf string) {
 	if prefix == "" {
 		prefix = DefaultBeaconPrefix
 	}
-	return prefix + "/" + key + ".jpg"
+	return prefix + "/", ".jpg"
 }
 
 // ExecBeaconPath returns the request path of the "JavaScript executed"
 // beacon carrying key.
 func ExecBeaconPath(prefix, key string) string {
+	pre, suf := ExecBeaconPathParts(prefix)
+	return pre + key + suf
+}
+
+// ExecBeaconPathParts returns the prefix and suffix around the key in
+// ExecBeaconPath.
+func ExecBeaconPathParts(prefix string) (pre, suf string) {
 	if prefix == "" {
 		prefix = DefaultBeaconPrefix
 	}
-	return prefix + "/js/" + key + ".gif"
+	return prefix + "/js/", ".gif"
 }
 
 // CSSPath returns the request path of the uniquely named empty stylesheet.
@@ -156,99 +170,21 @@ func (n *namer) next() string {
 }
 
 // Script returns the external JavaScript file body for one rewritten page.
+// It is the compatibility wrapper over the precompiled path: the Params are
+// compiled into a one-off Variant and the keys spliced in immediately. Hot
+// paths serving many pages per deployment shape should hold a Pool and call
+// Render instead, which amortises compilation across page views.
 func (g *Generator) Script(p Params) string {
-	prefix := p.BeaconPrefix
-	if prefix == "" {
-		prefix = DefaultBeaconPrefix
-	}
-	nm := newNamer(p.Seed)
-
-	handler := g.HandlerName
-	if handler == "" {
-		handler = "__bd_f"
-	}
-
-	realURL := p.BeaconBase + BeaconPath(prefix, p.RealKey)
-
-	type fn struct{ text string }
-	var fns []fn
-
-	// The genuine handler: fire once, fetch the real beacon.
-	guard := nm.next()
-	img := nm.next()
-	var real strings.Builder
-	fmt.Fprintf(&real, "var %s = false;\n", guard)
-	fmt.Fprintf(&real, "function %s() {\n", handler)
-	fmt.Fprintf(&real, "  if (%s == false) {\n", guard)
-	fmt.Fprintf(&real, "    var %s = new Image();\n", img)
-	fmt.Fprintf(&real, "    %s = true;\n", guard)
-	fmt.Fprintf(&real, "    %s.src = %s;\n", img, encodeString(realURL, p.Obfuscate, nm))
-	real.WriteString("    return true;\n  }\n  return false;\n}\n")
-	fns = append(fns, fn{real.String()})
-
-	// Decoy functions: same shape, wrong keys, never wired to any event.
-	for _, d := range p.DecoyKeys {
-		dguard := nm.next()
-		dimg := nm.next()
-		dname := nm.next()
-		durl := p.BeaconBase + BeaconPath(prefix, d)
-		var b strings.Builder
-		fmt.Fprintf(&b, "var %s = false;\n", dguard)
-		fmt.Fprintf(&b, "function %s() {\n", dname)
-		fmt.Fprintf(&b, "  if (%s == false) {\n", dguard)
-		fmt.Fprintf(&b, "    var %s = new Image();\n", dimg)
-		fmt.Fprintf(&b, "    %s = true;\n", dguard)
-		fmt.Fprintf(&b, "    %s.src = %s;\n", dimg, encodeString(durl, p.Obfuscate, nm))
-		b.WriteString("    return true;\n  }\n  return false;\n}\n")
-		fns = append(fns, fn{b.String()})
-	}
-
-	// Shuffle function order so the genuine handler's position is random.
-	if p.Obfuscate && len(fns) > 1 {
-		nm.src.Shuffle(len(fns), func(i, j int) { fns[i], fns[j] = fns[j], fns[i] })
-	}
-
-	var out strings.Builder
-	out.WriteString("// dynamically generated; do not cache\n")
-	if p.Obfuscate {
-		out.WriteString(junkStatements(nm, 3+nm.src.Intn(4)))
-	}
-	for _, f := range fns {
-		out.WriteString(f.text)
-		if p.Obfuscate && nm.src.Bool(0.5) {
-			out.WriteString(junkStatements(nm, 1+nm.src.Intn(3)))
-		}
-	}
-
-	// JS-execution report: runs as soon as the script loads, proving the
-	// client executes JavaScript even if no mouse/key event follows.
-	if p.UAReportKey != "" {
-		execImg := nm.next()
-		execURL := p.BeaconBase + ExecBeaconPath(prefix, p.UAReportKey)
-		fmt.Fprintf(&out, "var %s = new Image();\n", execImg)
-		fmt.Fprintf(&out, "%s.src = %s + '?ua=' + encodeURIComponent(navigator.userAgent.toLowerCase().replace(/ /g, ''));\n",
-			execImg, encodeString(execURL, p.Obfuscate, nm))
-	}
-	return out.String()
-}
-
-// encodeString renders a JavaScript string literal; under obfuscation it is
-// emitted as a String.fromCharCode call so the beacon URL does not appear
-// verbatim in the script text.
-func encodeString(s string, obfuscate bool, nm *namer) string {
-	if !obfuscate {
-		return "'" + s + "'"
-	}
-	var b strings.Builder
-	b.WriteString("String.fromCharCode(")
-	for i := 0; i < len(s); i++ {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(int(s[i])))
-	}
-	b.WriteString(")")
-	return b.String()
+	digits := len(p.RealKey)
+	v := g.Compile(TemplateConfig{
+		BeaconBase:   p.BeaconBase,
+		BeaconPrefix: p.BeaconPrefix,
+		KeyDigits:    digits,
+		Decoys:       len(p.DecoyKeys),
+		UAReport:     p.UAReportKey != "",
+		Obfuscate:    p.Obfuscate,
+	}, p.Seed)
+	return string(v.Render(make([]byte, 0, v.Size()+64), p.RealKey, p.UAReportKey, p.DecoyKeys))
 }
 
 // junkStatements emits harmless declarations that vary per page to defeat

@@ -1,0 +1,5 @@
+//go:build !race
+
+package jsgen
+
+const raceEnabled = false

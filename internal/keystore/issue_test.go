@@ -1,0 +1,152 @@
+package keystore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"botdetect/internal/clock"
+)
+
+// TestIssueNMatchesSequentialIssue pins the batch path to the sequential
+// one: same seed, same pages, same client must draw identical keys and
+// tokens whether issued one at a time or in one IssueN batch.
+func TestIssueNMatchesSequentialIssue(t *testing.T) {
+	pages := []string{"/", "/a.html", "/b.html", "/c.html"}
+	one := New(Config{Seed: 5, Decoys: 3})
+	var seq []Issued
+	for _, p := range pages {
+		seq = append(seq, one.Issue("10.0.0.1", p))
+	}
+	batchStore := New(Config{Seed: 5, Decoys: 3})
+	batch := batchStore.IssueN("10.0.0.1", pages, nil)
+
+	if len(batch) != len(seq) {
+		t.Fatalf("IssueN returned %d issues, want %d", len(batch), len(seq))
+	}
+	for i := range seq {
+		if batch[i].Key != seq[i].Key ||
+			batch[i].CSSToken != seq[i].CSSToken ||
+			batch[i].ScriptToken != seq[i].ScriptToken ||
+			batch[i].HiddenToken != seq[i].HiddenToken ||
+			batch[i].Page != seq[i].Page {
+			t.Fatalf("issue %d differs between batch and sequential paths:\n%+v\n%+v", i, batch[i], seq[i])
+		}
+		for j := range seq[i].Decoys {
+			if batch[i].Decoys[j] != seq[i].Decoys[j] {
+				t.Fatalf("issue %d decoy %d differs", i, j)
+			}
+		}
+	}
+	if got := batchStore.Stats().Issued; got != int64(len(pages)) {
+		t.Fatalf("batch Issued stat = %d, want %d", got, len(pages))
+	}
+}
+
+func TestIssueNValidatesAndBounds(t *testing.T) {
+	s := New(Config{Decoys: 2, MaxPerClient: 8})
+	pages := make([]string, 20)
+	for i := range pages {
+		pages[i] = fmt.Sprintf("/p%d.html", i)
+	}
+	out := s.IssueN("10.0.0.2", pages, nil)
+	if len(out) != len(pages) {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	// The per-client bound applies to the whole batch.
+	if n := s.OutstandingKeys("10.0.0.2"); n > 8*(1+2) {
+		t.Fatalf("outstanding keys = %d, want <= %d", n, 8*3)
+	}
+	// The newest issues survive and validate.
+	last := out[len(out)-1]
+	if v := s.Validate("10.0.0.2", last.Key); v != Human {
+		t.Fatalf("latest real key = %v, want Human", v)
+	}
+	if v := s.Validate("10.0.0.2", last.Decoys[0]); v != Decoy {
+		t.Fatalf("latest decoy = %v, want Decoy", v)
+	}
+	if s.IssueN("10.0.0.2", nil, nil) != nil {
+		t.Fatal("empty batch must return out unchanged")
+	}
+}
+
+// TestClientStateRecycling hammers the eviction path so evicted client
+// states flow through the shard free list and get reused; recycled states
+// must behave exactly like fresh ones.
+func TestClientStateRecycling(t *testing.T) {
+	s := New(Config{Decoys: 2, MaxClients: 4, Shards: 1})
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 8; i++ {
+			ip := fmt.Sprintf("10.1.%d.%d", round, i)
+			iss := s.Issue(ip, "/x.html")
+			if v := s.Validate(ip, iss.Key); v != Human {
+				t.Fatalf("round %d client %d: verdict %v", round, i, v)
+			}
+			// A stale key from an evicted-and-recycled state must not leak
+			// into the new occupant.
+			if v := s.Validate(ip, "0000000000"); v == Human || v == Decoy {
+				t.Fatalf("recycled state leaked a key: %v", v)
+			}
+		}
+		if c := s.Clients(); c > 4 {
+			t.Fatalf("clients = %d, want <= 4", c)
+		}
+	}
+	if ev := s.Stats().EvictedClients; ev == 0 {
+		t.Fatal("expected evictions to exercise the free list")
+	}
+}
+
+// TestExpirySkipStaysCorrect drives the oldest-key fast path across TTL
+// boundaries with a fake clock: keys must still expire exactly, and the
+// skip must never mask an expiry.
+func TestExpirySkipStaysCorrect(t *testing.T) {
+	fc := clock.NewVirtual(time.Date(2006, 1, 6, 0, 0, 0, 0, time.UTC))
+	s := New(Config{Decoys: 1, TTL: 10 * time.Minute, Clock: fc, Shards: 1})
+
+	first := s.Issue("10.2.0.1", "/a.html")
+	fc.Advance(9 * time.Minute)
+	second := s.Issue("10.2.0.1", "/b.html") // skip path: nothing expired yet
+	if n := s.OutstandingKeys("10.2.0.1"); n != 4 {
+		t.Fatalf("outstanding = %d, want 4", n)
+	}
+	fc.Advance(2 * time.Minute) // first batch now expired, second alive
+	third := s.Issue("10.2.0.1", "/c.html")
+	_ = third
+	if v := s.Validate("10.2.0.1", first.Key); v != Unknown {
+		t.Fatalf("expired key = %v, want Unknown", v)
+	}
+	if v := s.Validate("10.2.0.1", second.Key); v != Human {
+		t.Fatalf("live key = %v, want Human", v)
+	}
+	// After the scan the bound is exact: another TTL-1 of quiet issuing
+	// must keep the remaining keys alive.
+	fc.Advance(9 * time.Minute)
+	if v := s.Validate("10.2.0.1", third.Key); v != Human {
+		t.Fatalf("third key = %v, want Human", v)
+	}
+}
+
+// TestIssueAllocCeiling pins the allocation budget of the hot-path Issue:
+// the key and token strings it must hand out, the decoy slice, and nothing
+// else at steady state (records are map values, client states are recycled,
+// candidate draws use a stack buffer).
+func TestIssueAllocCeiling(t *testing.T) {
+	s := New(Config{Decoys: 4, KeyDigits: 10})
+	// Warm the client so map growth settles at the per-client cap.
+	for i := 0; i < 200; i++ {
+		s.Issue("10.3.0.1", "/warm.html")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Issue("10.3.0.1", "/hot.html")
+	})
+	if raceEnabled {
+		t.Skipf("paths exercised; skipping the ceiling (%.1f allocs/op measured) — allocation accounting differs under -race", allocs)
+	}
+	// 5 key strings + 3 token strings + 1 decoy slice = 9 unavoidable
+	// allocations; allow slack for map-internal churn.
+	const ceiling = 14
+	if allocs > ceiling {
+		t.Fatalf("Issue allocated %.1f/op, ceiling %d", allocs, ceiling)
+	}
+}

@@ -18,10 +18,16 @@
 // its own mutex, client map, LRU list and key-generation stream, so issuing
 // and validating keys for different clients proceeds in parallel. Counters
 // are atomic and never serialise the hot path.
+//
+// Issue is allocation-lean: key records are map values (no per-key boxing),
+// candidate keys are formatted into a fixed stack buffer and only the
+// accepted draw is materialised as a string, evicted per-client states are
+// recycled through a per-shard free list (their maps and queues keep their
+// capacity), and IssueN amortises the shard lock and the expiry scan over a
+// whole batch of page views for one client.
 package keystore
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -69,7 +75,10 @@ type Issued struct {
 	Page string
 	// Key is the real key carried by the genuine event-handler beacon.
 	Key string
-	// Decoys are the m decoy keys embedded in obfuscation functions.
+	// Decoys are the m decoy keys embedded in obfuscation functions. The
+	// slice is shared with the store's eviction bookkeeping: treat it as
+	// read-only (overwriting elements would desynchronise per-client
+	// eviction from the keys actually issued).
 	Decoys []string
 	// CSSToken names the uniquely generated empty stylesheet for the page.
 	CSSToken string
@@ -138,18 +147,39 @@ const (
 	kindDecoy
 )
 
+// keyRecord is stored by value in the client's key map, so issuing a page's
+// keys boxes nothing on the heap beyond the key strings themselves.
 type keyRecord struct {
 	kind     keyKind
+	consumed bool
 	page     string
 	issuedAt time.Time
-	consumed bool
+}
+
+// clientState is the per-client key table. States are linked into their
+// shard's intrusive LRU list and recycled through the shard free list on
+// eviction, so a stable working set of clients reaches a steady state where
+// Issue allocates only the key strings it hands out.
+// issueBatch records one page view's real key and its decoys; the decoy
+// slice is shared with the Issued handed to the caller (both sides only
+// read). Keeping the association explicit makes per-client eviction O(m)
+// instead of a scan over every outstanding key.
+type issueBatch struct {
+	key    string
+	decoys []string
 }
 
 type clientState struct {
-	ip      string
-	keys    map[string]*keyRecord // key string -> record
-	queue   []string              // issue order of real keys, for per-client eviction
-	element *list.Element         // position in the shard's LRU list
+	ip    string
+	keys  map[string]keyRecord // key string -> record
+	queue []issueBatch         // issue order, for per-client eviction
+	// oldest is a lower bound on the issuedAt of every live key: expiry scans
+	// are skipped entirely while now-oldest <= TTL, because no key can have
+	// expired yet. It is exact after the first issue and after every scan
+	// (the scan re-derives the minimum over the surviving records).
+	oldest time.Time
+
+	prev, next *clientState // intrusive LRU: prev = towards front (most recent)
 }
 
 // Stats are cumulative counters exposed for monitoring and experiments.
@@ -179,8 +209,11 @@ type storeShard struct {
 	mu      sync.Mutex
 	src     *rng.Source
 	clients map[string]*clientState
-	lru     *list.List // front = most recently used clientState
-	max     int        // per-shard client cap
+	head    *clientState // most recently used
+	tail    *clientState // least recently used
+	free    *clientState // recycled states, singly linked via next
+	count   int          // live clients (== len(clients))
+	max     int          // per-shard client cap
 }
 
 // Store is the key table. It is safe for concurrent use.
@@ -202,7 +235,6 @@ func New(cfg Config) *Store {
 		s.shards[i] = &storeShard{
 			src:     base.Fork(fmt.Sprintf("shard-%d", i)),
 			clients: make(map[string]*clientState),
-			lru:     list.New(),
 			max:     perShard,
 		}
 	}
@@ -216,115 +248,230 @@ func (s *Store) shard(ip string) *storeShard {
 	return s.shards[shard.HashString(ip)&s.mask]
 }
 
+// --- intrusive LRU -----------------------------------------------------------
+
+func (sh *storeShard) pushFront(cs *clientState) {
+	cs.prev = nil
+	cs.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = cs
+	}
+	sh.head = cs
+	if sh.tail == nil {
+		sh.tail = cs
+	}
+}
+
+func (sh *storeShard) unlink(cs *clientState) {
+	if cs.prev != nil {
+		cs.prev.next = cs.next
+	} else {
+		sh.head = cs.next
+	}
+	if cs.next != nil {
+		cs.next.prev = cs.prev
+	} else {
+		sh.tail = cs.prev
+	}
+	cs.prev, cs.next = nil, nil
+}
+
+func (sh *storeShard) moveToFront(cs *clientState) {
+	if sh.head == cs {
+		return
+	}
+	sh.unlink(cs)
+	sh.pushFront(cs)
+}
+
+// client returns the state for ip, creating (or recycling) one as needed.
+func (sh *storeShard) client(ip string) *clientState {
+	cs, ok := sh.clients[ip]
+	if !ok {
+		if cs = sh.free; cs != nil {
+			sh.free = cs.next
+			cs.next = nil
+		} else {
+			cs = &clientState{keys: make(map[string]keyRecord)}
+		}
+		cs.ip = ip
+		sh.pushFront(cs)
+		sh.clients[ip] = cs
+		sh.count++
+	}
+	return cs
+}
+
+// release recycles an evicted state: the key map and queue keep their
+// capacity so the next client on this shard issues without rebuilding them.
+func (sh *storeShard) release(cs *clientState) {
+	clear(cs.keys)
+	cs.queue = cs.queue[:0]
+	cs.ip = ""
+	cs.prev = nil
+	cs.next = sh.free
+	sh.free = cs
+}
+
 // Issue generates a real key, decoys and the per-page object tokens for the
 // given client and page, recording the real key and decoys for later
 // validation. Only the client's shard is locked.
 func (s *Store) Issue(clientIP, page string) Issued {
+	var iss Issued
 	sh := s.shard(clientIP)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
 	now := s.cfg.Clock.Now()
 	cs := sh.client(clientIP)
-	sh.lru.MoveToFront(cs.element)
+	sh.moveToFront(cs)
 	s.expireClientLocked(cs, now)
-
-	iss := Issued{
-		Page:        page,
-		Key:         s.uniqueKeyLocked(sh, cs),
-		CSSToken:    sh.src.DigitKey(s.cfg.KeyDigits),
-		ScriptToken: sh.src.DigitKey(s.cfg.KeyDigits),
-		HiddenToken: sh.src.DigitKey(s.cfg.KeyDigits),
-		IssuedAt:    now,
-	}
-	cs.keys[iss.Key] = &keyRecord{kind: kindReal, page: page, issuedAt: now}
-	cs.queue = append(cs.queue, iss.Key)
-	for i := 0; i < s.cfg.Decoys; i++ {
-		d := s.uniqueKeyLocked(sh, cs)
-		iss.Decoys = append(iss.Decoys, d)
-		cs.keys[d] = &keyRecord{kind: kindDecoy, page: page, issuedAt: now}
-	}
-	s.stats.issued.Add(1)
-
+	s.issueLocked(sh, cs, page, now, &iss)
 	s.enforcePerClientLocked(cs)
 	s.enforceClientCapLocked(sh)
 	return iss
 }
 
-// uniqueKeyLocked draws a key not already present for the client.
+// IssueN issues keys for a batch of page views by one client — the shape the
+// CDN driver produces when a robot or a prefetching browser pulls many pages
+// back to back. The shard lock, the LRU touch and the TTL expiry scan are
+// paid once for the whole batch instead of once per page. Results are
+// appended to out (which may be nil) and returned.
+func (s *Store) IssueN(clientIP string, pages []string, out []Issued) []Issued {
+	if len(pages) == 0 {
+		return out
+	}
+	sh := s.shard(clientIP)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	now := s.cfg.Clock.Now()
+	cs := sh.client(clientIP)
+	sh.moveToFront(cs)
+	s.expireClientLocked(cs, now)
+	for _, page := range pages {
+		var iss Issued
+		s.issueLocked(sh, cs, page, now, &iss)
+		out = append(out, iss)
+	}
+	s.enforcePerClientLocked(cs)
+	s.enforceClientCapLocked(sh)
+	return out
+}
+
+// issueLocked draws one page's keys and tokens and records them. The draw
+// order (real key, CSS/script/hidden tokens, then decoys) is part of the
+// store's deterministic surface: fixed-seed runs replay it byte for byte.
+func (s *Store) issueLocked(sh *storeShard, cs *clientState, page string, now time.Time, iss *Issued) {
+	if len(cs.keys) == 0 {
+		cs.oldest = now
+	}
+	iss.Page = page
+	iss.Key = s.uniqueKeyLocked(sh, cs)
+	iss.CSSToken = sh.tokenLocked(s.cfg.KeyDigits)
+	iss.ScriptToken = sh.tokenLocked(s.cfg.KeyDigits)
+	iss.HiddenToken = sh.tokenLocked(s.cfg.KeyDigits)
+	iss.IssuedAt = now
+	cs.keys[iss.Key] = keyRecord{kind: kindReal, page: page, issuedAt: now}
+	iss.Decoys = make([]string, 0, s.cfg.Decoys)
+	for i := 0; i < s.cfg.Decoys; i++ {
+		d := s.uniqueKeyLocked(sh, cs)
+		iss.Decoys = append(iss.Decoys, d)
+		cs.keys[d] = keyRecord{kind: kindDecoy, page: page, issuedAt: now}
+	}
+	cs.queue = append(cs.queue, issueBatch{key: iss.Key, decoys: iss.Decoys})
+	s.stats.issued.Add(1)
+}
+
+// keyBufSize covers the paper's 30-digit (≈2^128) keys with room to spare;
+// longer configurations fall back to a heap buffer.
+const keyBufSize = 40
+
+// uniqueKeyLocked draws a key not already present for the client. Candidates
+// are formatted into a stack buffer — the map probe on a string conversion in
+// the index expression does not allocate — and only the accepted draw is
+// materialised as a string.
 func (s *Store) uniqueKeyLocked(sh *storeShard, cs *clientState) string {
+	var arr [keyBufSize]byte
+	buf := arr[:0]
+	if s.cfg.KeyDigits > keyBufSize {
+		buf = make([]byte, 0, s.cfg.KeyDigits)
+	}
 	for {
-		k := sh.src.DigitKey(s.cfg.KeyDigits)
-		if _, exists := cs.keys[k]; !exists {
-			return k
+		b := sh.src.AppendDigitKey(buf, s.cfg.KeyDigits)
+		if _, exists := cs.keys[string(b)]; !exists {
+			return string(b)
 		}
 	}
 }
 
-func (sh *storeShard) client(ip string) *clientState {
-	cs, ok := sh.clients[ip]
-	if !ok {
-		cs = &clientState{ip: ip, keys: make(map[string]*keyRecord)}
-		cs.element = sh.lru.PushFront(cs)
-		sh.clients[ip] = cs
+// tokenLocked draws one per-page object token (digit key) through the same
+// stack-buffer path as uniqueKeyLocked.
+func (sh *storeShard) tokenLocked(digits int) string {
+	var arr [keyBufSize]byte
+	buf := arr[:0]
+	if digits > keyBufSize {
+		buf = make([]byte, 0, digits)
 	}
-	return cs
+	return string(sh.src.AppendDigitKey(buf, digits))
 }
 
-// expireClientLocked drops keys older than the TTL for one client.
+// expireClientLocked drops keys older than the TTL for one client. The
+// O(outstanding keys) map scan only runs when the oldest live key can
+// actually have expired (tracked via clientState.oldest, re-derived exactly
+// from the survivors on every scan), so hot-path issues skip it.
 func (s *Store) expireClientLocked(cs *clientState, now time.Time) {
+	if len(cs.keys) == 0 || now.Sub(cs.oldest) <= s.cfg.TTL {
+		return
+	}
+	minSurvivor := now
 	for k, rec := range cs.keys {
 		if now.Sub(rec.issuedAt) > s.cfg.TTL {
 			delete(cs.keys, k)
 			s.stats.expiredDropped.Add(1)
+		} else if rec.issuedAt.Before(minSurvivor) {
+			minSurvivor = rec.issuedAt
 		}
 	}
-	// Compact the real-key queue lazily.
+	// Compact the issue queue lazily.
 	if len(cs.queue) > 0 {
 		keep := cs.queue[:0]
-		for _, k := range cs.queue {
-			if _, ok := cs.keys[k]; ok {
-				keep = append(keep, k)
+		for _, b := range cs.queue {
+			if _, ok := cs.keys[b.key]; ok {
+				keep = append(keep, b)
 			}
 		}
 		cs.queue = keep
 	}
+	cs.oldest = minSurvivor
 }
 
 // enforcePerClientLocked bounds the number of outstanding real keys for one
-// client by discarding the oldest issues (and their decoys become unknowns
-// once their records are eventually expired by TTL; we drop them eagerly by
-// page match to bound memory precisely).
+// client by discarding the oldest issues together with their decoys. The
+// queue remembers each issue's decoys, so eviction deletes exactly that
+// batch's keys — no scan over the client's whole table.
 func (s *Store) enforcePerClientLocked(cs *clientState) {
 	for len(cs.queue) > s.cfg.MaxPerClient {
 		oldest := cs.queue[0]
 		cs.queue = cs.queue[1:]
-		rec, ok := cs.keys[oldest]
-		if !ok {
-			continue
-		}
-		page := rec.page
-		issuedAt := rec.issuedAt
-		delete(cs.keys, oldest)
-		// Drop decoys issued alongside the evicted real key.
-		for k, r := range cs.keys {
-			if r.kind == kindDecoy && r.page == page && r.issuedAt.Equal(issuedAt) {
-				delete(cs.keys, k)
-			}
+		delete(cs.keys, oldest.key)
+		for _, d := range oldest.decoys {
+			delete(cs.keys, d)
 		}
 	}
 }
 
 // enforceClientCapLocked bounds the number of distinct clients in the shard.
 func (s *Store) enforceClientCapLocked(sh *storeShard) {
-	for len(sh.clients) > sh.max {
-		back := sh.lru.Back()
-		if back == nil {
+	for sh.count > sh.max {
+		victim := sh.tail
+		if victim == nil {
 			return
 		}
-		victim := back.Value.(*clientState)
-		sh.lru.Remove(back)
+		sh.unlink(victim)
 		delete(sh.clients, victim.ip)
+		sh.count--
+		sh.release(victim)
 		s.stats.evictedClients.Add(1)
 	}
 }
@@ -342,7 +489,7 @@ func (s *Store) Validate(clientIP, key string) Verdict {
 		s.stats.unknownHits.Add(1)
 		return Unknown
 	}
-	sh.lru.MoveToFront(cs.element)
+	sh.moveToFront(cs)
 	now := s.cfg.Clock.Now()
 	rec, ok := cs.keys[key]
 	if !ok {
@@ -365,6 +512,7 @@ func (s *Store) Validate(clientIP, key string) Verdict {
 			return Replayed
 		}
 		rec.consumed = true
+		cs.keys[key] = rec
 		s.stats.humanHits.Add(1)
 		return Human
 	}
@@ -389,7 +537,7 @@ func (s *Store) Clients() int {
 	total := 0
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		total += len(sh.clients)
+		total += sh.count
 		sh.mu.Unlock()
 	}
 	return total

@@ -1,0 +1,5 @@
+//go:build !race
+
+package keystore
+
+const raceEnabled = false

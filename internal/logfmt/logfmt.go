@@ -48,33 +48,70 @@ type Entry struct {
 const clfTimeLayout = "02/Jan/2006:15:04:05 -0700"
 
 // String renders the entry as one extended combined-log line.
-func (e Entry) String() string {
-	ref := e.Referer
-	if ref == "" {
-		ref = "-"
-	}
-	ua := e.UserAgent
-	if ua == "" {
-		ua = "-"
-	}
-	ct := e.ContentType
-	if ct == "" {
-		ct = "-"
-	}
-	bytesField := "-"
+func (e Entry) String() string { return string(e.AppendLine(nil)) }
+
+// AppendLine appends the entry's extended combined-log line (no trailing
+// newline) to dst and returns the extended slice. The output is byte-for-byte
+// what String returns; with a reused dst the encoder allocates nothing for
+// the plain-ASCII fields real access logs consist of, which is what keeps
+// Writer allocation-free per entry.
+func (e Entry) AppendLine(dst []byte) []byte {
+	dst = append(dst, emptyDash(e.ClientIP)...)
+	dst = append(dst, " - - ["...)
+	dst = e.Time.AppendFormat(dst, clfTimeLayout)
+	dst = append(dst, "] \""...)
+	dst = appendQuotedBody(dst, e.Method)
+	dst = append(dst, ' ')
+	dst = appendQuotedBody(dst, e.Path)
+	dst = append(dst, ' ')
+	dst = appendQuotedBody(dst, protocolOrDefault(e.Protocol))
+	dst = append(dst, "\" "...)
+	dst = strconv.AppendInt(dst, int64(e.Status), 10)
+	dst = append(dst, ' ')
 	if e.Bytes > 0 || e.Status != 0 {
-		bytesField = strconv.FormatInt(e.Bytes, 10)
+		dst = strconv.AppendInt(dst, e.Bytes, 10)
+	} else {
+		dst = append(dst, '-')
 	}
-	return fmt.Sprintf("%s - - [%s] %q %d %s %q %q %q",
-		emptyDash(e.ClientIP),
-		e.Time.Format(clfTimeLayout),
-		e.Method+" "+e.Path+" "+protocolOrDefault(e.Protocol),
-		e.Status,
-		bytesField,
-		ref,
-		ua,
-		ct,
-	)
+	dst = append(dst, ' ')
+	dst = appendQuoted(dst, emptyDash(e.Referer))
+	dst = append(dst, ' ')
+	dst = appendQuoted(dst, emptyDash(e.UserAgent))
+	dst = append(dst, ' ')
+	return appendQuoted(dst, emptyDash(e.ContentType))
+}
+
+// quotePlain reports whether %q renders s as just "s": printable ASCII with
+// no quote or backslash. Log fields are almost always in this set.
+func quotePlain(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// appendQuoted appends s %q-quoted.
+func appendQuoted(dst []byte, s string) []byte {
+	if quotePlain(s) {
+		dst = append(dst, '"')
+		dst = append(dst, s...)
+		return append(dst, '"')
+	}
+	return strconv.AppendQuote(dst, s)
+}
+
+// appendQuotedBody appends s escaped as %q would inside surrounding quotes
+// the caller already emitted. Escaping is per-rune, so quoting the request
+// line piecewise around its literal spaces matches quoting it whole.
+func appendQuotedBody(dst []byte, s string) []byte {
+	if quotePlain(s) {
+		return append(dst, s...)
+	}
+	q := strconv.Quote(s)
+	return append(dst, q[1:len(q)-1]...)
 }
 
 func emptyDash(s string) string {
@@ -225,9 +262,12 @@ func nextQuoted(s string) (field, rest string, err error) {
 	return unq, s[len(val):], nil
 }
 
-// Writer serializes entries to an io.Writer, one line per entry.
+// Writer serializes entries to an io.Writer, one line per entry. Lines are
+// encoded through Entry.AppendLine into a reused buffer, so steady-state
+// writes allocate nothing.
 type Writer struct {
 	w   *bufio.Writer
+	buf []byte
 	n   int64
 	err error
 }
@@ -243,11 +283,9 @@ func (lw *Writer) Write(e Entry) error {
 	if lw.err != nil {
 		return lw.err
 	}
-	if _, err := lw.w.WriteString(e.String()); err != nil {
-		lw.err = err
-		return err
-	}
-	if err := lw.w.WriteByte('\n'); err != nil {
+	lw.buf = e.AppendLine(lw.buf[:0])
+	lw.buf = append(lw.buf, '\n')
+	if _, err := lw.w.Write(lw.buf); err != nil {
 		lw.err = err
 		return err
 	}
@@ -302,19 +340,35 @@ func (lr *Reader) Read() (Entry, error) {
 }
 
 // ReadAll reads entries until EOF, returning the successfully parsed entries
-// and the first error other than EOF (if any).
+// and the first error other than EOF (if any). Consumers that do not need
+// the whole log in memory should use ReadEach, which streams in bounded
+// memory regardless of log size.
 func ReadAll(r io.Reader) ([]Entry, error) {
-	lr := NewReader(r)
 	var out []Entry
+	err := ReadEach(r, func(e Entry) error {
+		out = append(out, e)
+		return nil
+	})
+	return out, err
+}
+
+// ReadEach streams entries from r to fn, one at a time, in bounded memory:
+// nothing beyond the current line is retained. It stops at EOF (returning
+// nil), on the first parse error, or on the first error returned by fn
+// (which is returned verbatim, so callers can abort a replay early).
+func ReadEach(r io.Reader, fn func(Entry) error) error {
+	lr := NewReader(r)
 	for {
 		e, err := lr.Read()
 		if err == io.EOF {
-			return out, nil
+			return nil
 		}
 		if err != nil {
-			return out, err
+			return err
 		}
-		out = append(out, e)
+		if err := fn(e); err != nil {
+			return err
+		}
 	}
 }
 

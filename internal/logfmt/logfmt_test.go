@@ -2,6 +2,8 @@ package logfmt
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -285,5 +287,112 @@ func TestHeadAndStatusClass(t *testing.T) {
 	}
 	if (Entry{Status: 301}).StatusClass() != 3 || (Entry{Status: 404}).StatusClass() != 4 || (Entry{Status: 200}).StatusClass() != 2 {
 		t.Fatal("StatusClass incorrect")
+	}
+}
+
+func TestAppendLineMatchesString(t *testing.T) {
+	entries := []Entry{
+		{
+			Time: time.Date(2006, 1, 6, 12, 30, 15, 0, time.UTC), ClientIP: "10.0.0.1",
+			Method: "GET", Path: "/a.html?x=1", Protocol: "HTTP/1.0", Status: 200,
+			Bytes: 4096, Referer: "http://h/x.html", UserAgent: "Firefox/1.5",
+			ContentType: "text/html",
+		},
+		{}, // all-zero entry: dashes everywhere
+		{
+			Time:     time.Date(2006, 1, 6, 0, 0, 0, 0, time.FixedZone("PST", -8*3600)),
+			ClientIP: "192.168.1.1", Method: "POST", Path: `/weird "path"\with?q=ü`,
+			Status: 404, Referer: "ref \"quoted\"", UserAgent: "агент\ttab",
+			ContentType: "text/plain; charset=utf-8",
+		},
+	}
+	var buf []byte
+	for i, e := range entries {
+		buf = e.AppendLine(buf[:0])
+		if string(buf) != e.String() {
+			t.Fatalf("entry %d: AppendLine = %q, String = %q", i, buf, e.String())
+		}
+	}
+}
+
+func TestAppendLineRoundTrips(t *testing.T) {
+	e := Entry{
+		Time: time.Date(2006, 1, 6, 12, 30, 15, 0, time.UTC), ClientIP: "10.0.0.7",
+		Method: "GET", Path: "/p.html", Protocol: "HTTP/1.1", Status: 200,
+		Bytes: 123, Referer: "http://h/", UserAgent: "Mozilla/5.0", ContentType: "text/html",
+	}
+	got, err := ParseLine(string(e.AppendLine(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.Equal(e.Time) {
+		t.Fatalf("time = %v, want %v", got.Time, e.Time)
+	}
+	got.Time = e.Time
+	if got != e {
+		t.Fatalf("round trip = %+v, want %+v", got, e)
+	}
+}
+
+func TestReadEachStreamsAndAborts(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	for i := 0; i < 5; i++ {
+		if err := w.Write(Entry{
+			Time: time.Date(2006, 1, 6, 0, 0, i, 0, time.UTC), ClientIP: "10.0.0.1",
+			Method: "GET", Path: fmt.Sprintf("/p%d.html", i), Status: 200,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var n int
+	if err := ReadEach(strings.NewReader(sb.String()), func(e Entry) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("streamed %d entries, want 5", n)
+	}
+
+	// Early abort: the callback's error surfaces verbatim and stops the scan.
+	sentinel := errors.New("stop here")
+	n = 0
+	err := ReadEach(strings.NewReader(sb.String()), func(e Entry) error {
+		n++
+		if n == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel || n != 2 {
+		t.Fatalf("abort: err=%v n=%d", err, n)
+	}
+}
+
+func TestWriterSteadyStateAllocs(t *testing.T) {
+	w := NewWriter(io.Discard)
+	e := Entry{
+		Time: time.Date(2006, 1, 6, 12, 0, 0, 0, time.UTC), ClientIP: "10.0.0.1",
+		Method: "GET", Path: "/page1.html", Protocol: "HTTP/1.1", Status: 200,
+		Bytes: 4096, Referer: "http://h/x.html", UserAgent: "Firefox/1.5",
+		ContentType: "text/html",
+	}
+	w.Write(e) // warm the line buffer
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if raceEnabled {
+		t.Skipf("paths exercised; skipping the ceiling (%.1f allocs/op measured) — allocation accounting differs under -race", allocs)
+	}
+	if allocs != 0 {
+		t.Fatalf("Writer.Write allocated %.1f/op, want 0", allocs)
 	}
 }

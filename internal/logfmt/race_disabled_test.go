@@ -1,0 +1,5 @@
+//go:build !race
+
+package logfmt
+
+const raceEnabled = false

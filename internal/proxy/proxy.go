@@ -240,7 +240,8 @@ type responseStreamer struct {
 	originBytes int64
 
 	rewriter *htmlmod.StreamRewriter
-	discard  bool // HEAD responses carry no body
+	prep     *htmlmod.Prepared // pooled injection fragments, released in finish
+	discard  bool              // HEAD responses carry no body
 }
 
 func (s *responseStreamer) Header() http.Header { return s.w.Header() }
@@ -261,6 +262,7 @@ func (s *responseStreamer) WriteHeader(code int) {
 	}
 	if isHTML && code == http.StatusOK && s.req.Method == http.MethodGet {
 		prep, _ := s.m.cfg.Engine.PrepareInstrumentation(s.clientIP, s.ua, s.req.URL.Path)
+		s.prep = prep
 		// The rewritten length is unknown until the document ends; drop the
 		// origin's Content-Length and let net/http pick the framing.
 		h.Del("Content-Length")
@@ -316,6 +318,12 @@ func (s *responseStreamer) finish() {
 		}
 		s.rewriter.Release()
 		s.rewriter = nil
+	}
+	if s.prep != nil {
+		// Write completion: the injection fragments go back to their pool so
+		// the next page view composes them allocation-free.
+		s.prep.Release()
+		s.prep = nil
 	}
 }
 

@@ -356,13 +356,20 @@ func (r *Source) HexKey(n int) string {
 // DigitKey returns a string of n random decimal digits, matching the style
 // of the beacon object names shown in the paper (e.g. "0729395160.jpg").
 func (r *Source) DigitKey(n int) string {
-	const digits = "0123456789"
 	if n <= 0 {
 		return ""
 	}
-	buf := make([]byte, n)
+	return string(r.AppendDigitKey(make([]byte, 0, n), n))
+}
+
+// AppendDigitKey appends n random decimal digits to dst and returns the
+// extended slice. It consumes the stream exactly like DigitKey, so callers
+// that format keys into reusable buffers stay bit-compatible with callers
+// that materialise strings.
+func (r *Source) AppendDigitKey(dst []byte, n int) []byte {
+	const digits = "0123456789"
 	for i := 0; i < n; i++ {
-		buf[i] = digits[r.Intn(10)]
+		dst = append(dst, digits[r.Intn(10)])
 	}
-	return string(buf)
+	return dst
 }
