@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	botbench [-exp all|table1|captcha|figure2|figure3|table2|figure4|overhead|decoys|baselines] [-sessions N] [-seed S]
+//	botbench [-exp all|table1|captcha|figure2|figure3|table2|figure4|overhead|decoys|baselines|telemetry]
+//	         [-sessions N] [-seed S] [-bench-json BENCH_telemetry.json]
 //
 // The -sessions flag scales the synthetic workload; larger values give more
 // stable percentages at higher runtime.
@@ -21,9 +22,10 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, table1, captcha, figure2, figure3, table2, figure4, overhead, decoys, signals, staged, baselines")
-		sessions = flag.Int("sessions", experiments.DefaultScale().Sessions, "number of synthetic sessions per experiment")
-		seed     = flag.Uint64("seed", experiments.DefaultScale().Seed, "random seed")
+		exp       = flag.String("exp", "all", "experiment to run: all, table1, captcha, figure2, figure3, table2, figure4, overhead, decoys, signals, staged, online, baselines, telemetry")
+		sessions  = flag.Int("sessions", experiments.DefaultScale().Sessions, "number of synthetic sessions per experiment")
+		seed      = flag.Uint64("seed", experiments.DefaultScale().Seed, "random seed")
+		benchJSON = flag.String("bench-json", "", "write the telemetry experiment's result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -61,6 +63,16 @@ func main() {
 	run("staged", func() string { return experiments.Staged(scale).Format() })
 	run("online", func() string { return experiments.OnlineLoop(scale).Format() })
 	run("baselines", func() string { return experiments.BaselineComparison(scale).Format() })
+	run("telemetry", func() string {
+		res := experiments.TelemetryBench(scale)
+		if *benchJSON != "" {
+			if err := os.WriteFile(*benchJSON, res.JSON(), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "botbench: writing %s: %v\n", *benchJSON, err)
+				os.Exit(1)
+			}
+		}
+		return res.Format()
+	})
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "botbench: unknown experiment %q\n", *exp)

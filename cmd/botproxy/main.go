@@ -6,26 +6,26 @@
 // Usage:
 //
 //	botproxy [-addr :8080] [-origin http://upstream:9090] [-decoys 4]
-//	         [-obfuscate] [-policy] [-captcha] [-status /__bd/status]
+//	         [-obfuscate] [-policy] [-captcha] [-pprof]
 //
 // The /__bd/ path prefix is reserved for instrumentation (beacons, generated
-// stylesheets and scripts, hidden links, CAPTCHA endpoints) and a plain-text
-// status page listing live sessions and verdicts.
+// stylesheets and scripts, hidden links, CAPTCHA endpoints) and the admin
+// surface: /__bd/status (plain-text sessions and verdicts), /__bd/metrics
+// (Prometheus text format), /__bd/admin/* (session inspection, script
+// rotation, retraining, verdict overrides) and, behind -pprof,
+// /__bd/debug/pprof/.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"net/url"
-	"sort"
 	"time"
 
 	"botdetect/internal/adaboost"
 	"botdetect/internal/captcha"
 	"botdetect/internal/core"
-	"botdetect/internal/detect"
 	"botdetect/internal/policy"
 	"botdetect/internal/proxy"
 	"botdetect/internal/webmodel"
@@ -44,6 +44,7 @@ func main() {
 		train       = flag.Bool("train", true, "retrain the AdaBoost model online from labelled outcomes and hot-swap it")
 		trainEvery  = flag.Duration("train-every", time.Minute, "how often the online trainer checks for new outcomes")
 		trainMinNew = flag.Int("train-min-new", 64, "minimum new labelled outcomes before a retrain")
+		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /__bd/debug/pprof/")
 	)
 	flag.Parse()
 
@@ -89,11 +90,23 @@ func main() {
 		log.Printf("botproxy: online trainer enabled (every %s, min %d new outcomes)", *trainEvery, *trainMinNew)
 	}
 
+	// The admin surface (status, Prometheus metrics, session inspection,
+	// mutating controls, optional pprof) registers as exact paths so all
+	// other /__bd/ traffic — beacons, scripts, CAPTCHA — still flows through
+	// the detection middleware.
+	if cfg.Policy != nil {
+		cfg.Policy.RegisterMetrics(det.Telemetry().Registry(), "")
+	}
+	admin := proxy.NewAdmin(proxy.AdminConfig{
+		Engine:      det,
+		Policy:      cfg.Policy,
+		EnablePprof: *withPprof,
+		Retrain:     adaboost.Config{Rounds: 200},
+	})
+
 	mux := http.NewServeMux()
 	mux.Handle("/", mw)
-	mux.HandleFunc("/__bd/status", func(w http.ResponseWriter, r *http.Request) {
-		writeStatus(w, det)
-	})
+	admin.Register(mux)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -101,31 +114,4 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())
-}
-
-// writeStatus renders a plain-text overview of live sessions and verdicts.
-func writeStatus(w http.ResponseWriter, det *core.Engine) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	stats := det.Stats()
-	fmt.Fprintf(w, "detector chain: %s\n", detect.Describe(det.Detector()))
-	if m := det.Model(); m != nil {
-		fmt.Fprintf(w, "learned model: %s (%d labelled outcomes buffered)\n", m, det.OutcomeCount())
-	} else {
-		fmt.Fprintf(w, "learned model: none yet (%d labelled outcomes buffered)\n", det.OutcomeCount())
-	}
-	fmt.Fprintf(w, "pages instrumented: %d\n", stats.PagesInstrumented)
-	fmt.Fprintf(w, "beacons: mouse=%d decoy=%d replay=%d exec=%d css=%d hidden=%d ua-mismatch=%d\n",
-		stats.MouseBeacons, stats.DecoyBeacons, stats.ReplayBeacons, stats.ExecBeacons,
-		stats.CSSBeacons, stats.HiddenHits, stats.UAMismatches)
-	sessions := det.Sessions()
-	sort.Slice(sessions, func(i, j int) bool { return sessions[i].Counts.Total > sessions[j].Counts.Total })
-	fmt.Fprintf(w, "active sessions: %d\n\n", len(sessions))
-	for i, s := range sessions {
-		if i >= 50 {
-			fmt.Fprintf(w, "... and %d more\n", len(sessions)-i)
-			break
-		}
-		v := det.ClassifySnapshot(s)
-		fmt.Fprintf(w, "%-18s %-40.40s reqs=%-5d %s\n", s.Key.IP, s.Key.UserAgent, s.Counts.Total, v)
-	}
 }

@@ -7,6 +7,7 @@
 package cdn
 
 import (
+	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -19,6 +20,7 @@ import (
 	"botdetect/internal/policy"
 	"botdetect/internal/rng"
 	"botdetect/internal/session"
+	"botdetect/internal/telemetry"
 	"botdetect/internal/webmodel"
 )
 
@@ -104,6 +106,30 @@ func (n *Node) Stats() NodeStats {
 		InstrumentationHits: n.stats.instrumentationHits.Load(),
 		CaptchaSolved:       n.stats.captchaSolved.Load(),
 	}
+}
+
+// RegisterMetrics adds the node's proxy-level counters (request volume,
+// enforcement outcomes, origin bytes, instrumentation hits, CAPTCHA solves)
+// to a telemetry registry as scrape-time collectors labelled with the node
+// name. The request path keeps paying only its existing atomic adds.
+func (n *Node) RegisterMetrics(reg *telemetry.Registry) {
+	nl := telemetry.Label("node", n.cfg.Name)
+	counter := func(name, labels, help string, v func() int64) {
+		reg.CounterFunc(name, telemetry.Join(labels, nl), help, func() float64 { return float64(v()) })
+	}
+	counter("botdetect_node_requests_total", "", "Client requests handled by the node.",
+		n.stats.requests.Load)
+	const enforcement = "botdetect_node_enforcement_total"
+	enfHelp := "Requests denied or delayed by the policy engine, by action."
+	counter(enforcement, telemetry.Label("action", "blocked"), enfHelp, n.stats.blockedRequests.Load)
+	counter(enforcement, telemetry.Label("action", "challenged"), enfHelp, n.stats.challengedRequests.Load)
+	counter(enforcement, telemetry.Label("action", "throttled"), enfHelp, n.stats.throttledRequests.Load)
+	counter("botdetect_node_origin_bytes_total", "", "Origin body bytes served by the node.",
+		n.stats.originBytes.Load)
+	counter("botdetect_node_instrumentation_hits_total", "", "Instrumentation requests (beacons, generated objects) served by the node.",
+		n.stats.instrumentationHits.Load)
+	counter("botdetect_node_captcha_solved_total", "", "CAPTCHA challenges solved at the node.",
+		n.stats.captchaSolved.Load)
 }
 
 // SetRecording enables or disables in-memory recording of observed entries.
@@ -221,23 +247,32 @@ func (n *Node) log(entry logfmt.Entry) {
 // proxy).
 type Network struct {
 	nodes []*Node
+	tel   *telemetry.ServeMetrics
 }
 
 // NewNetwork builds a network of numNodes nodes, each with its own detector
 // (sharing the configuration) and optional policy/captcha services cloned
 // per node.
+//
+// The fleet shares one telemetry registry: serve-path histograms aggregate
+// across nodes (one fleet-wide latency distribution per stage), while each
+// engine's, policy ladder's and node's counters carry a node label so a
+// single scrape of Network.WriteMetrics tells the nodes apart.
 func NewNetwork(numNodes int, site *webmodel.Site, detCfg core.Config, withPolicy bool, seed uint64) *Network {
 	if numNodes <= 0 {
 		numNodes = 1
 	}
 	src := rng.New(seed).Fork("cdn-network")
-	net := &Network{}
+	net := &Network{tel: telemetry.NewServeMetrics(nil)}
 	for i := 0; i < numNodes; i++ {
 		cfg := detCfg
 		cfg.Seed = src.Uint64()
+		cfg.Telemetry = net.tel
+		cfg.TelemetryNode = nodeName(i)
 		var pol *policy.Engine
 		if withPolicy {
 			pol = policy.NewEngine(policy.Config{Clock: detCfg.Clock})
+			pol.RegisterMetrics(net.tel.Registry(), nodeName(i))
 		}
 		node := NewNode(NodeConfig{
 			Name:    nodeName(i),
@@ -246,9 +281,20 @@ func NewNetwork(numNodes int, site *webmodel.Site, detCfg core.Config, withPolic
 			Policy:  pol,
 			Captcha: captcha.NewService(captcha.Config{Seed: src.Uint64(), Clock: detCfg.Clock}),
 		})
+		node.RegisterMetrics(net.tel.Registry())
 		net.nodes = append(net.nodes, node)
 	}
 	return net
+}
+
+// Telemetry returns the fleet's shared serve-path instruments.
+func (n *Network) Telemetry() *telemetry.ServeMetrics { return n.tel }
+
+// WriteMetrics renders the whole fleet's metrics — shared stage histograms
+// plus every node's labelled counters and gauges — in the Prometheus text
+// format, without pausing any node.
+func (n *Network) WriteMetrics(w io.Writer) error {
+	return n.tel.Registry().WritePrometheus(w)
 }
 
 func nodeName(i int) string {

@@ -46,6 +46,7 @@ import (
 	"botdetect/internal/rng"
 	"botdetect/internal/session"
 	"botdetect/internal/shard"
+	"botdetect/internal/telemetry"
 )
 
 // Class, Confidence and Verdict are defined by the decision layer; the
@@ -147,6 +148,17 @@ type Config struct {
 	// a labelled outcome is recorded for it — vectors from very short
 	// sessions are mostly noise (default 5).
 	OutcomeMinRequests int64
+	// Telemetry supplies the serve-path instruments (per-stage latency
+	// histograms, verdict-cache counters). Nil gives the engine a private
+	// ServeMetrics with its own registry; fleet deployments (cdn.Network)
+	// share one ServeMetrics across engines so stage histograms aggregate
+	// fleet-wide. The instruments are allocation-free and always on — there
+	// is no disabled mode to diverge from production behaviour.
+	Telemetry *telemetry.ServeMetrics
+	// TelemetryNode labels this engine's scrape-time collectors (stats
+	// counters, shard gauges) in the telemetry registry, so engines sharing
+	// a registry stay distinguishable. Empty means unlabelled.
+	TelemetryNode string
 	// Seed drives key and script generation.
 	Seed uint64
 	// Clock supplies time; defaults to the wall clock.
@@ -321,6 +333,7 @@ type Engine struct {
 	det      detect.Detector  // the decision chain every verdict flows through
 	learned  *detect.Learned  // hot-swappable learned stage (SetModel)
 	outcomes *detect.Outcomes // labelled material for online retraining
+	tel      *telemetry.ServeMetrics
 
 	scriptShards []*scriptShard
 	scriptMask   uint64
@@ -343,6 +356,11 @@ func New(cfg Config) *Engine {
 			Seed:      cfg.Seed,
 			Clock:     cfg.Clock,
 		}),
+	}
+	e.tel = cfg.Telemetry
+	if e.tel == nil {
+		e.tel = telemetry.NewServeMetrics(nil)
+		e.cfg.Telemetry = e.tel
 	}
 	e.learned = detect.NewLearned(cfg.MinRequests)
 	if cfg.Model != nil {
@@ -394,6 +412,7 @@ func New(cfg Config) *Engine {
 			max:     perShard,
 		}
 	}
+	e.registerTelemetry()
 	return e
 }
 
@@ -440,7 +459,9 @@ func (e *Engine) scriptSeed() uint64 {
 // RecordInstrumented once the rewrite completes so the paper's overhead
 // accounting stays accurate.
 func (e *Engine) PrepareInstrumentation(clientIP, userAgent, pagePath string) (*htmlmod.Prepared, Instrumented) {
+	start := time.Now()
 	iss := e.keys.Issue(clientIP, pagePath)
+	e.tel.KeystoreIssue.ObserveSince(start)
 	prefix := e.cfg.BeaconPrefix
 
 	// Per-page script generation is a pooled template copy plus key splices:
@@ -460,6 +481,7 @@ func (e *Engine) PrepareInstrumentation(clientIP, userAgent, pagePath string) (*
 		HiddenHref:   e.pre.hiddenPre + iss.HiddenToken + e.pre.hiddenSuf,
 		HiddenImgSrc: e.pre.transpImg,
 	})
+	e.tel.Prepare.ObserveSince(start)
 	return prep, Instrumented{
 		Issued:     iss,
 		ScriptPath: jsgen.ScriptPath(prefix, iss.ScriptToken),
@@ -479,7 +501,10 @@ func (e *Engine) RecordInstrumented(originalBytes, addedBytes int) {
 // RotateScripts compiles a fresh epoch of script variants and publishes it
 // atomically under concurrent page serving. Deployments rotate periodically
 // so no obfuscated body survives long enough to be signature-matched.
-func (e *Engine) RotateScripts() { e.pool.Rotate(e.scriptSeed()) }
+func (e *Engine) RotateScripts() {
+	e.pool.Rotate(e.scriptSeed())
+	e.tel.ScriptRotations.Inc()
+}
 
 // ScriptVariants returns the number of precompiled script variants per
 // rotation epoch.
@@ -587,6 +612,15 @@ func (e *Engine) HandleBeacon(clientIP, userAgent, path string) (Response, bool)
 	if !e.IsInstrumentationPath(path) {
 		return Response{}, false
 	}
+	start := time.Now()
+	resp := e.handleBeacon(clientIP, userAgent, path)
+	e.tel.Beacon.ObserveSince(start)
+	return resp, true
+}
+
+// handleBeacon dispatches an instrumentation-prefix request; the exported
+// wrapper owns the stage timing.
+func (e *Engine) handleBeacon(clientIP, userAgent, path string) Response {
 	key := session.Key{IP: clientIP, UserAgent: userAgent}
 	rest := strings.TrimPrefix(path, e.cfg.BeaconPrefix+"/")
 	query := ""
@@ -603,7 +637,7 @@ func (e *Engine) HandleBeacon(clientIP, userAgent, path string) (Response, bool)
 		if agent := queryParam(query, "ua"); agent != "" {
 			e.checkUAMismatch(key, userAgent, agent)
 		}
-		return Response{Status: 200, ContentType: "image/gif", Body: tinyGIF, NoCache: true}, true
+		return Response{Status: 200, ContentType: "image/gif", Body: tinyGIF, NoCache: true}
 
 	case strings.HasPrefix(rest, "ua/"):
 		// document.write stylesheet report: ua/<token>/<agent>.css
@@ -614,17 +648,17 @@ func (e *Engine) HandleBeacon(clientIP, userAgent, path string) (Response, bool)
 			agent := strings.TrimSuffix(parts[2], ".css")
 			e.checkUAMismatch(key, userAgent, agent)
 		}
-		return Response{Status: 200, ContentType: "text/css", Body: emptyCSS, NoCache: true}, true
+		return Response{Status: 200, ContentType: "text/css", Body: emptyCSS, NoCache: true}
 
 	case strings.HasPrefix(rest, "hidden/"):
 		if snap, newly := e.sessions.Mark(key, session.SignalHidden); newly {
 			e.recordSignalOutcome(snap, false)
 		}
 		e.stats.hiddenHits.Add(1)
-		return Response{Status: 200, ContentType: "text/html", Body: hiddenPage, NoCache: true}, true
+		return Response{Status: 200, ContentType: "text/html", Body: hiddenPage, NoCache: true}
 
 	case rest == "transp_1x1.gif":
-		return Response{Status: 200, ContentType: "image/gif", Body: tinyGIF, NoCache: true}, true
+		return Response{Status: 200, ContentType: "image/gif", Body: tinyGIF, NoCache: true}
 
 	case strings.HasPrefix(rest, "index_") && strings.HasSuffix(rest, ".js"):
 		token := strings.TrimSuffix(strings.TrimPrefix(rest, "index_"), ".js")
@@ -635,13 +669,13 @@ func (e *Engine) HandleBeacon(clientIP, userAgent, path string) (Response, bool)
 			body = fallbackJS
 		}
 		e.stats.addedBytes.Add(int64(len(body)))
-		return Response{Status: 200, ContentType: "application/javascript", Body: body, NoCache: true}, true
+		return Response{Status: 200, ContentType: "application/javascript", Body: body, NoCache: true}
 
 	case strings.HasSuffix(rest, ".css"):
 		e.sessions.Mark(key, session.SignalCSS)
 		e.stats.cssBeacons.Add(1)
 		e.stats.addedBytes.Add(int64(len(emptyCSS)))
-		return Response{Status: 200, ContentType: "text/css", Body: emptyCSS, NoCache: true}, true
+		return Response{Status: 200, ContentType: "text/css", Body: emptyCSS, NoCache: true}
 
 	case strings.HasSuffix(rest, ".jpg"):
 		keyStr := strings.TrimSuffix(rest, ".jpg")
@@ -669,10 +703,10 @@ func (e *Engine) HandleBeacon(clientIP, userAgent, path string) (Response, bool)
 			}
 			e.stats.unknownBeacons.Add(1)
 		}
-		return Response{Status: 200, ContentType: "image/jpeg", Body: tinyJPEG, NoCache: true}, true
+		return Response{Status: 200, ContentType: "image/jpeg", Body: tinyJPEG, NoCache: true}
 
 	default:
-		return Response{Status: 404, ContentType: "text/plain", Body: []byte("not found\n"), NoCache: true}, true
+		return Response{Status: 404, ContentType: "text/plain", Body: []byte("not found\n"), NoCache: true}
 	}
 }
 
@@ -787,14 +821,26 @@ func (e *Engine) classify(snap *session.Snapshot) Verdict {
 	cache := snap.Cache()
 	if cache == nil {
 		// Literal snapshots (tests, offline replay) have no cache slot.
-		return e.detect(snap)
+		return e.timedDetect(snap)
 	}
 	modelEpoch := e.learned.Epoch()
 	if v, ok := cache.Load(snap.Epoch, modelEpoch); ok {
+		e.tel.ClassifyCacheHits.Inc()
 		return v.(Verdict)
 	}
-	v := e.detect(snap)
+	v := e.timedDetect(snap)
 	cache.Store(snap.Epoch, modelEpoch, v)
+	return v
+}
+
+// timedDetect runs the chain uncached, recording the recompute under the
+// classify stage histogram (cache hits are counted, not timed — they are a
+// pointer load).
+func (e *Engine) timedDetect(snap *session.Snapshot) Verdict {
+	start := time.Now()
+	v := e.detect(snap)
+	e.tel.Classify.ObserveSince(start)
+	e.tel.ClassifyRecomputes.Inc()
 	return v
 }
 
@@ -881,9 +927,11 @@ func (e *Engine) Outcomes() []features.Example {
 func (e *Engine) RetrainFromOutcomes(cfg adaboost.Config) (*adaboost.Model, error) {
 	m, err := adaboost.Train(e.Outcomes(), cfg)
 	if err != nil {
+		e.tel.TrainerErrors.Inc()
 		return nil, err
 	}
 	e.SetModel(m)
+	e.tel.TrainerRetrains.Inc()
 	return m, nil
 }
 

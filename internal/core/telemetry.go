@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strconv"
+
+	"botdetect/internal/telemetry"
+)
+
+// Telemetry returns the engine's serve-path instruments; their Registry is
+// what /__bd/metrics renders.
+func (e *Engine) Telemetry() *telemetry.ServeMetrics { return e.tel }
+
+// registerTelemetry adds the engine's scrape-time collectors to the
+// telemetry registry: the existing atomic stat mirrors (engine, keystore),
+// live-session and keystore gauges per shard, and the learning loop's state.
+// Everything here reads state the engine already maintains — the serve path
+// pays nothing for these families — and the collectors are labelled with the
+// engine's node name so fleets sharing one registry stay tellable apart.
+func (e *Engine) registerTelemetry() {
+	reg := e.tel.Registry()
+	nl := ""
+	if e.cfg.TelemetryNode != "" {
+		nl = telemetry.Label("node", e.cfg.TelemetryNode)
+	}
+	counter := func(name, labels, help string, v func() int64) {
+		reg.CounterFunc(name, telemetry.Join(labels, nl), help, func() float64 { return float64(v()) })
+	}
+
+	counter("botdetect_pages_instrumented_total", "", "HTML pages rewritten with instrumentation.",
+		e.stats.pagesInstrumented.Load)
+	counter("botdetect_instrumentation_bytes_total", telemetry.Label("direction", "original"),
+		"Page bytes before rewriting vs instrumentation bytes added.", e.stats.originalBytes.Load)
+	counter("botdetect_instrumentation_bytes_total", telemetry.Label("direction", "added"),
+		"Page bytes before rewriting vs instrumentation bytes added.", e.stats.addedBytes.Load)
+
+	const beacons = "botdetect_beacon_requests_total"
+	beaconHelp := "Intercepted instrumentation requests by kind."
+	counter(beacons, telemetry.Label("kind", "mouse"), beaconHelp, e.stats.mouseBeacons.Load)
+	counter(beacons, telemetry.Label("kind", "decoy"), beaconHelp, e.stats.decoyBeacons.Load)
+	counter(beacons, telemetry.Label("kind", "replay"), beaconHelp, e.stats.replayBeacons.Load)
+	counter(beacons, telemetry.Label("kind", "unknown"), beaconHelp, e.stats.unknownBeacons.Load)
+	counter(beacons, telemetry.Label("kind", "exec"), beaconHelp, e.stats.execBeacons.Load)
+	counter(beacons, telemetry.Label("kind", "css"), beaconHelp, e.stats.cssBeacons.Load)
+	counter(beacons, telemetry.Label("kind", "script"), beaconHelp, e.stats.scriptServes.Load)
+	counter(beacons, telemetry.Label("kind", "hidden"), beaconHelp, e.stats.hiddenHits.Load)
+	counter(beacons, telemetry.Label("kind", "ua_report"), beaconHelp, e.stats.uaReports.Load)
+	counter("botdetect_ua_mismatches_total", "", "JavaScript-reported agent strings contradicting the User-Agent header.",
+		e.stats.uaMismatches.Load)
+
+	counter("botdetect_sessions_ended_total", "", "Sessions ended (idle expiry, eviction, flush).",
+		e.sessions.Ended)
+	counter("botdetect_keystore_keys_issued_total", "", "Real keys issued for rewritten pages.",
+		func() int64 { return e.keys.Stats().Issued })
+	const validations = "botdetect_keystore_validations_total"
+	valHelp := "Beacon key validations by verdict."
+	counter(validations, telemetry.Label("verdict", "human"), valHelp, func() int64 { return e.keys.Stats().HumanHits })
+	counter(validations, telemetry.Label("verdict", "decoy"), valHelp, func() int64 { return e.keys.Stats().DecoyHits })
+	counter(validations, telemetry.Label("verdict", "replayed"), valHelp, func() int64 { return e.keys.Stats().ReplayHits })
+	counter(validations, telemetry.Label("verdict", "unknown"), valHelp, func() int64 { return e.keys.Stats().UnknownHits })
+	counter("botdetect_keystore_expired_keys_total", "", "Issued keys dropped by TTL expiry.",
+		func() int64 { return e.keys.Stats().ExpiredDropped })
+	counter("botdetect_keystore_evicted_clients_total", "", "Client key tables evicted by the capacity bound.",
+		func() int64 { return e.keys.Stats().EvictedClients })
+
+	reg.GaugeFunc("botdetect_sessions_active", "Sessions currently tracked.",
+		func(emit func(labels string, v float64)) { emit(nl, float64(e.sessions.Active())) })
+	reg.GaugeFunc("botdetect_keystore_clients", "Client IPs with outstanding keys.",
+		func(emit func(labels string, v float64)) { emit(nl, float64(e.keys.Clients())) })
+	reg.GaugeFunc("botdetect_model_epoch", "Epoch of the published learned model (0 = rules only).",
+		func(emit func(labels string, v float64)) { emit(nl, float64(e.learned.Epoch())) })
+	reg.GaugeFunc("botdetect_outcomes_buffered", "Labelled outcomes buffered for the online trainer.",
+		func(emit func(labels string, v float64)) { emit(nl, float64(e.OutcomeCount())) })
+	reg.GaugeFunc("botdetect_script_variants", "Precompiled script variants per rotation epoch.",
+		func(emit func(labels string, v float64)) { emit(nl, float64(e.pool.Variants())) })
+
+	// Per-shard occupancy gauges: the label strings are rendered once here so
+	// a scrape only walks the shards. Session shards and keystore shards
+	// share one label slice (the counts are always equal by construction).
+	shards := e.sessions.ShardCount()
+	shardLabels := make([]string, shards)
+	for i := range shardLabels {
+		shardLabels[i] = telemetry.Join(telemetry.Label("shard", strconv.Itoa(i)), nl)
+	}
+	reg.GaugeFunc("botdetect_shard_sessions", "Tracked sessions per tracker shard.",
+		func(emit func(labels string, v float64)) {
+			for i, l := range shardLabels {
+				emit(l, float64(e.sessions.ShardActive(i)))
+			}
+		})
+	reg.GaugeFunc("botdetect_shard_keystore_clients", "Client key tables per keystore shard.",
+		func(emit func(labels string, v float64)) {
+			for i, l := range shardLabels {
+				emit(l, float64(e.keys.ShardClients(i)))
+			}
+		})
+}

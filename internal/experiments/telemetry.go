@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"botdetect/internal/telemetry"
+	"botdetect/internal/workload"
+)
+
+// TelemetryStage summarises one serve-path stage histogram after a
+// measurement run: how often the stage ran and where its latency
+// distribution sits. Times are microseconds; quantiles are bucket upper
+// bounds (the histogram's buckets are powers of two of a microsecond), so
+// they are conservative estimates.
+type TelemetryStage struct {
+	Stage    string  `json:"stage"`
+	Count    int64   `json:"count"`
+	MeanUs   float64 `json:"mean_us"`
+	P50Us    float64 `json:"p50_us"`
+	P90Us    float64 `json:"p90_us"`
+	P99Us    float64 `json:"p99_us"`
+	TotalsMs float64 `json:"total_ms"`
+}
+
+// TelemetryResult is the observability cost/coverage report: a full
+// CoDeeN-style workload is driven through an instrumented fleet and the
+// stage histograms and hot counters are read back off the shared telemetry
+// registry — the same data a Prometheus scrape of a live fleet would see.
+type TelemetryResult struct {
+	Sessions           int              `json:"sessions"`
+	Requests           int64            `json:"requests"`
+	PagesInstrumented  int64            `json:"pages_instrumented"`
+	BeaconRequests     int64            `json:"beacon_requests"`
+	ClassifyCacheHits  int64            `json:"classify_cache_hits"`
+	ClassifyRecomputes int64            `json:"classify_recomputes"`
+	CacheHitRate       float64          `json:"cache_hit_rate"`
+	Stages             []TelemetryStage `json:"stages"`
+}
+
+// TelemetryBench runs the workload and reads the fleet's telemetry back.
+func TelemetryBench(scale Scale) TelemetryResult {
+	scale = scale.withDefaults()
+	res := workload.Run(workload.Config{
+		Sessions:   scale.Sessions,
+		WithPolicy: true,
+		Seed:       scale.Seed ^ 0x7e1e,
+	})
+	tel := res.Network.Telemetry()
+
+	out := TelemetryResult{
+		Sessions: scale.Sessions,
+		Requests: res.Network.TotalStats().Requests,
+	}
+	stats := res.Network.EngineStats()
+	out.PagesInstrumented = stats.PagesInstrumented
+	out.BeaconRequests = res.Network.TotalStats().InstrumentationHits
+	out.ClassifyCacheHits = tel.ClassifyCacheHits.Value()
+	out.ClassifyRecomputes = tel.ClassifyRecomputes.Value()
+	if n := out.ClassifyCacheHits + out.ClassifyRecomputes; n > 0 {
+		out.CacheHitRate = float64(out.ClassifyCacheHits) / float64(n)
+	}
+
+	stage := func(name string, h *telemetry.Histogram) {
+		s := h.Snapshot()
+		out.Stages = append(out.Stages, TelemetryStage{
+			Stage:    name,
+			Count:    s.Count,
+			MeanUs:   float64(s.Mean().Nanoseconds()) / 1e3,
+			P50Us:    float64(s.Quantile(0.50).Nanoseconds()) / 1e3,
+			P90Us:    float64(s.Quantile(0.90).Nanoseconds()) / 1e3,
+			P99Us:    float64(s.Quantile(0.99).Nanoseconds()) / 1e3,
+			TotalsMs: float64(s.Sum) / 1e6,
+		})
+	}
+	stage(telemetry.StagePrepare, tel.Prepare)
+	stage(telemetry.StageKeystoreIssue, tel.KeystoreIssue)
+	stage(telemetry.StageBeacon, tel.Beacon)
+	stage(telemetry.StageClassify, tel.Classify)
+	stage(telemetry.StageRewrite, tel.Rewrite)
+	stage(telemetry.StageProxyRequest, tel.ProxyRequest)
+	return out
+}
+
+// JSON renders the result as indented JSON (the BENCH_telemetry.json
+// artifact CI archives alongside the Go benchmark output).
+func (r TelemetryResult) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return []byte("{}")
+	}
+	return append(b, '\n')
+}
+
+// Format renders the result as text.
+func (r TelemetryResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Telemetry (serve-path stage latencies from the shared fleet registry)\n")
+	fmt.Fprintf(&sb, "  sessions driven:        %d (%d requests, %d pages instrumented, %d beacons)\n",
+		r.Sessions, r.Requests, r.PagesInstrumented, r.BeaconRequests)
+	fmt.Fprintf(&sb, "  verdict cache:          %d hits / %d recomputes (%.1f%% hit rate)\n",
+		r.ClassifyCacheHits, r.ClassifyRecomputes, 100*r.CacheHitRate)
+	fmt.Fprintf(&sb, "  %-24s %10s %10s %10s %10s %10s\n", "stage", "count", "mean", "p50", "p90", "p99")
+	for _, s := range r.Stages {
+		if s.Count == 0 {
+			fmt.Fprintf(&sb, "  %-24s %10d %10s %10s %10s %10s\n", s.Stage, 0, "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-24s %10d %9.1fus %9.1fus %9.1fus %9.1fus\n",
+			s.Stage, s.Count, s.MeanUs, s.P50Us, s.P90Us, s.P99Us)
+	}
+	return sb.String()
+}
+
+// ShapeHolds reports whether the observability claims hold on this run: the
+// instrumented stages actually fired, and the stage timings stayed in the
+// microsecond regime the zero-allocation design targets.
+func (r TelemetryResult) ShapeHolds() bool {
+	fired := 0
+	for _, s := range r.Stages {
+		if s.Count > 0 {
+			fired++
+			if s.Stage == telemetry.StagePrepare && s.MeanUs > 1000 {
+				return false
+			}
+		}
+	}
+	return fired >= 3 && r.PagesInstrumented > 0
+}

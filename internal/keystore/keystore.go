@@ -244,6 +244,15 @@ func New(cfg Config) *Store {
 // ShardCount returns the number of shards (a power of two).
 func (s *Store) ShardCount() int { return len(s.shards) }
 
+// ShardClients returns the number of client states currently held by shard
+// i, for per-shard telemetry gauges. It locks only that shard.
+func (s *Store) ShardClients(i int) int {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.count
+}
+
 func (s *Store) shard(ip string) *storeShard {
 	return s.shards[shard.HashString(ip)&s.mask]
 }

@@ -20,6 +20,7 @@ import (
 	"botdetect/internal/clock"
 	"botdetect/internal/detect"
 	"botdetect/internal/session"
+	"botdetect/internal/telemetry"
 )
 
 // Action is the policy decision for a request.
@@ -450,6 +451,42 @@ func (e *Engine) Stats() Stats {
 		Unblocked:   e.stats.unblocked.Load(),
 		DeEscalated: e.stats.deescalated.Load(),
 	}
+}
+
+// RegisterMetrics exposes the engine's decision counters and ladder gauges
+// through a telemetry registry. The collectors read the existing atomic
+// stats at scrape time, so enforcement pays nothing for being observable;
+// node labels the samples in fleet registries ("" for none).
+func (e *Engine) RegisterMetrics(reg *telemetry.Registry, node string) {
+	nl := ""
+	if node != "" {
+		nl = telemetry.Label("node", node)
+	}
+	const decisions = "botdetect_policy_decisions_total"
+	decHelp := "Policy evaluations by resulting action."
+	reg.CounterFunc(decisions, telemetry.Join(telemetry.Label("action", "allow"), nl), decHelp,
+		func() float64 { return float64(e.stats.allowed.Load()) })
+	reg.CounterFunc(decisions, telemetry.Join(telemetry.Label("action", "challenge"), nl), decHelp,
+		func() float64 { return float64(e.stats.challenged.Load()) })
+	reg.CounterFunc(decisions, telemetry.Join(telemetry.Label("action", "throttle"), nl), decHelp,
+		func() float64 { return float64(e.stats.throttled.Load()) })
+	reg.CounterFunc(decisions, telemetry.Join(telemetry.Label("action", "block"), nl), decHelp,
+		func() float64 { return float64(e.stats.blocked.Load()) })
+
+	const transitions = "botdetect_policy_transitions_total"
+	trHelp := "Escalation-ladder transitions by kind."
+	reg.CounterFunc(transitions, telemetry.Join(telemetry.Label("event", "unblocked"), nl), trHelp,
+		func() float64 { return float64(e.stats.unblocked.Load()) })
+	reg.CounterFunc(transitions, telemetry.Join(telemetry.Label("event", "deescalated"), nl), trHelp,
+		func() float64 { return float64(e.stats.deescalated.Load()) })
+
+	chLabels := telemetry.Join(telemetry.Label("stage", "challenge"), nl)
+	blLabels := telemetry.Join(telemetry.Label("stage", "block"), nl)
+	reg.GaugeFunc("botdetect_policy_sessions", "Sessions on the escalation ladder by stage.",
+		func(emit func(labels string, v float64)) {
+			emit(chLabels, float64(e.ChallengedCount()))
+			emit(blLabels, float64(e.BlockedCount()))
+		})
 }
 
 // Limiter is a token-bucket rate limiter used by the proxy to throttle

@@ -1,0 +1,280 @@
+package proxy
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"botdetect/internal/adaboost"
+	"botdetect/internal/core"
+	"botdetect/internal/detect"
+	"botdetect/internal/features"
+	"botdetect/internal/policy"
+	"botdetect/internal/session"
+	"botdetect/internal/telemetry"
+)
+
+// AdminConfig controls the operations endpoints.
+type AdminConfig struct {
+	// Engine is the detection engine to expose; required.
+	Engine *core.Engine
+	// Policy optionally enables the verdict-override endpoint to block
+	// sessions immediately.
+	Policy *policy.Engine
+	// Prefix is the URL prefix for every admin endpoint. It defaults to the
+	// engine's beacon prefix so the whole control surface lives under one
+	// reserved subtree (the CDN strips it before the origin ever sees it).
+	Prefix string
+	// EnablePprof mounts net/http/pprof under <prefix>/debug/pprof/. Off by
+	// default: profiling endpoints can stall the process and leak internals.
+	EnablePprof bool
+	// Retrain configures models built by the retrain endpoint. A zero value
+	// uses the online trainer's defaults.
+	Retrain adaboost.Config
+}
+
+// Admin bundles the proxy's operational endpoints — Prometheus metrics, the
+// live status page, session inspection, and mutating controls (script
+// rotation, retraining, verdict overrides) — behind one registration call so
+// deployments cannot end up with half the surface mounted.
+type Admin struct {
+	cfg AdminConfig
+}
+
+// NewAdmin builds the admin surface. It panics if cfg.Engine is nil.
+func NewAdmin(cfg AdminConfig) *Admin {
+	if cfg.Engine == nil {
+		panic("proxy: AdminConfig.Engine is required")
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = cfg.Engine.Config().BeaconPrefix
+	}
+	if cfg.Retrain.Rounds <= 0 {
+		cfg.Retrain.Rounds = 200
+	}
+	return &Admin{cfg: cfg}
+}
+
+// Register mounts every admin endpoint on mux. Each route is an exact path
+// (no subtree registrations except pprof), so the detection middleware keeps
+// receiving all other traffic under the beacon prefix — beacons and admin
+// endpoints share the reserved subtree without shadowing each other.
+func (a *Admin) Register(mux *http.ServeMux) {
+	p := a.cfg.Prefix
+	mux.HandleFunc(p+"/metrics", a.handleMetrics)
+	mux.HandleFunc(p+"/status", a.handleStatus)
+	mux.HandleFunc(p+"/admin/session", a.handleSession)
+	mux.HandleFunc(p+"/admin/rotate", a.handleRotate)
+	mux.HandleFunc(p+"/admin/retrain", a.handleRetrain)
+	mux.HandleFunc(p+"/admin/override", a.handleOverride)
+	if a.cfg.EnablePprof {
+		// pprof.Index parses the profile name out of the URL assuming it is
+		// mounted at /debug/pprof/, so the admin prefix must be stripped
+		// before the handlers run.
+		mux.Handle(p+"/debug/pprof/", http.StripPrefix(p, http.HandlerFunc(pprof.Index)))
+		mux.Handle(p+"/debug/pprof/cmdline", http.StripPrefix(p, http.HandlerFunc(pprof.Cmdline)))
+		mux.Handle(p+"/debug/pprof/profile", http.StripPrefix(p, http.HandlerFunc(pprof.Profile)))
+		mux.Handle(p+"/debug/pprof/symbol", http.StripPrefix(p, http.HandlerFunc(pprof.Symbol)))
+		mux.Handle(p+"/debug/pprof/trace", http.StripPrefix(p, http.HandlerFunc(pprof.Trace)))
+	}
+}
+
+// handleMetrics renders the engine's telemetry registry in the Prometheus
+// text exposition format. The scrape never blocks serving: counters and
+// histograms are read with atomic loads while writers keep writing.
+func (a *Admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_ = a.cfg.Engine.Telemetry().Registry().WritePrometheus(w)
+}
+
+// handleStatus renders the plain-text operator overview: detector chain,
+// model state, instrumentation counters, and the busiest live sessions with
+// their verdicts.
+func (a *Admin) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	det := a.cfg.Engine
+	stats := det.Stats()
+	fmt.Fprintf(w, "detector chain: %s\n", detect.Describe(det.Detector()))
+	if m := det.Model(); m != nil {
+		fmt.Fprintf(w, "learned model: %s (%d labelled outcomes buffered)\n", m, det.OutcomeCount())
+	} else {
+		fmt.Fprintf(w, "learned model: none yet (%d labelled outcomes buffered)\n", det.OutcomeCount())
+	}
+	fmt.Fprintf(w, "pages instrumented: %d\n", stats.PagesInstrumented)
+	fmt.Fprintf(w, "beacons: mouse=%d decoy=%d replay=%d exec=%d css=%d hidden=%d ua-mismatch=%d\n",
+		stats.MouseBeacons, stats.DecoyBeacons, stats.ReplayBeacons, stats.ExecBeacons,
+		stats.CSSBeacons, stats.HiddenHits, stats.UAMismatches)
+	sessions := det.Sessions()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].Counts.Total > sessions[j].Counts.Total })
+	fmt.Fprintf(w, "active sessions: %d\n\n", len(sessions))
+	for i, s := range sessions {
+		if i >= 50 {
+			fmt.Fprintf(w, "... and %d more\n", len(sessions)-i)
+			break
+		}
+		v := det.ClassifySnapshot(s)
+		fmt.Fprintf(w, "%-18s %-40.40s reqs=%-5d %s\n", s.Key.IP, s.Key.UserAgent, s.Counts.Total, v)
+	}
+}
+
+// sessionView is the JSON shape of one inspected session.
+type sessionView struct {
+	IP        string           `json:"ip"`
+	UserAgent string           `json:"user_agent"`
+	FirstSeen time.Time        `json:"first_seen"`
+	LastSeen  time.Time        `json:"last_seen"`
+	Requests  int64            `json:"requests"`
+	Verdict   verdictView      `json:"verdict"`
+	Features  []featureView    `json:"features"`
+	Signals   map[string]int64 `json:"signals,omitempty"`
+	Policy    *policyStageView `json:"policy,omitempty"`
+}
+
+type verdictView struct {
+	Class      string `json:"class"`
+	Confidence string `json:"confidence"`
+	Reason     string `json:"reason"`
+	AtRequest  int64  `json:"at_request"`
+}
+
+type featureView struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+type policyStageView struct {
+	Stage string `json:"stage"`
+}
+
+// handleSession inspects one live session: GET with ip and ua query
+// parameters returns the cached verdict, the Table 2 feature vector by
+// attribute name, observed detection signals, and the policy stage.
+func (a *Admin) handleSession(w http.ResponseWriter, r *http.Request) {
+	key, ok := a.sessionKey(w, r)
+	if !ok {
+		return
+	}
+	snap, verdict, tracked := a.cfg.Engine.Decide(key)
+	if !tracked {
+		http.Error(w, "unknown session", http.StatusNotFound)
+		return
+	}
+	view := sessionView{
+		IP:        snap.Key.IP,
+		UserAgent: snap.Key.UserAgent,
+		FirstSeen: snap.FirstSeen,
+		LastSeen:  snap.LastSeen,
+		Requests:  snap.Counts.Total,
+		Verdict: verdictView{
+			Class:      verdict.Class.String(),
+			Confidence: verdict.Confidence.String(),
+			Reason:     verdict.Reason,
+			AtRequest:  verdict.AtRequest,
+		},
+		Features: make([]featureView, 0, len(features.Names)),
+	}
+	for i, name := range features.Names {
+		view.Features = append(view.Features, featureView{Name: name, Value: snap.Features[i]})
+	}
+	if len(snap.Signals) > 0 {
+		view.Signals = make(map[string]int64, len(snap.Signals))
+		for sig, at := range snap.Signals {
+			view.Signals[sig.String()] = at
+		}
+	}
+	if a.cfg.Policy != nil {
+		view.Policy = &policyStageView{Stage: a.cfg.Policy.StageOf(key).String()}
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleRotate regenerates the per-epoch script variant pool on demand (the
+// same rotation the background ticker performs), invalidating any URLs and
+// decoy names a robot may have scraped.
+func (a *Admin) handleRotate(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	a.cfg.Engine.RotateScripts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rotated":  true,
+		"variants": a.cfg.Engine.ScriptVariants(),
+	})
+}
+
+// handleRetrain refits the AdaBoost ensemble from the buffered labelled
+// outcomes and hot-swaps it onto the serving path, without waiting for the
+// online trainer's next tick.
+func (a *Admin) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	model, err := a.cfg.Engine.RetrainFromOutcomes(a.cfg.Retrain)
+	if err != nil {
+		writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":    model.String(),
+		"epoch":    a.cfg.Engine.Learned().Epoch(),
+		"outcomes": a.cfg.Engine.OutcomeCount(),
+	})
+}
+
+// handleOverride lets an operator assert ground truth for a session: POST
+// with ip, ua and verdict=human|robot. A human override clears CAPTCHA state
+// and de-escalates policy; a robot override blocks immediately when a policy
+// engine is attached. Either way the label feeds the online trainer.
+func (a *Admin) handleOverride(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	key, ok := a.sessionKey(w, r)
+	if !ok {
+		return
+	}
+	verdict := r.FormValue("verdict")
+	switch verdict {
+	case "human":
+		a.cfg.Engine.MarkCaptchaPassed(key)
+		a.cfg.Engine.RecordOutcome(key, true)
+	case "robot":
+		if a.cfg.Policy != nil {
+			a.cfg.Policy.BlockNow(key)
+		}
+		a.cfg.Engine.RecordOutcome(key, false)
+	default:
+		http.Error(w, "verdict must be human or robot", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ip": key.IP, "verdict": verdict})
+}
+
+// sessionKey extracts the session key from ip/ua parameters (query or form).
+func (a *Admin) sessionKey(w http.ResponseWriter, r *http.Request) (session.Key, bool) {
+	ip := r.FormValue("ip")
+	if ip == "" {
+		http.Error(w, "missing ip parameter", http.StatusBadRequest)
+		return session.Key{}, false
+	}
+	return session.Key{IP: ip, UserAgent: r.FormValue("ua")}, true
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

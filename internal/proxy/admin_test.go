@@ -1,0 +1,190 @@
+package proxy
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"botdetect/internal/core"
+	"botdetect/internal/policy"
+	"botdetect/internal/session"
+	"botdetect/internal/telemetry"
+)
+
+const adminTestUA = "Firefox/1.5 (admin test)"
+
+// newAdminStack builds origin → middleware → mux with the admin surface
+// registered, the way cmd/botproxy wires it.
+func newAdminStack(t *testing.T, enablePprof bool) (*http.ServeMux, *core.Engine, *policy.Engine) {
+	t.Helper()
+	origin := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		_, _ = w.Write([]byte("<html><head><title>t</title></head><body>hello</body></html>"))
+	})
+	eng := core.New(core.Config{Seed: 31})
+	pol := policy.NewEngine(policy.Config{})
+	pol.RegisterMetrics(eng.Telemetry().Registry(), "")
+	mw := New(origin, Config{Engine: eng, Policy: pol})
+	admin := NewAdmin(AdminConfig{Engine: eng, Policy: pol, EnablePprof: enablePprof})
+	mux := http.NewServeMux()
+	mux.Handle("/", mw)
+	admin.Register(mux)
+	return mux, eng, pol
+}
+
+func adminGet(mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.RemoteAddr = "10.1.2.3:5555"
+	req.Header.Set("User-Agent", adminTestUA)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+func adminPost(mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, nil)
+	req.RemoteAddr = "10.1.2.3:5555"
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestAdminMetricsEndpoint(t *testing.T) {
+	mux, _, _ := newAdminStack(t, false)
+
+	// One instrumented page fetch must move the proxy and page counters.
+	if rec := adminGet(mux, "/page.html"); rec.Code != http.StatusOK {
+		t.Fatalf("page fetch status %d", rec.Code)
+	}
+	rec := adminGet(mux, "/__bd/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != telemetry.ContentType {
+		t.Fatalf("metrics content-type %q, want %q", ct, telemetry.ContentType)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"botdetect_pages_instrumented_total 1",
+		`botdetect_proxy_requests_total{outcome="origin"} 1`,
+		`botdetect_stage_duration_seconds_count{stage="rewrite_stream"} 1`,
+		`botdetect_policy_sessions{stage="block"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestAdminStatusEndpoint(t *testing.T) {
+	mux, _, _ := newAdminStack(t, false)
+	adminGet(mux, "/page.html")
+	rec := adminGet(mux, "/__bd/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status endpoint status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("status content-type %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "detector chain:") || !strings.Contains(body, "active sessions: 1") {
+		t.Fatalf("status body incomplete:\n%s", body)
+	}
+}
+
+func TestAdminSessionInspect(t *testing.T) {
+	mux, _, _ := newAdminStack(t, false)
+	if rec := adminGet(mux, "/__bd/admin/session?ip=10.1.2.3&ua=nobody"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown session status %d, want 404", rec.Code)
+	}
+	if rec := adminGet(mux, "/__bd/admin/session"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing ip status %d, want 400", rec.Code)
+	}
+
+	adminGet(mux, "/page.html")
+	rec := adminGet(mux, "/__bd/admin/session?ip=10.1.2.3&ua="+strings.ReplaceAll(adminTestUA, " ", "+"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("session inspect status %d: %s", rec.Code, rec.Body.String())
+	}
+	var view struct {
+		IP       string `json:"ip"`
+		Requests int64  `json:"requests"`
+		Verdict  struct {
+			Class string `json:"class"`
+		} `json:"verdict"`
+		Features []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"features"`
+		Policy *struct {
+			Stage string `json:"stage"`
+		} `json:"policy"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatalf("session inspect is not JSON: %v", err)
+	}
+	if view.IP != "10.1.2.3" || view.Requests != 1 || view.Verdict.Class == "" {
+		t.Fatalf("unexpected view: %+v", view)
+	}
+	if len(view.Features) == 0 {
+		t.Fatal("feature vector missing")
+	}
+	if view.Policy == nil || view.Policy.Stage == "" {
+		t.Fatal("policy stage missing")
+	}
+}
+
+func TestAdminRotateAndRetrain(t *testing.T) {
+	mux, eng, _ := newAdminStack(t, false)
+	if rec := adminGet(mux, "/__bd/admin/rotate"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET rotate status %d, want 405", rec.Code)
+	}
+	rec := adminPost(mux, "/__bd/admin/rotate")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rotate status %d", rec.Code)
+	}
+	if got := eng.Telemetry().ScriptRotations.Value(); got != 1 {
+		t.Fatalf("rotations counter %d, want 1", got)
+	}
+	// No labelled outcomes buffered: retrain must report the conflict.
+	if rec := adminPost(mux, "/__bd/admin/retrain"); rec.Code != http.StatusConflict {
+		t.Fatalf("retrain status %d, want 409: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestAdminOverrideBlocksRobot(t *testing.T) {
+	mux, _, pol := newAdminStack(t, false)
+	adminGet(mux, "/page.html")
+
+	ua := strings.ReplaceAll(adminTestUA, " ", "+")
+	if rec := adminPost(mux, "/__bd/admin/override?ip=10.1.2.3&ua="+ua+"&verdict=maybe"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad verdict status %d, want 400", rec.Code)
+	}
+	if rec := adminPost(mux, "/__bd/admin/override?ip=10.1.2.3&ua="+ua+"&verdict=robot"); rec.Code != http.StatusOK {
+		t.Fatalf("override status %d: %s", rec.Code, rec.Body.String())
+	}
+	key := session.Key{IP: "10.1.2.3", UserAgent: adminTestUA}
+	if got := pol.StageOf(key); got.String() != "block" {
+		t.Fatalf("policy stage %q after robot override, want block", got)
+	}
+	if rec := adminGet(mux, "/page.html"); rec.Code != http.StatusForbidden {
+		t.Fatalf("blocked client got status %d, want 403", rec.Code)
+	}
+}
+
+func TestAdminPprofGating(t *testing.T) {
+	muxOff, _, _ := newAdminStack(t, false)
+	if rec := adminGet(muxOff, "/__bd/debug/pprof/"); rec.Code == http.StatusOK {
+		t.Fatal("pprof must be absent by default")
+	}
+	muxOn, _, _ := newAdminStack(t, true)
+	rec := adminGet(muxOn, "/__bd/debug/pprof/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof index status %d with -pprof", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatal("pprof index did not render profile listing (prefix stripping broken?)")
+	}
+}

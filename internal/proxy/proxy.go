@@ -83,20 +83,26 @@ func (m *Middleware) Engine() *core.Engine { return m.cfg.Engine }
 
 // ServeHTTP implements http.Handler.
 func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	clientIP := m.clientIP(r)
 	ua := r.UserAgent()
 	key := session.Key{IP: clientIP, UserAgent: ua}
 	d := m.cfg.Engine
+	tel := d.Telemetry()
 
 	// CAPTCHA endpoints live under the instrumentation prefix but are
 	// handled before generic beacon dispatch.
 	if m.cfg.Captcha != nil && m.handleCaptcha(w, r, key) {
+		tel.RequestsCaptcha.Inc()
+		tel.ProxyRequest.ObserveSince(start)
 		return
 	}
 
 	// Instrumentation traffic: beacons, generated objects, hidden links.
 	if resp, ok := d.HandleBeacon(clientIP, ua, r.URL.RequestURI()); ok {
 		writeDetectorResponse(w, resp)
+		tel.RequestsBeacon.Inc()
+		tel.ProxyRequest.ObserveSince(start)
 		return
 	}
 
@@ -109,13 +115,18 @@ func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			switch decision.Action {
 			case policy.Block:
 				http.Error(w, "blocked: "+decision.Reason, http.StatusForbidden)
+				tel.RequestsBlocked.Inc()
+				tel.ProxyRequest.ObserveSince(start)
 				return
 			case policy.Challenge:
 				m.writeChallenge(w, decision)
+				tel.RequestsChallenged.Inc()
+				tel.ProxyRequest.ObserveSince(start)
 				return
 			case policy.Throttle:
 				// Throttling is implemented as a constant service delay, the
 				// cheapest fair approximation without per-session queues.
+				tel.RequestsThrottled.Inc()
 				time.Sleep(10 * time.Millisecond)
 			}
 		}
@@ -128,6 +139,8 @@ func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	st := &responseStreamer{m: m, w: w, req: r, clientIP: clientIP, ua: ua}
 	m.origin.ServeHTTP(st, r)
 	st.finish()
+	tel.RequestsOrigin.Inc()
+	tel.ProxyRequest.ObserveSince(start)
 
 	d.ObserveRequest(logfmt.Entry{
 		Time:        time.Now(),
@@ -239,9 +252,10 @@ type responseStreamer struct {
 	contentType string
 	originBytes int64
 
-	rewriter *htmlmod.StreamRewriter
-	prep     *htmlmod.Prepared // pooled injection fragments, released in finish
-	discard  bool              // HEAD responses carry no body
+	rewriter     *htmlmod.StreamRewriter
+	prep         *htmlmod.Prepared // pooled injection fragments, released in finish
+	discard      bool              // HEAD responses carry no body
+	rewriteNanos int64             // time spent inside the stream rewriter
 }
 
 func (s *responseStreamer) Header() http.Header { return s.w.Header() }
@@ -281,7 +295,10 @@ func (s *responseStreamer) Write(p []byte) (int, error) {
 		return len(p), nil
 	}
 	if s.rewriter != nil {
-		return s.rewriter.Write(p)
+		t0 := time.Now()
+		n, err := s.rewriter.Write(p)
+		s.rewriteNanos += int64(time.Since(t0))
+		return n, err
 	}
 	return s.w.Write(p)
 }
@@ -307,7 +324,10 @@ func (s *responseStreamer) finish() {
 		s.WriteHeader(http.StatusOK)
 	}
 	if s.rewriter != nil {
+		t0 := time.Now()
 		err := s.rewriter.Close()
+		s.rewriteNanos += int64(time.Since(t0))
+		s.m.cfg.Engine.Telemetry().Rewrite.Observe(time.Duration(s.rewriteNanos))
 		res := s.rewriter.Result()
 		if err == nil && !res.Truncated {
 			// Skip pages that blew the hold cap (forwarded largely verbatim)

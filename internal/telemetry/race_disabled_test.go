@@ -1,0 +1,6 @@
+//go:build !race
+
+package telemetry
+
+// raceEnabled is false without -race; see race_enabled_test.go.
+const raceEnabled = false
