@@ -7,13 +7,18 @@
 //
 //	botproxy [-addr :8080] [-origin http://upstream:9090] [-decoys 4]
 //	         [-obfuscate] [-policy] [-captcha] [-pprof]
+//	         [-admin-addr 127.0.0.1:8081] [-admin-token T] [-admin-public]
 //
 // The /__bd/ path prefix is reserved for instrumentation (beacons, generated
-// stylesheets and scripts, hidden links, CAPTCHA endpoints) and the admin
-// surface: /__bd/status (plain-text sessions and verdicts), /__bd/metrics
+// stylesheets and scripts, hidden links, CAPTCHA endpoints). The admin
+// surface — /__bd/status (plain-text sessions and verdicts), /__bd/metrics
 // (Prometheus text format), /__bd/admin/* (session inspection, script
 // rotation, retraining, verdict overrides) and, behind -pprof,
-// /__bd/debug/pprof/.
+// /__bd/debug/pprof/ — serves on its own listener, loopback by default
+// (-admin-addr), never on the public listener unless -admin-public is given
+// together with a mandatory -admin-token bearer token: the override endpoint
+// asserts ground truth (a bot could whitelist itself and poison the online
+// trainer) and the status views carry client IPs and User-Agents.
 package main
 
 import (
@@ -45,6 +50,9 @@ func main() {
 		trainEvery  = flag.Duration("train-every", time.Minute, "how often the online trainer checks for new outcomes")
 		trainMinNew = flag.Int("train-min-new", 64, "minimum new labelled outcomes before a retrain")
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /__bd/debug/pprof/")
+		adminAddr   = flag.String("admin-addr", "127.0.0.1:8081", "listen address for the admin surface (loopback by default; empty disables the admin listener)")
+		adminToken  = flag.String("admin-token", "", "bearer token required on every admin request (Authorization: Bearer <token>)")
+		adminPublic = flag.Bool("admin-public", false, "also mount the admin surface on the public listener; requires -admin-token")
 	)
 	flag.Parse()
 
@@ -90,10 +98,6 @@ func main() {
 		log.Printf("botproxy: online trainer enabled (every %s, min %d new outcomes)", *trainEvery, *trainMinNew)
 	}
 
-	// The admin surface (status, Prometheus metrics, session inspection,
-	// mutating controls, optional pprof) registers as exact paths so all
-	// other /__bd/ traffic — beacons, scripts, CAPTCHA — still flows through
-	// the detection middleware.
 	if cfg.Policy != nil {
 		cfg.Policy.RegisterMetrics(det.Telemetry().Registry(), "")
 	}
@@ -102,11 +106,38 @@ func main() {
 		Policy:      cfg.Policy,
 		EnablePprof: *withPprof,
 		Retrain:     adaboost.Config{Rounds: 200},
+		AuthToken:   *adminToken,
 	})
 
 	mux := http.NewServeMux()
 	mux.Handle("/", mw)
-	admin.Register(mux)
+
+	// The admin surface carries mutating controls and per-client PII, so it
+	// binds its own listener — loopback by default — instead of riding the
+	// public mux. Exposing it publicly is an explicit opt-in that demands a
+	// bearer token; without one, any client could POST /__bd/admin/override
+	// to clear its own CAPTCHA/block state and feed false labels to the
+	// online trainer.
+	if *adminPublic {
+		if *adminToken == "" {
+			log.Fatal("botproxy: -admin-public requires -admin-token; the admin surface must not be open to anonymous clients")
+		}
+		admin.Register(mux)
+		log.Printf("botproxy: admin surface mounted on the public listener (token-gated)")
+	}
+	if *adminAddr != "" {
+		adminMux := http.NewServeMux()
+		admin.Register(adminMux)
+		adminSrv := &http.Server{
+			Addr:              *adminAddr,
+			Handler:           adminMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() { log.Fatal(adminSrv.ListenAndServe()) }()
+		log.Printf("botproxy: admin surface on %s", *adminAddr)
+	} else if !*adminPublic {
+		log.Printf("botproxy: admin surface disabled (-admin-addr is empty and -admin-public is off)")
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

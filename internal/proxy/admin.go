@@ -1,11 +1,13 @@
 package proxy
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"botdetect/internal/adaboost"
@@ -31,6 +33,17 @@ type AdminConfig struct {
 	// EnablePprof mounts net/http/pprof under <prefix>/debug/pprof/. Off by
 	// default: profiling endpoints can stall the process and leak internals.
 	EnablePprof bool
+	// AuthToken, when non-empty, requires every admin request — metrics,
+	// status and pprof included — to present it as
+	// "Authorization: Bearer <token>" (compared in constant time). It is
+	// mandatory whenever the surface is reachable by untrusted clients:
+	// without it, anyone can POST an override to clear CAPTCHA/block state
+	// (a bot self-whitelisting) and poison the online trainer with false
+	// labels, and the status/session views expose every tracked client's IP
+	// and User-Agent. When empty — sound only on a loopback-bound listener —
+	// requests carrying an Origin header are refused, so a CSRF form post
+	// riding an operator's browser cannot reach the mutating endpoints.
+	AuthToken string
 	// Retrain configures models built by the retrain endpoint. A zero value
 	// uses the online trainer's defaults.
 	Retrain adaboost.Config
@@ -58,28 +71,58 @@ func NewAdmin(cfg AdminConfig) *Admin {
 	return &Admin{cfg: cfg}
 }
 
-// Register mounts every admin endpoint on mux. Each route is an exact path
-// (no subtree registrations except pprof), so the detection middleware keeps
-// receiving all other traffic under the beacon prefix — beacons and admin
-// endpoints share the reserved subtree without shadowing each other.
+// Register mounts every admin endpoint on mux, each behind the access guard.
+// Each route is an exact path (no subtree registrations except pprof), so
+// the detection middleware keeps receiving all other traffic under the
+// beacon prefix — beacons and admin endpoints share the reserved subtree
+// without shadowing each other.
 func (a *Admin) Register(mux *http.ServeMux) {
 	p := a.cfg.Prefix
-	mux.HandleFunc(p+"/metrics", a.handleMetrics)
-	mux.HandleFunc(p+"/status", a.handleStatus)
-	mux.HandleFunc(p+"/admin/session", a.handleSession)
-	mux.HandleFunc(p+"/admin/rotate", a.handleRotate)
-	mux.HandleFunc(p+"/admin/retrain", a.handleRetrain)
-	mux.HandleFunc(p+"/admin/override", a.handleOverride)
+	mux.Handle(p+"/metrics", a.guard(http.HandlerFunc(a.handleMetrics)))
+	mux.Handle(p+"/status", a.guard(http.HandlerFunc(a.handleStatus)))
+	mux.Handle(p+"/admin/session", a.guard(http.HandlerFunc(a.handleSession)))
+	mux.Handle(p+"/admin/rotate", a.guard(http.HandlerFunc(a.handleRotate)))
+	mux.Handle(p+"/admin/retrain", a.guard(http.HandlerFunc(a.handleRetrain)))
+	mux.Handle(p+"/admin/override", a.guard(http.HandlerFunc(a.handleOverride)))
 	if a.cfg.EnablePprof {
 		// pprof.Index parses the profile name out of the URL assuming it is
 		// mounted at /debug/pprof/, so the admin prefix must be stripped
 		// before the handlers run.
-		mux.Handle(p+"/debug/pprof/", http.StripPrefix(p, http.HandlerFunc(pprof.Index)))
-		mux.Handle(p+"/debug/pprof/cmdline", http.StripPrefix(p, http.HandlerFunc(pprof.Cmdline)))
-		mux.Handle(p+"/debug/pprof/profile", http.StripPrefix(p, http.HandlerFunc(pprof.Profile)))
-		mux.Handle(p+"/debug/pprof/symbol", http.StripPrefix(p, http.HandlerFunc(pprof.Symbol)))
-		mux.Handle(p+"/debug/pprof/trace", http.StripPrefix(p, http.HandlerFunc(pprof.Trace)))
+		mux.Handle(p+"/debug/pprof/", a.guard(http.StripPrefix(p, http.HandlerFunc(pprof.Index))))
+		mux.Handle(p+"/debug/pprof/cmdline", a.guard(http.StripPrefix(p, http.HandlerFunc(pprof.Cmdline))))
+		mux.Handle(p+"/debug/pprof/profile", a.guard(http.StripPrefix(p, http.HandlerFunc(pprof.Profile))))
+		mux.Handle(p+"/debug/pprof/symbol", a.guard(http.StripPrefix(p, http.HandlerFunc(pprof.Symbol))))
+		mux.Handle(p+"/debug/pprof/trace", a.guard(http.StripPrefix(p, http.HandlerFunc(pprof.Trace))))
 	}
+}
+
+// guard enforces the surface's access rules in front of every handler. With
+// an AuthToken configured, the bearer token is checked in constant time.
+// Without one, the deployment is trusted to have bound the surface to a
+// loopback-only listener, and the remaining browser vector — a hostile page
+// making an operator's browser post to localhost — is closed by refusing any
+// request that carries an Origin header: browsers attach it to cross-site
+// requests, operator tools (curl, Prometheus) never send it.
+func (a *Admin) guard(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if a.cfg.AuthToken == "" {
+			if r.Header.Get("Origin") != "" {
+				http.Error(w, "cross-origin admin request rejected", http.StatusForbidden)
+				return
+			}
+			h.ServeHTTP(w, r)
+			return
+		}
+		const scheme = "Bearer "
+		auth := r.Header.Get("Authorization")
+		if len(auth) <= len(scheme) || !strings.EqualFold(auth[:len(scheme)], scheme) ||
+			subtle.ConstantTimeCompare([]byte(auth[len(scheme):]), []byte(a.cfg.AuthToken)) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="botdetect admin"`)
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // handleMetrics renders the engine's telemetry registry in the Prometheus

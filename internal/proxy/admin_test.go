@@ -19,6 +19,11 @@ const adminTestUA = "Firefox/1.5 (admin test)"
 // registered, the way cmd/botproxy wires it.
 func newAdminStack(t *testing.T, enablePprof bool) (*http.ServeMux, *core.Engine, *policy.Engine) {
 	t.Helper()
+	return newAdminStackToken(t, enablePprof, "")
+}
+
+func newAdminStackToken(t *testing.T, enablePprof bool, token string) (*http.ServeMux, *core.Engine, *policy.Engine) {
+	t.Helper()
 	origin := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html")
 		_, _ = w.Write([]byte("<html><head><title>t</title></head><body>hello</body></html>"))
@@ -27,7 +32,7 @@ func newAdminStack(t *testing.T, enablePprof bool) (*http.ServeMux, *core.Engine
 	pol := policy.NewEngine(policy.Config{})
 	pol.RegisterMetrics(eng.Telemetry().Registry(), "")
 	mw := New(origin, Config{Engine: eng, Policy: pol})
-	admin := NewAdmin(AdminConfig{Engine: eng, Policy: pol, EnablePprof: enablePprof})
+	admin := NewAdmin(AdminConfig{Engine: eng, Policy: pol, EnablePprof: enablePprof, AuthToken: token})
 	mux := http.NewServeMux()
 	mux.Handle("/", mw)
 	admin.Register(mux)
@@ -171,6 +176,81 @@ func TestAdminOverrideBlocksRobot(t *testing.T) {
 	}
 	if rec := adminGet(mux, "/page.html"); rec.Code != http.StatusForbidden {
 		t.Fatalf("blocked client got status %d, want 403", rec.Code)
+	}
+}
+
+// TestAdminAuthToken pins the bearer-token gate: with AuthToken configured,
+// every admin endpoint — the read-only views included, since they expose
+// client IPs and User-Agents — refuses requests without the exact token.
+func TestAdminAuthToken(t *testing.T) {
+	mux, _, _ := newAdminStackToken(t, false, "s3cret")
+
+	do := func(method, path, auth string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(method, path, nil)
+		req.RemoteAddr = "10.1.2.3:5555"
+		req.Header.Set("User-Agent", adminTestUA)
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		return rec
+	}
+
+	for _, path := range []string{"/__bd/metrics", "/__bd/status", "/__bd/admin/session?ip=1.2.3.4"} {
+		if rec := do(http.MethodGet, path, ""); rec.Code != http.StatusUnauthorized {
+			t.Errorf("GET %s without token: status %d, want 401", path, rec.Code)
+		}
+		if rec := do(http.MethodGet, path, "Bearer wrong"); rec.Code != http.StatusUnauthorized {
+			t.Errorf("GET %s with bad token: status %d, want 401", path, rec.Code)
+		}
+	}
+	for _, path := range []string{"/__bd/admin/override?ip=1.2.3.4&verdict=human", "/__bd/admin/rotate", "/__bd/admin/retrain"} {
+		if rec := do(http.MethodPost, path, ""); rec.Code != http.StatusUnauthorized {
+			t.Errorf("POST %s without token: status %d, want 401", path, rec.Code)
+		}
+	}
+
+	if rec := do(http.MethodGet, "/__bd/metrics", "Bearer s3cret"); rec.Code != http.StatusOK {
+		t.Fatalf("metrics with token: status %d, want 200", rec.Code)
+	}
+	if rec := do(http.MethodPost, "/__bd/admin/rotate", "Bearer s3cret"); rec.Code != http.StatusOK {
+		t.Fatalf("rotate with token: status %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	// The public serve path must stay open — the guard covers only /__bd admin routes.
+	if rec := do(http.MethodGet, "/page.html", ""); rec.Code != http.StatusOK {
+		t.Fatalf("public page without token: status %d, want 200", rec.Code)
+	}
+}
+
+// TestAdminCrossOriginRejected pins the tokenless (loopback-deployment) CSRF
+// guard: a browser-initiated request always carries an Origin header, and a
+// hostile page must not be able to drive an operator's browser into posting
+// an override to the loopback listener.
+func TestAdminCrossOriginRejected(t *testing.T) {
+	mux, _, pol := newAdminStack(t, false)
+	adminGet(mux, "/page.html")
+
+	ua := strings.ReplaceAll(adminTestUA, " ", "+")
+	req := httptest.NewRequest(http.MethodPost, "/__bd/admin/override?ip=10.1.2.3&ua="+ua+"&verdict=robot", nil)
+	req.RemoteAddr = "127.0.0.1:4444"
+	req.Header.Set("Origin", "http://evil.example")
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("cross-origin override: status %d, want 403", rec.Code)
+	}
+	key := session.Key{IP: "10.1.2.3", UserAgent: adminTestUA}
+	if got := pol.StageOf(key).String(); got == "block" {
+		t.Fatal("cross-origin override must not reach the policy engine")
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/__bd/status", nil)
+	req.Header.Set("Origin", "http://evil.example")
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("cross-origin status read: status %d, want 403", rec.Code)
 	}
 }
 

@@ -109,13 +109,35 @@ func (s Snapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
+// OverflowBound is the sentinel Quantile reports when the requested quantile
+// lands in the overflow (+Inf) bucket: one doubling past the last finite
+// bound (~67 s), so it is greater than every finite BucketBound and a
+// dashboard can tell "past the measurable range" (a wedged retrain, a
+// stalled rewrite) apart from "genuinely ~33 s". Use QuantileOK to branch on
+// overflow explicitly.
+const OverflowBound = time.Microsecond << NumBuckets
+
 // Quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of the
 // bucket where the cumulative count crosses q·Count. With doubling buckets
 // the estimate is at most 2× the true value — the right resolution for
-// watching a p99 move, not for microbenchmark arithmetic.
+// watching a p99 move, not for microbenchmark arithmetic. A quantile that
+// lands in the overflow bucket reports OverflowBound rather than silently
+// clamping to the last finite bound.
 func (s Snapshot) Quantile(q float64) time.Duration {
+	d, ok := s.QuantileOK(q)
+	if !ok {
+		return OverflowBound
+	}
+	return d
+}
+
+// QuantileOK is Quantile with an explicit overflow signal: ok is false when
+// the requested quantile lies beyond the last finite bucket bound, in which
+// case the returned duration (the last finite bound) is a floor on the true
+// value, not an estimate of it.
+func (s Snapshot) QuantileOK(q float64) (time.Duration, bool) {
 	if s.Count == 0 {
-		return 0
+		return 0, true
 	}
 	target := int64(math.Ceil(q * float64(s.Count)))
 	if target < 1 {
@@ -125,14 +147,17 @@ func (s Snapshot) Quantile(q float64) time.Duration {
 	for i, n := range s.Buckets {
 		cum += n
 		if cum >= target {
-			return BucketBound(i)
+			if i >= NumBuckets {
+				break
+			}
+			return BucketBound(i), true
 		}
 	}
-	return BucketBound(NumBuckets)
+	return BucketBound(NumBuckets - 1), false
 }
 
-// BucketBound returns the upper bound of bucket i (1 µs << i). The overflow
-// bucket (i = NumBuckets) reports the last finite bound.
+// BucketBound returns the upper bound of bucket i (1 µs << i), clamping
+// out-of-range indexes to the finite range.
 func BucketBound(i int) time.Duration {
 	if i >= NumBuckets {
 		i = NumBuckets - 1

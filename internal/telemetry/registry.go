@@ -107,16 +107,24 @@ func (r *Registry) Histogram(name, labels, help string, h *Histogram) {
 // WritePrometheus renders every registered family in the text exposition
 // format: families sorted by name, collectors within a family in
 // registration order.
+//
+// The family list (and each family's collector slice header) is copied under
+// the registry mutex, then rendered with the mutex released: scrape-time
+// collector callbacks (CounterFunc, GaugeFunc) are free to call back into
+// the registry — e.g. lazy registration — without self-deadlocking, and a
+// slow callback never blocks concurrent registrations. Collectors registered
+// mid-scrape appear from the next scrape on.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for name := range r.families {
-		names = append(names, name)
+	fams := make([]family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, *f)
 	}
-	sort.Strings(names)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	buf := make([]byte, 0, 4096)
-	for _, name := range names {
-		f := r.families[name]
+	for i := range fams {
+		f := &fams[i]
 		buf = append(buf, "# HELP "...)
 		buf = append(buf, f.name...)
 		buf = append(buf, ' ')
@@ -130,7 +138,6 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			buf = c.collect(buf, f.name)
 		}
 	}
-	r.mu.Unlock()
 	_, err := w.Write(buf)
 	return err
 }

@@ -76,9 +76,19 @@ func TestHistogramSnapshot(t *testing.T) {
 	if got := s.Quantile(0.5); got != 2*time.Microsecond {
 		t.Fatalf("Quantile(0.5) = %v, want 2µs", got)
 	}
-	// The p99 lands in the overflow bucket, reported as the last finite bound.
-	if got := s.Quantile(0.99); got != BucketBound(NumBuckets) {
-		t.Fatalf("Quantile(0.99) = %v, want %v", got, BucketBound(NumBuckets))
+	// The p99 lands in the overflow bucket: the sentinel distinguishes "past
+	// the measurable range" from a genuine last-finite-bucket observation.
+	if got := s.Quantile(0.99); got != OverflowBound {
+		t.Fatalf("Quantile(0.99) = %v, want overflow sentinel %v", got, OverflowBound)
+	}
+	if d, ok := s.QuantileOK(0.99); ok || d != BucketBound(NumBuckets-1) {
+		t.Fatalf("QuantileOK(0.99) = (%v, %v), want floor %v and ok=false", d, ok, BucketBound(NumBuckets-1))
+	}
+	if d, ok := s.QuantileOK(0.5); !ok || d != 2*time.Microsecond {
+		t.Fatalf("QuantileOK(0.5) = (%v, %v), want (2µs, true)", d, ok)
+	}
+	if OverflowBound <= BucketBound(NumBuckets-1) {
+		t.Fatal("OverflowBound must exceed every finite bucket bound")
 	}
 }
 
@@ -183,6 +193,36 @@ test_requests_total 42
 `
 	if got := sb.String(); got != want {
 		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestScrapeReentrantRegistration pins that a scrape-time collector callback
+// may register new metrics on the same registry without deadlocking: the
+// render loop runs with the registry mutex released. The late registration
+// becomes visible from the next scrape.
+func TestScrapeReentrantRegistration(t *testing.T) {
+	reg := NewRegistry()
+	registered := false
+	reg.CounterFunc("reentrant_total", "", "h", func() float64 {
+		if !registered {
+			registered = true
+			reg.CounterFunc("late_total", "", "h", func() float64 { return 1 })
+		}
+		return 1
+	})
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "reentrant_total 1") {
+		t.Fatalf("first scrape missing reentrant_total:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "late_total 1") {
+		t.Fatalf("second scrape missing lazily registered late_total:\n%s", sb.String())
 	}
 }
 
