@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	botbench [-exp all|table1|captcha|figure2|figure3|table2|figure4|overhead|decoys|baselines|telemetry]
+//	botbench [-exp all|table1|captcha|figure2|figure3|table2|figure4|overhead|decoys|baselines|telemetry|serve]
 //	         [-sessions N] [-seed S] [-bench-json BENCH_telemetry.json]
+//	         [-serve-clients N] [-serve-json BENCH_serve.json]
 //
 // The -sessions flag scales the synthetic workload; larger values give more
 // stable percentages at higher runtime.
@@ -22,10 +23,12 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run: all, table1, captcha, figure2, figure3, table2, figure4, overhead, decoys, signals, staged, online, baselines, telemetry")
-		sessions  = flag.Int("sessions", experiments.DefaultScale().Sessions, "number of synthetic sessions per experiment")
-		seed      = flag.Uint64("seed", experiments.DefaultScale().Seed, "random seed")
-		benchJSON = flag.String("bench-json", "", "write the telemetry experiment's result as JSON to this file")
+		exp          = flag.String("exp", "all", "experiment to run: all, table1, captcha, figure2, figure3, table2, figure4, overhead, decoys, signals, staged, online, baselines, telemetry, serve")
+		sessions     = flag.Int("sessions", experiments.DefaultScale().Sessions, "number of synthetic sessions per experiment")
+		seed         = flag.Uint64("seed", experiments.DefaultScale().Seed, "random seed")
+		benchJSON    = flag.String("bench-json", "", "write the telemetry experiment's result as JSON to this file")
+		serveClients = flag.Int("serve-clients", 0, "distinct clients for the serve experiment (0: the experiment's default of 100000)")
+		serveJSON    = flag.String("serve-json", "", "write the serve experiment's result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -63,6 +66,30 @@ func main() {
 	run("staged", func() string { return experiments.Staged(scale).Format() })
 	run("online", func() string { return experiments.OnlineLoop(scale).Format() })
 	run("baselines", func() string { return experiments.BaselineComparison(scale).Format() })
+	// The serve experiment stands up a live localhost server and drives
+	// ~100k clients through it, so it only runs when named explicitly —
+	// "-exp all" stays a quick, deterministic artifact regeneration.
+	explicit := func(name string) bool {
+		for _, s := range selected {
+			if s == name {
+				return true
+			}
+		}
+		return false
+	}
+	if explicit("serve") {
+		ran++
+		start := time.Now()
+		res := experiments.ServeBench(experiments.ServeConfig{Clients: *serveClients, Seed: *seed})
+		if *serveJSON != "" {
+			if err := os.WriteFile(*serveJSON, res.JSON(), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "botbench: writing %s: %v\n", *serveJSON, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("==> %s (%.1fs)\n\n%s\n", "serve", time.Since(start).Seconds(), res.Format())
+	}
+
 	run("telemetry", func() string {
 		res := experiments.TelemetryBench(scale)
 		if *benchJSON != "" {

@@ -49,6 +49,8 @@ func main() {
 		train       = flag.Bool("train", true, "retrain the AdaBoost model online from labelled outcomes and hot-swap it")
 		trainEvery  = flag.Duration("train-every", time.Minute, "how often the online trainer checks for new outcomes")
 		trainMinNew = flag.Int("train-min-new", 64, "minimum new labelled outcomes before a retrain")
+		rotEvery    = flag.Duration("rotate-every", 0, "rotate the script-generation seed on this interval (0 disables timed rotation)")
+		rotPages    = flag.Int64("rotate-pages", 0, "rotate the script-generation seed after this many pages served (0 disables count-based rotation)")
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /__bd/debug/pprof/")
 		adminAddr   = flag.String("admin-addr", "127.0.0.1:8081", "listen address for the admin surface (loopback by default; empty disables the admin listener)")
 		adminToken  = flag.String("admin-token", "", "bearer token required on every admin request (Authorization: Bearer <token>)")
@@ -87,6 +89,16 @@ func main() {
 	// ever pays for a full-table sweep.
 	stopSweeper := det.StartSweeper(time.Minute)
 	defer stopSweeper()
+
+	// Automatic script rotation: reseeding the generator invalidates every
+	// cached robot copy of the instrumentation script, so replayed beacons
+	// from stale scripts stop validating. Timer- and volume-based triggers
+	// compose; either alone also works.
+	if *rotEvery > 0 || *rotPages > 0 {
+		stopRotator := det.StartRotator(*rotEvery, *rotPages)
+		defer stopRotator()
+		log.Printf("botproxy: script rotation enabled (every %s / %d pages)", *rotEvery, *rotPages)
+	}
 
 	// Online training loop: labelled outcomes accumulate as CAPTCHAs resolve
 	// and beacons confirm ground truth; once enough new material exists the
@@ -143,6 +155,10 @@ func main() {
 		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
+		// Per-connection serve state: lets the middleware reuse one Prepared
+		// page, stream rewriter, and keystore scratch across every request on
+		// a keep-alive connection (zero allocations at steady state).
+		ConnContext: proxy.ConnContext,
 	}
 	log.Fatal(srv.ListenAndServe())
 }

@@ -209,12 +209,85 @@ func (n *Node) Do(req agents.Request) agents.Response {
 
 	obj := n.cfg.Site.Lookup(req.Path)
 	body := obj.Body
-	if strings.Contains(obj.ContentType, "text/html") && obj.Status == 200 && req.Method == "GET" {
-		body, _ = d.InstrumentPage(req.IP, req.UserAgent, req.Path, obj.Body)
+	if instrumentable(obj, req.Method) {
+		// The same prepared-injection pipeline the proxy serves: pooled page
+		// state, composed fragments, streaming rewrite — not a bespoke
+		// buffered path.
+		prep, _ := d.PrepareInstrumentation(req.IP, req.UserAgent, req.Path)
+		res := prep.Rewrite(obj.Body)
+		prep.Release()
+		d.RecordInstrumented(len(obj.Body), res.AddedBytes)
+		body = res.HTML
 	}
 	n.observe(req, obj.Status, obj.ContentType, int64(len(obj.Body)))
 	n.stats.originBytes.Add(int64(len(obj.Body)))
 	return agents.Response{Status: obj.Status, ContentType: obj.ContentType, Body: body, RedirectTo: obj.RedirectTo}
+}
+
+// instrumentable reports whether the origin object is an HTML page view the
+// engine instruments.
+func instrumentable(obj webmodel.Object, method string) bool {
+	return obj.Status == 200 && method == "GET" && strings.Contains(obj.ContentType, "text/html")
+}
+
+// batchable reports whether req can join a batched page-view run: an
+// instrumentable origin page with no enforcement or interception step that
+// could diverge from per-request serving. Policy enforcement re-evaluates
+// per request off live session state, so any policy at all disables
+// batching for this node.
+func (n *Node) batchable(req agents.Request) bool {
+	if n.cfg.Policy != nil || req.Path == agents.CaptchaSolvePath ||
+		n.cfg.Engine.IsInstrumentationPath(req.Path) {
+		return false
+	}
+	return instrumentable(n.cfg.Site.Lookup(req.Path), req.Method)
+}
+
+// DoBatch serves a request slice, detecting consecutive runs of page views
+// from one client and preparing each run through
+// core.PrepareInstrumentationBatch — one keystore pass per run instead of
+// one per page. Responses are appended to out and returned, positionally
+// matching reqs; every request outside a batchable run falls back to Do, so
+// results are identical to serving reqs one at a time.
+func (n *Node) DoBatch(reqs []agents.Request, out []agents.Response) []agents.Response {
+	i := 0
+	for i < len(reqs) {
+		j := i
+		for j < len(reqs) && reqs[j].IP == reqs[i].IP && reqs[j].UserAgent == reqs[i].UserAgent &&
+			n.batchable(reqs[j]) {
+			j++
+		}
+		if j-i < 2 {
+			out = append(out, n.Do(reqs[i]))
+			i++
+			continue
+		}
+		out = n.doPageRun(reqs[i:j], out)
+		i = j
+	}
+	return out
+}
+
+// doPageRun serves one client's consecutive page views through the batched
+// prepare pipeline.
+func (n *Node) doPageRun(reqs []agents.Request, out []agents.Response) []agents.Response {
+	d := n.cfg.Engine
+	pages := make([]string, len(reqs))
+	for i, req := range reqs {
+		pages[i] = req.Path
+	}
+	preps, _ := d.PrepareInstrumentationBatch(reqs[0].IP, reqs[0].UserAgent, pages, nil)
+	for i, req := range reqs {
+		n.stats.requests.Add(1)
+		obj := n.cfg.Site.Lookup(req.Path)
+		res := preps[i].Rewrite(obj.Body)
+		preps[i].Release()
+		d.RecordInstrumented(len(obj.Body), res.AddedBytes)
+		n.observe(req, obj.Status, obj.ContentType, int64(len(obj.Body)))
+		n.stats.originBytes.Add(int64(len(obj.Body)))
+		out = append(out, agents.Response{Status: obj.Status, ContentType: obj.ContentType, Body: res.HTML, RedirectTo: obj.RedirectTo})
+	}
+	return out
 }
 
 // observe records a non-instrumentation request with the detector's session
@@ -224,7 +297,9 @@ func (n *Node) observe(req agents.Request, status int, contentType string, bytes
 		Time: req.Time, ClientIP: req.IP, UserAgent: req.UserAgent, Method: req.Method,
 		Path: req.Path, Status: status, Bytes: bytes, Referer: req.Referer, ContentType: contentType,
 	}
-	n.cfg.Engine.ObserveRequest(entry)
+	// The snapshot a plain Observe returns would be discarded here; record
+	// quietly and let the next Decide/Get republish it.
+	n.cfg.Engine.ObserveRequestQuiet(entry)
 	if n.cfg.LogWriter != nil || n.recording.Load() {
 		n.log(entry)
 	}
@@ -350,9 +425,7 @@ func (n *Network) DriveParallel(reqs []agents.Request) {
 		wg.Add(1)
 		go func(node *Node, batch []agents.Request) {
 			defer wg.Done()
-			for _, req := range batch {
-				node.Do(req)
-			}
+			node.DoBatch(batch, nil)
 		}(n.nodes[i], buckets[i])
 	}
 	wg.Wait()

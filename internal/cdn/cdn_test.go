@@ -309,3 +309,58 @@ func TestDriveParallelEmpty(t *testing.T) {
 		t.Fatalf("empty drive served %d", got)
 	}
 }
+
+// TestDoBatchMatchesDo proves the batched prepare pipeline is observationally
+// identical to per-request serving: two nodes with the same seed, one driven
+// request by request, one through DoBatch over a mixed stream (page runs,
+// non-HTML objects, beacons, several clients).
+func TestDoBatchMatchesDo(t *testing.T) {
+	one, vc := testNode(t, false)
+	bat, _ := testNode(t, false)
+
+	var reqs []agents.Request
+	src := rng.New(123)
+	for i := 0; i < 120; i++ {
+		ip := "10.20.0." + string(rune('1'+i%4))
+		path := "/"
+		switch src.Intn(4) {
+		case 1:
+			path = "/page1.html"
+		case 2:
+			path = "/page2.html"
+		case 3:
+			path = "/img/photo0_0.jpg"
+		}
+		reqs = append(reqs, agents.Request{Time: vc.Now(), IP: ip, UserAgent: "Firefox/1.5", Method: "GET", Path: path})
+	}
+
+	var want []agents.Response
+	for _, req := range reqs {
+		want = append(want, one.Do(req))
+	}
+	got := bat.DoBatch(reqs, nil)
+
+	if len(got) != len(want) {
+		t.Fatalf("DoBatch returned %d responses, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Status != want[i].Status || got[i].ContentType != want[i].ContentType ||
+			string(got[i].Body) != string(want[i].Body) {
+			t.Fatalf("request %d (%s): batched response diverged from Do", i, reqs[i].Path)
+		}
+	}
+	if one.Stats() != bat.Stats() {
+		t.Fatalf("stats diverged: serial %+v batch %+v", one.Stats(), bat.Stats())
+	}
+	es, eb := one.Engine().Stats(), bat.Engine().Stats()
+	if es != eb {
+		t.Fatalf("engine stats diverged: serial %+v batch %+v", es, eb)
+	}
+	// Every script a batched prepare stored must be downloadable, exactly as
+	// on the serial node.
+	respOne := one.Do(agents.Request{Time: vc.Now(), IP: "10.20.0.1", UserAgent: "Firefox/1.5", Method: "GET", Path: "/"})
+	respBat := bat.Do(agents.Request{Time: vc.Now(), IP: "10.20.0.1", UserAgent: "Firefox/1.5", Method: "GET", Path: "/"})
+	if string(respOne.Body) != string(respBat.Body) {
+		t.Fatal("post-batch page views diverged")
+	}
+}

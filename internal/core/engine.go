@@ -96,6 +96,24 @@ type Response struct {
 	// NoCache indicates the response must carry Cache-Control: no-cache,
 	// no-store (always true for generated instrumentation objects).
 	NoCache bool
+
+	// script pins the refcounted body buffer for script downloads; Done
+	// drops the reference once the caller has written Body.
+	script *scriptBuf
+	eng    *Engine
+}
+
+// Done releases the resources the response body pins — for script downloads,
+// one reference on the cached script buffer. Call it exactly once, after Body
+// has been written; it is a no-op on every other response (including the zero
+// value), and skipping it is safe but forgoes buffer recycling: the reference
+// count never reaches zero and the garbage collector reclaims the buffer
+// instead of the pool.
+func (r *Response) Done() {
+	if r.script != nil {
+		r.eng.releaseScriptBuf(r.script)
+		r.script, r.eng = nil, nil
+	}
 }
 
 // Config controls the Engine.
@@ -248,14 +266,44 @@ type engineStats struct {
 	uaMismatches      atomic.Int64
 }
 
+// scriptBuf is a refcounted script body. The cache holds one reference for
+// as long as the entry lives; every download acquires another for the
+// duration of the response write. Only the last holder to drop its reference
+// recycles the buffer (through the engine's scriptBufs pool), so shard
+// eviction or replacement can never race a concurrent download into reused
+// bytes — reclamation is deferred until the last reader is gone.
+type scriptBuf struct {
+	refs atomic.Int32
+	b    []byte
+}
+
+// maxPooledScriptBuf bounds the capacity of buffers returned to the pool;
+// pathologically large bodies are left to the garbage collector rather than
+// pinned forever.
+const maxPooledScriptBuf = 1 << 20
+
+// acquireScriptBuf returns a buffer with one reference held by the caller.
+func (e *Engine) acquireScriptBuf() *scriptBuf {
+	sb := e.scriptBufs.Get().(*scriptBuf)
+	sb.refs.Store(1)
+	return sb
+}
+
+// releaseScriptBuf drops one reference; the last drop recycles the buffer.
+func (e *Engine) releaseScriptBuf(sb *scriptBuf) {
+	if sb.refs.Add(-1) == 0 && cap(sb.b) <= maxPooledScriptBuf {
+		e.scriptBufs.Put(sb)
+	}
+}
+
 // storedScript is one cached generated script, linked into its shard's
 // intrusive LRU list. Evicted entries are recycled through the shard free
-// list; their body buffers are not (a script body handed to a concurrent
-// download must stay immutable), so steady-state storage costs one body
-// allocation per page and nothing else.
+// list; the refcounted body buffer is released (not freed) on eviction, so
+// steady-state storage allocates nothing — bodies cycle through the engine's
+// buffer pool once every concurrent download has finished with them.
 type storedScript struct {
-	token      string
-	body       []byte
+	token      uint64
+	buf        *scriptBuf
 	prev, next *storedScript
 }
 
@@ -263,7 +311,7 @@ type storedScript struct {
 // cache (scripts are stored at page-rewrite time and served on download).
 type scriptShard struct {
 	mu      sync.Mutex
-	scripts map[string]*storedScript
+	scripts map[uint64]*storedScript
 	head    *storedScript // most recently used
 	tail    *storedScript // least recently used
 	free    *storedScript // recycled entries, singly linked via next
@@ -337,6 +385,13 @@ type Engine struct {
 
 	scriptShards []*scriptShard
 	scriptMask   uint64
+	scriptBufs   sync.Pool // *scriptBuf, refcounted script bodies
+	pageStates   sync.Pool // *PageState, backs PrepareInstrumentation
+
+	// handlerName and transpImg are the injection's per-deployment constant
+	// byte fields, precomputed so PreparePage composes without conversions.
+	handlerName []byte
+	transpImg   []byte
 
 	seedSeq atomic.Uint64
 	stats   engineStats
@@ -408,10 +463,14 @@ func New(cfg Config) *Engine {
 	e.scriptMask = uint64(shards - 1)
 	for i := range e.scriptShards {
 		e.scriptShards[i] = &scriptShard{
-			scripts: make(map[string]*storedScript),
+			scripts: make(map[uint64]*storedScript),
 			max:     perShard,
 		}
 	}
+	e.scriptBufs.New = func() any { return new(scriptBuf) }
+	e.pageStates.New = func() any { return new(PageState) }
+	e.handlerName = []byte(e.gen.HandlerName)
+	e.transpImg = []byte(e.pre.transpImg)
 	e.registerTelemetry()
 	return e
 }
@@ -427,9 +486,9 @@ func (e *Engine) sessionEnded(snap session.Snapshot) {
 
 // Instrumented describes what InstrumentPage injected for one page view.
 type Instrumented struct {
-	// Issued carries the keys and tokens generated for the page. Treat
-	// Issued.Decoys as read-only: the slice is shared with the keystore's
-	// eviction bookkeeping (see keystore.Issued).
+	// Issued carries the keys and tokens generated for the page, formatted
+	// as strings for callers that log or assert on them. The zero-copy serve
+	// path keeps keys numeric end to end; see PreparePage.
 	Issued keystore.Issued
 	// ScriptPath, CSSPath, HiddenPath are the request paths of the injected
 	// objects.
@@ -451,43 +510,151 @@ func (e *Engine) scriptSeed() uint64 {
 	return z ^ (z >> 31)
 }
 
+// PageState is the caller-owned working set for one page view on the
+// zero-copy serve path: the numeric page keys, the composed injection
+// fragments, and the URL scratch buffers they are built in. A connection
+// keeps one PageState across keep-alive requests; after the first few page
+// views every buffer has grown to the working-set size and PreparePage runs
+// without allocating.
+type PageState struct {
+	pk   keystore.PageKeys
+	prep htmlmod.Prepared
+
+	// URL scratch, reused per page view: css/script/hidden beacon URLs and
+	// the inline reporter script around the script token.
+	css, script, inline, hidden []byte
+
+	// hook recycles engine-pooled states (PrepareInstrumentation); it is
+	// created once per PageState so steady-state release costs no closure.
+	hook func(*htmlmod.Prepared)
+}
+
+// Keys returns the numeric keys issued for the most recent PreparePage call.
+func (ps *PageState) Keys() *keystore.PageKeys { return &ps.pk }
+
+// PreparePage is the zero-copy core of PrepareInstrumentation: it issues the
+// page's keys numerically into ps.pk, renders the per-page obfuscated script
+// into a refcounted cache buffer, and composes the injection fragments in
+// place in ps.prep. The returned Prepared aliases ps — it stays valid until
+// the next PreparePage call on the same state. At steady state the call
+// allocates nothing.
+func (e *Engine) PreparePage(clientIP, userAgent, pagePath string, ps *PageState) *htmlmod.Prepared {
+	start := time.Now()
+	e.keys.IssuePage(clientIP, pagePath, &ps.pk)
+	e.tel.KeystoreIssue.ObserveSince(start)
+	e.composePage(ps)
+	e.tel.Prepare.ObserveSince(start)
+	return &ps.prep
+}
+
+// composePage renders and caches the page's script and composes the
+// injection fragments from the keys already issued into ps.pk. Split from
+// PreparePage so the batch path can issue keys for many pages in one
+// keystore pass and compose each afterwards.
+func (e *Engine) composePage(ps *PageState) {
+	// Per-page script generation is a pooled template copy plus key splices:
+	// the variant is picked off the engine's RNG stream, so consecutive page
+	// views still receive differing obfuscated bodies. The body buffer is
+	// refcounted; the cache holds one reference until eviction, downloads
+	// take their own.
+	v := e.pool.Pick(e.scriptSeed())
+	sb := e.acquireScriptBuf()
+	if cap(sb.b) < v.Size() {
+		// Size exactly (engine keys always have KeyDigits digits) so a fresh
+		// buffer costs one allocation instead of append-growth churn.
+		sb.b = make([]byte, 0, v.Size())
+	}
+	sb.b = v.RenderKeys(sb.b[:0], ps.pk.Key, ps.pk.ScriptToken, ps.pk.Decoys, ps.pk.Digits)
+	e.storeScript(ps.pk.ScriptToken, sb)
+
+	ps.css = ps.pk.AppendKey(append(ps.css[:0], e.pre.cssPre...), ps.pk.CSSToken)
+	ps.css = append(ps.css, e.pre.cssSuf...)
+	ps.script = ps.pk.AppendKey(append(ps.script[:0], e.pre.scriptPre...), ps.pk.ScriptToken)
+	ps.script = append(ps.script, e.pre.scriptSuf...)
+	ps.inline = ps.pk.AppendKey(append(ps.inline[:0], e.pre.inlinePre...), ps.pk.ScriptToken)
+	ps.inline = append(ps.inline, e.pre.inlinePost...)
+	ps.hidden = ps.pk.AppendKey(append(ps.hidden[:0], e.pre.hiddenPre...), ps.pk.HiddenToken)
+	ps.hidden = append(ps.hidden, e.pre.hiddenSuf...)
+
+	ps.prep.Compose(htmlmod.InjectionBytes{
+		CSSHref:      ps.css,
+		ScriptSrc:    ps.script,
+		InlineScript: ps.inline,
+		HandlerName:  e.handlerName,
+		HiddenHref:   ps.hidden,
+		HiddenImgSrc: e.transpImg,
+	})
+}
+
+// getPageState takes a PageState off the engine pool, arming its release
+// hook (created once per state) so Prepared.Release returns it.
+func (e *Engine) getPageState() *PageState {
+	ps := e.pageStates.Get().(*PageState)
+	if ps.hook == nil {
+		ps.hook = func(*htmlmod.Prepared) { e.pageStates.Put(ps) }
+	}
+	ps.prep.SetReleaseHook(ps.hook)
+	return ps
+}
+
+// instrumented formats the string-keyed description of a prepared page view
+// for callers that log or assert on paths and keys.
+func (e *Engine) instrumented(ps *PageState) Instrumented {
+	iss := ps.pk.Issued()
+	prefix := e.cfg.BeaconPrefix
+	return Instrumented{
+		Issued:     iss,
+		ScriptPath: jsgen.ScriptPath(prefix, iss.ScriptToken),
+		CSSPath:    jsgen.CSSPath(prefix, iss.CSSToken),
+		HiddenPath: jsgen.HiddenPath(prefix, iss.HiddenToken),
+	}
+}
+
 // PrepareInstrumentation sets up the injection for one HTML page view served
 // to clientIP/userAgent: it issues fresh keys, generates and stores the
 // per-page obfuscated script, and compiles the injection fragments. The
 // caller applies them — typically by streaming the response body through an
 // htmlmod.StreamRewriter, or buffered via Prepared.Rewrite — and must call
 // RecordInstrumented once the rewrite completes so the paper's overhead
-// accounting stays accurate.
+// accounting stays accurate. The Prepared is backed by an engine-pooled
+// PageState; Release returns it. Callers that hold their own PageState (the
+// per-connection proxy path) should use PreparePage directly and skip the
+// string formatting this wrapper adds.
 func (e *Engine) PrepareInstrumentation(clientIP, userAgent, pagePath string) (*htmlmod.Prepared, Instrumented) {
-	start := time.Now()
-	iss := e.keys.Issue(clientIP, pagePath)
-	e.tel.KeystoreIssue.ObserveSince(start)
-	prefix := e.cfg.BeaconPrefix
+	ps := e.getPageState()
+	prep := e.PreparePage(clientIP, userAgent, pagePath, ps)
+	return prep, e.instrumented(ps)
+}
 
-	// Per-page script generation is a pooled template copy plus key splices:
-	// the variant is picked off the engine's RNG stream, so consecutive page
-	// views still receive differing obfuscated bodies. The body buffer is
-	// sized exactly (engine keys always have KeyDigits digits) and handed to
-	// the script cache, which owns it until eviction.
-	v := e.pool.Pick(e.scriptSeed())
-	body := v.Render(make([]byte, 0, v.Size()), iss.Key, iss.ScriptToken, iss.Decoys)
-	e.storeScript(iss.ScriptToken, body)
-
-	prep := htmlmod.PrepareInjection(htmlmod.Injection{
-		CSSHref:      e.pre.cssPre + iss.CSSToken + e.pre.cssSuf,
-		ScriptSrc:    e.pre.scriptPre + iss.ScriptToken + e.pre.scriptSuf,
-		InlineScript: e.pre.inlinePre + iss.ScriptToken + e.pre.inlinePost,
-		HandlerName:  e.gen.HandlerName,
-		HiddenHref:   e.pre.hiddenPre + iss.HiddenToken + e.pre.hiddenSuf,
-		HiddenImgSrc: e.pre.transpImg,
-	})
-	e.tel.Prepare.ObserveSince(start)
-	return prep, Instrumented{
-		Issued:     iss,
-		ScriptPath: jsgen.ScriptPath(prefix, iss.ScriptToken),
-		CSSPath:    jsgen.CSSPath(prefix, iss.CSSToken),
-		HiddenPath: jsgen.HiddenPath(prefix, iss.HiddenToken),
+// PrepareInstrumentationBatch prepares one page view per element of pages
+// for a single client in one keystore pass: the keys for all pages are
+// issued under one shard lock (and one TTL/LRU maintenance step), then each
+// page's script and fragments are composed. Results are appended to out and
+// returned; each Prepared comes from the engine pool and must be Released.
+// The fleet simulator uses this to drive the same prepared-injection
+// pipeline the proxy serves, amortising keystore locking across a burst of
+// page views from one client.
+func (e *Engine) PrepareInstrumentationBatch(clientIP, userAgent string, pages []string, out []*htmlmod.Prepared) ([]*htmlmod.Prepared, []Instrumented) {
+	if len(pages) == 0 {
+		return out, nil
 	}
+	start := time.Now()
+	states := make([]*PageState, len(pages))
+	pks := make([]*keystore.PageKeys, len(pages))
+	for i := range pages {
+		states[i] = e.getPageState()
+		pks[i] = &states[i].pk
+	}
+	e.keys.IssuePagesInto(clientIP, pages, pks)
+	e.tel.KeystoreIssue.ObserveSince(start)
+	insts := make([]Instrumented, len(pages))
+	for i, ps := range states {
+		e.composePage(ps)
+		insts[i] = e.instrumented(ps)
+		out = append(out, &ps.prep)
+	}
+	e.tel.Prepare.ObserveSince(start)
+	return out, insts
 }
 
 // RecordInstrumented accounts one completed page rewrite (original body
@@ -510,6 +677,47 @@ func (e *Engine) RotateScripts() {
 // rotation epoch.
 func (e *Engine) ScriptVariants() int { return e.pool.Variants() }
 
+// StartRotator rotates the script pool automatically until the returned stop
+// function is called: every interval (when interval > 0), and additionally
+// once everyPages pages have been instrumented since the last rotation (when
+// everyPages > 0; checked once per second). Both triggers zero the other's
+// progress — a page-count rotation restarts the interval timer. With neither
+// trigger configured the rotator is inert and stop is a no-op.
+func (e *Engine) StartRotator(interval time.Duration, everyPages int64) (stop func()) {
+	if interval <= 0 && everyPages <= 0 {
+		return func() {}
+	}
+	poll := interval
+	if everyPages > 0 && (interval <= 0 || interval > time.Second) {
+		poll = time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(poll)
+		defer ticker.Stop()
+		lastPages := e.stats.pagesInstrumented.Load()
+		lastRotate := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				rotate := interval > 0 && time.Since(lastRotate) >= interval
+				if !rotate && everyPages > 0 {
+					rotate = e.stats.pagesInstrumented.Load()-lastPages >= everyPages
+				}
+				if rotate {
+					e.RotateScripts()
+					lastPages = e.stats.pagesInstrumented.Load()
+					lastRotate = time.Now()
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
 // InstrumentPage rewrites one HTML page served to clientIP/userAgent:
 // it issues fresh keys, generates the per-page obfuscated script, injects
 // the beacon stylesheet, the external script, the inline user-agent
@@ -526,19 +734,30 @@ func (e *Engine) InstrumentPage(clientIP, userAgent, pagePath string, html []byt
 	return res.HTML, inst
 }
 
-func (e *Engine) scriptShard(token string) *scriptShard {
-	return e.scriptShards[shard.HashString(token)&e.scriptMask]
+// mix64 is the SplitMix64 finalizer, used to spread numeric script tokens
+// (uniform random digits, but low-entropy in the high bits for short key
+// lengths) across the shard mask.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
-// storeScript caches body (ownership transfers to the cache) under token.
-// Entry structs are recycled through the shard free list; body buffers are
-// not, because loadScript hands them out unlocked (see storedScript).
-func (e *Engine) storeScript(token string, body []byte) {
+func (e *Engine) scriptShard(token uint64) *scriptShard {
+	return e.scriptShards[mix64(token)&e.scriptMask]
+}
+
+// storeScript caches sb under token, taking over the caller's reference.
+// Entry structs are recycled through the shard free list; replaced and
+// evicted bodies are released, which defers their recycling until any
+// concurrent download has finished writing them (see scriptBuf).
+func (e *Engine) storeScript(token uint64, sb *scriptBuf) {
 	sh := e.scriptShard(token)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if old, ok := sh.scripts[token]; ok {
-		old.body = body
+		e.releaseScriptBuf(old.buf)
+		old.buf = sb
 		sh.moveToFront(old)
 		return
 	}
@@ -549,7 +768,7 @@ func (e *Engine) storeScript(token string, body []byte) {
 	} else {
 		s = new(storedScript)
 	}
-	s.token, s.body = token, body
+	s.token, s.buf = token, sb
 	sh.pushFront(s)
 	sh.scripts[token] = s
 	for len(sh.scripts) > sh.max {
@@ -559,13 +778,17 @@ func (e *Engine) storeScript(token string, body []byte) {
 		}
 		sh.unlink(victim)
 		delete(sh.scripts, victim.token)
-		victim.token, victim.body = "", nil
+		e.releaseScriptBuf(victim.buf)
+		victim.token, victim.buf = 0, nil
 		victim.next = sh.free
 		sh.free = victim
 	}
 }
 
-func (e *Engine) loadScript(token string) ([]byte, bool) {
+// loadScript returns the cached script buffer for token with a fresh
+// reference held for the caller, who must release it (Response.Done) after
+// writing the body.
+func (e *Engine) loadScript(token uint64) (*scriptBuf, bool) {
 	sh := e.scriptShard(token)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -574,7 +797,10 @@ func (e *Engine) loadScript(token string) ([]byte, bool) {
 		return nil, false
 	}
 	sh.moveToFront(s)
-	return s.body, true
+	// The reference is taken under the shard lock, so it can never race the
+	// release performed by a concurrent replacement or eviction.
+	s.buf.refs.Add(1)
+	return s.buf, true
 }
 
 // ObserveRequest records one ordinary (non-instrumentation) request for
@@ -582,6 +808,14 @@ func (e *Engine) loadScript(token string) ([]byte, bool) {
 // shard is locked.
 func (e *Engine) ObserveRequest(ent logfmt.Entry) session.Snapshot {
 	return e.sessions.Observe(ent)
+}
+
+// ObserveRequestQuiet records the request without materialising a snapshot
+// copy, for callers that discard the return value (the proxy serve path
+// classifies via Decide). Signal-visible state changes still publish
+// immediately; pure-counter updates are deferred to the next read.
+func (e *Engine) ObserveRequestQuiet(ent logfmt.Entry) {
+	e.sessions.ObserveQuiet(ent)
 }
 
 // IsInstrumentationPath reports whether the request path belongs to the
@@ -661,15 +895,21 @@ func (e *Engine) handleBeacon(clientIP, userAgent, path string) Response {
 		return Response{Status: 200, ContentType: "image/gif", Body: tinyGIF, NoCache: true}
 
 	case strings.HasPrefix(rest, "index_") && strings.HasSuffix(rest, ".js"):
-		token := strings.TrimSuffix(strings.TrimPrefix(rest, "index_"), ".js")
+		tokenStr := strings.TrimSuffix(strings.TrimPrefix(rest, "index_"), ".js")
 		e.sessions.Mark(key, session.SignalJSFile)
 		e.stats.scriptServes.Add(1)
-		body, ok := e.loadScript(token)
-		if !ok {
-			body = fallbackJS
+		// Script tokens are fixed-width decimal; anything else can only be a
+		// probe and gets the same expired-script fallback as a cache miss.
+		var sb *scriptBuf
+		if token, okTok := rng.ParseFixedDigits(tokenStr, e.cfg.KeyDigits); okTok {
+			sb, _ = e.loadScript(token)
+		}
+		body := fallbackJS
+		if sb != nil {
+			body = sb.b
 		}
 		e.stats.addedBytes.Add(int64(len(body)))
-		return Response{Status: 200, ContentType: "application/javascript", Body: body, NoCache: true}
+		return Response{Status: 200, ContentType: "application/javascript", Body: body, NoCache: true, script: sb, eng: e}
 
 	case strings.HasSuffix(rest, ".css"):
 		e.sessions.Mark(key, session.SignalCSS)

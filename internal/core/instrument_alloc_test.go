@@ -32,8 +32,11 @@ func TestPrepareInstrumentationAllocCeiling(t *testing.T) {
 	if raceEnabled {
 		t.Skipf("paths exercised; skipping the ceiling (%.1f allocs/op measured) — allocation accounting differs under -race", allocs)
 	}
-	// 9 keystore allocations + 1 script body + 3 path strings = 13
-	// unavoidable; allow slack for map-internal churn.
+	// The legacy wrapper formats Issued (8 key strings + the decoy slice) and
+	// 3 path strings = 12 unavoidable; script-cache growth (entry struct,
+	// refcounted buffer, body) adds up to 3 until the cache reaches its
+	// eviction steady state. Allow slack for map-internal churn. The numeric
+	// PreparePage path is gated at zero separately.
 	const ceiling = 18
 	if allocs > ceiling {
 		t.Fatalf("PrepareInstrumentation allocated %.1f/op, ceiling %d", allocs, ceiling)

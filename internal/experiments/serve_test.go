@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestServeBenchSmall drives a scaled-down saturation run over a real
+// localhost listener and checks the report is internally consistent: every
+// client session produced at least one instrumented page, latency quantiles
+// are ordered, and the JSON artifact round-trips.
+func TestServeBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP saturation run")
+	}
+	res := ServeBench(ServeConfig{Clients: 300, Workers: 8, Seed: 7})
+	if res.Requests < int64(res.Clients) {
+		t.Fatalf("requests = %d, want >= %d (every client views at least one page)",
+			res.Requests, res.Clients)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", res.Errors)
+	}
+	if res.PagesServed != res.Requests {
+		t.Fatalf("pages instrumented = %d, requests = %d; every page view should be instrumented",
+			res.PagesServed, res.Requests)
+	}
+	if res.LiveSessions != res.Clients {
+		t.Fatalf("live sessions = %d, want %d distinct clients", res.LiveSessions, res.Clients)
+	}
+	if !(res.P50LatencyUs <= res.P90LatencyUs && res.P90LatencyUs <= res.P99LatencyUs) {
+		t.Fatalf("latency quantiles out of order: p50=%.0f p90=%.0f p99=%.0f",
+			res.P50LatencyUs, res.P90LatencyUs, res.P99LatencyUs)
+	}
+	if res.RequestsPerSec <= 0 {
+		t.Fatalf("req/s = %f", res.RequestsPerSec)
+	}
+
+	var back ServeResult
+	if err := json.Unmarshal(res.JSON(), &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if back != res {
+		t.Fatalf("JSON round-trip changed the result:\n%+v\nvs\n%+v", back, res)
+	}
+	if !strings.Contains(res.Format(), "distinct clients") {
+		t.Fatalf("Format missing header:\n%s", res.Format())
+	}
+}

@@ -38,6 +38,54 @@ func stdInjection() Injection {
 	}
 }
 
+// TestComposeMatchesPrepareInjection pins the byte-field compose path to the
+// string one: a caller-owned Prepared refilled via Compose must rewrite
+// identically to a pool Prepared from PrepareInjection.
+func TestComposeMatchesPrepareInjection(t *testing.T) {
+	inj := stdInjection()
+	want := Rewrite([]byte(samplePage), inj)
+
+	var own Prepared
+	own.Compose(InjectionBytes{
+		CSSHref:      []byte(inj.CSSHref),
+		ScriptSrc:    []byte(inj.ScriptSrc),
+		InlineScript: []byte(inj.InlineScript),
+		HandlerName:  []byte(inj.HandlerName),
+		HiddenHref:   []byte(inj.HiddenHref),
+		HiddenImgSrc: []byte(inj.HiddenImgSrc),
+	})
+	got := own.Rewrite([]byte(samplePage))
+	if string(got.HTML) != string(want.HTML) {
+		t.Fatal("Compose output diverged from PrepareInjection")
+	}
+	// Recompose with different content reuses the same buffers.
+	own.Compose(InjectionBytes{CSSHref: []byte("/__bd/other.css")})
+	got2 := own.Rewrite([]byte(samplePage))
+	if string(got2.HTML) == string(want.HTML) {
+		t.Fatal("recompose did not take effect")
+	}
+	// Releasing a caller-owned Prepared is a no-op: it must stay usable and
+	// never enter the package pool.
+	own.Release()
+	got3 := own.Rewrite([]byte(samplePage))
+	if string(got3.HTML) != string(got2.HTML) {
+		t.Fatal("caller-owned Prepared changed after Release")
+	}
+}
+
+// TestPreparedReleaseHook verifies the hook takes over recycling.
+func TestPreparedReleaseHook(t *testing.T) {
+	p := PrepareInjection(stdInjection())
+	var hooked *Prepared
+	p.SetReleaseHook(func(q *Prepared) { hooked = q })
+	p.Release()
+	if hooked != p {
+		t.Fatal("release hook not invoked")
+	}
+	p.SetReleaseHook(nil)
+	p.Release() // back to the package pool
+}
+
 func TestTokenizeBasic(t *testing.T) {
 	toks := Tokenize([]byte(samplePage))
 	var names []string

@@ -39,14 +39,32 @@ type RewriteResult struct {
 	AddedBytes int
 }
 
+// InjectionBytes is Injection with byte-slice fields, for callers that
+// compose URLs into reusable scratch buffers: Prepared.Compose over an
+// InjectionBytes copies from the slices without ever materialising strings,
+// so a per-connection Prepared is recomposed per page with zero allocations.
+// Empty fields disable the corresponding injection, exactly like Injection.
+type InjectionBytes struct {
+	CSSHref      []byte
+	ScriptSrc    []byte
+	InlineScript []byte
+	HandlerName  []byte
+	HiddenHref   []byte
+	HiddenImgSrc []byte
+}
+
 // Prepared is an Injection compiled into its literal insertion fragments.
 // Callers serving the same logical injection shape (the proxy, the CDN
 // simulator) prepare once per page view and reuse the result across the
-// buffered and streaming rewriters. Instances come from a package pool and
-// their fragment buffers are recycled: a caller that is done with a Prepared
-// (the page has been fully rewritten or abandoned) should call Release, after
-// which the per-page composition is allocation-free at steady state. The zero
-// value injects nothing.
+// buffered and streaming rewriters.
+//
+// Ownership is explicit: instances returned by PrepareInjection come from a
+// package pool and Release recycles them there; a caller-owned instance
+// (new(Prepared), typically embedded in per-connection state and refilled
+// via Compose) is untouched by Release, so shared code can Release
+// unconditionally whichever flavour it was handed. SetReleaseHook redirects
+// Release to a custom recycler (an engine-side pool wrapping the Prepared
+// in larger per-page state). The zero value injects nothing.
 type Prepared struct {
 	headInsert  []byte // after <head> (stylesheet link + external script)
 	bodyTop     []byte // after <body> (inline user-agent reporter)
@@ -54,38 +72,71 @@ type Prepared struct {
 	handlerCall []byte // "return <fn>();" for the body event handlers; empty disables
 
 	cssSet, scriptSet, inlineSet, hiddenSet bool
+
+	pooled bool            // from preparedPool: Release returns it there
+	hook   func(*Prepared) // overrides Release's destination when set
 }
 
 var preparedPool = sync.Pool{New: func() any { return new(Prepared) }}
 
-// Release returns p to the package pool, recycling its fragment buffers. The
-// Prepared must not be used afterwards; fragments previously copied into
-// rewritten documents stay valid (both rewrite paths copy, never alias).
+// Release recycles p: to the release hook when one is set, to the package
+// pool when p came from PrepareInjection, and not at all for caller-owned
+// instances. The caller must not use p afterwards (hooked instances follow
+// the hook owner's rules); fragments previously copied into rewritten
+// documents stay valid (both rewrite paths copy, never alias).
 func (p *Prepared) Release() {
-	preparedPool.Put(p)
+	if p.hook != nil {
+		p.hook(p)
+		return
+	}
+	if p.pooled {
+		preparedPool.Put(p)
+	}
 }
+
+// SetReleaseHook redirects Release to fn, which takes over recycling (e.g.
+// an engine pool that owns the Prepared as part of larger per-page state).
+// Pass nil to restore the default behaviour.
+func (p *Prepared) SetReleaseHook(fn func(*Prepared)) { p.hook = fn }
 
 // PrepareInjection compiles an Injection into its insertion fragments. The
 // returned Prepared comes from the package pool; call Release when the page
 // view is finished to make per-page composition allocation-free.
 func PrepareInjection(inj Injection) *Prepared {
 	p := preparedPool.Get().(*Prepared)
-	p.cssSet = inj.CSSHref != ""
-	p.scriptSet = inj.ScriptSrc != ""
-	p.inlineSet = inj.InlineScript != ""
-	p.hiddenSet = inj.HiddenHref != ""
+	p.hook = nil
+	p.pooled = true
+	composeInto(p, inj.CSSHref, inj.ScriptSrc, inj.InlineScript, inj.HandlerName, inj.HiddenHref, inj.HiddenImgSrc)
+	return p
+}
+
+// Compose refills p's insertion fragments from inj, reusing the fragment
+// buffers in place: no allocation once they have grown to the working-set
+// size. The per-connection serve path composes into one caller-owned
+// Prepared per page view.
+func (p *Prepared) Compose(inj InjectionBytes) {
+	composeInto(p, inj.CSSHref, inj.ScriptSrc, inj.InlineScript, inj.HandlerName, inj.HiddenHref, inj.HiddenImgSrc)
+}
+
+// composeInto builds the insertion fragments from either string or byte
+// fields; the byte sequences are identical for equal field contents.
+func composeInto[T ~string | ~[]byte](p *Prepared, cssHref, scriptSrc, inlineScript, handlerName, hiddenHref, hiddenImgSrc T) {
+	p.cssSet = len(cssHref) > 0
+	p.scriptSet = len(scriptSrc) > 0
+	p.inlineSet = len(inlineScript) > 0
+	p.hiddenSet = len(hiddenHref) > 0
 
 	// Head fragment: the stylesheet link and the external script tags.
 	b := p.headInsert[:0]
 	if p.cssSet || p.scriptSet {
 		if p.cssSet {
 			b = append(b, "\n<link rel=\"stylesheet\" type=\"text/css\" href=\""...)
-			b = appendEscaped(b, inj.CSSHref)
+			b = appendEscaped(b, cssHref)
 			b = append(b, "\">"...)
 		}
 		if p.scriptSet {
 			b = append(b, "\n<script language=\"javascript\" type=\"text/javascript\" src=\""...)
-			b = appendEscaped(b, inj.ScriptSrc)
+			b = appendEscaped(b, scriptSrc)
 			b = append(b, "\"></script>"...)
 		}
 		b = append(b, '\n')
@@ -96,7 +147,7 @@ func PrepareInjection(inj Injection) *Prepared {
 	b = p.bodyTop[:0]
 	if p.inlineSet {
 		b = append(b, "\n<script type=\"text/javascript\">\n"...)
-		b = append(b, inj.InlineScript...)
+		b = append(b, inlineScript...)
 		b = append(b, "</script>\n"...)
 	}
 	p.bodyTop = b
@@ -104,12 +155,12 @@ func PrepareInjection(inj Injection) *Prepared {
 	// Body-bottom fragment: the hidden trap link.
 	b = p.bodyBottom[:0]
 	if p.hiddenSet {
-		img := inj.HiddenImgSrc
-		if img == "" {
-			img = inj.HiddenHref
+		img := hiddenImgSrc
+		if len(img) == 0 {
+			img = hiddenHref
 		}
 		b = append(b, "\n<a href=\""...)
-		b = appendEscaped(b, inj.HiddenHref)
+		b = appendEscaped(b, hiddenHref)
 		b = append(b, "\"><img src=\""...)
 		b = appendEscaped(b, img)
 		b = append(b, "\" width=\"1\" height=\"1\" border=\"0\" alt=\"\"></a>\n"...)
@@ -117,13 +168,12 @@ func PrepareInjection(inj Injection) *Prepared {
 	p.bodyBottom = b
 
 	b = p.handlerCall[:0]
-	if inj.HandlerName != "" {
+	if len(handlerName) > 0 {
 		b = append(b, "return "...)
-		b = append(b, inj.HandlerName...)
+		b = append(b, handlerName...)
 		b = append(b, "();"...)
 	}
 	p.handlerCall = b
-	return p
 }
 
 // Rewrite injects the instrumentation into the document, buffering and

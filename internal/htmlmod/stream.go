@@ -3,6 +3,7 @@ package htmlmod
 import (
 	"bytes"
 	"io"
+	"net"
 	"sync"
 )
 
@@ -80,6 +81,21 @@ type StreamRewriter struct {
 	attrs   []rawAttr
 	scratch []byte
 
+	// Vectored emission: instead of one Write per emitted span, spans are
+	// gathered into vec and flushed through net.Buffers.WriteTo at the end
+	// of each feed — one writev on a *net.TCPConn, splicing origin chunks
+	// and prepared fragments into the socket with no intermediate copy.
+	// Spans may alias the caller's chunk or the carry buffer, so every
+	// return path out of feed flushes before those bytes can be reused.
+	vecMode bool
+	vec     net.Buffers
+	// vecW is the WriteTo handover slot: net.Buffers.WriteTo has a pointer
+	// receiver and consumes its slice, so flushing through a local would
+	// heap-allocate the slice header on every flush. The field keeps the
+	// flush allocation-free; its backing array is shared with vec, whose
+	// elements WriteTo nils out as it consumes them.
+	vecW net.Buffers
+
 	holdLimit int
 	inBytes   int64
 	outBytes  int64
@@ -102,11 +118,14 @@ var streamPool = sync.Pool{New: func() any { return new(StreamRewriter) }}
 // return the rewriter to the pool.
 func NewStreamRewriter(w io.Writer, p *Prepared) *StreamRewriter {
 	r := streamPool.Get().(*StreamRewriter)
-	r.reset(w, p)
+	r.Reset(w, p)
 	return r
 }
 
-func (r *StreamRewriter) reset(w io.Writer, p *Prepared) {
+// Reset reinitialises the rewriter for a new document streaming into w.
+// Per-connection callers keep one rewriter across keep-alive requests and
+// Reset it per page instead of cycling the package pool.
+func (r *StreamRewriter) Reset(w io.Writer, p *Prepared) {
 	r.w, r.p = w, p
 	r.needHead = len(p.headInsert) > 0
 	r.needBody = len(p.bodyTop) > 0 || len(p.handlerCall) > 0
@@ -118,12 +137,23 @@ func (r *StreamRewriter) reset(w io.Writer, p *Prepared) {
 	}
 	r.carry = r.carry[:0]
 	r.scanPos, r.rawNameLen, r.rawProbe, r.minGrow = 0, 0, 0, 0
+	r.vecMode = false
+	r.vec = r.vec[:0]
 	r.holdLimit = 0
 	r.inBytes, r.outBytes = 0, 0
 	r.res = StreamResult{}
 	r.err = nil
 	r.closed = false
 }
+
+// SetVectored switches output to gathered writes: emitted spans are queued
+// and flushed in one net.Buffers.WriteTo per Write/Close call. On a TCP
+// connection that is a single writev splicing origin bytes and injection
+// fragments straight into the socket; on other writers net.Buffers falls
+// back to sequential Writes, still without copying into an intermediate
+// buffer. Output bytes are identical either way. Call it after
+// NewStreamRewriter/Reset (Reset turns it off).
+func (r *StreamRewriter) SetVectored(on bool) { r.vecMode = on }
 
 // SetHoldLimit bounds the bytes the rewriter may retain while waiting for an
 // anchor (the no-head fallback buffers the whole document otherwise). When
@@ -136,6 +166,11 @@ func (r *StreamRewriter) SetHoldLimit(n int) { r.holdLimit = n }
 // be used afterwards.
 func (r *StreamRewriter) Release() {
 	r.w, r.p = nil, nil
+	for i := range r.vec {
+		r.vec[i] = nil // do not pin emitted spans
+	}
+	r.vec = r.vec[:0]
+	r.vecW = nil
 	if cap(r.carry) > 1<<20 {
 		r.carry = nil // do not pin pathological buffers in the pool
 	}
@@ -179,6 +214,7 @@ func (r *StreamRewriter) feed(data []byte, atEOF bool) {
 	r.inBytes += int64(len(data))
 	if r.mode == modePassthrough {
 		r.emit(data)
+		r.flushVec()
 		return
 	}
 	var buf []byte
@@ -193,11 +229,15 @@ func (r *StreamRewriter) feed(data []byte, atEOF bool) {
 	}
 	done := r.process(buf, atEOF)
 	if r.mode == modePassthrough {
+		r.flushVec()
 		r.carry = r.carry[:0]
 		r.scanPos, r.rawProbe = 0, 0
 		return
 	}
-	// Retain the unemitted tail and rebase scan offsets onto it.
+	// Retain the unemitted tail and rebase scan offsets onto it. Queued
+	// vectored spans point into buf's emitted prefix, which the copy-down
+	// below overwrites, so they must hit the wire first.
+	r.flushVec()
 	tail := buf[done:]
 	if len(r.carry) == 0 {
 		r.carry = append(r.carry[:0], tail...)
@@ -220,6 +260,7 @@ func (r *StreamRewriter) feed(data []byte, atEOF bool) {
 		r.needHead, r.needBody, r.needBodyEnd = false, false, false
 		r.mode = modePassthrough
 		r.emit(r.carry)
+		r.flushVec() // before the next feed can append over carry
 		r.carry = r.carry[:0]
 	}
 }
@@ -437,10 +478,31 @@ func (r *StreamRewriter) emit(b []byte) {
 	if r.err != nil || len(b) == 0 {
 		return
 	}
+	if r.vecMode {
+		r.vec = append(r.vec, b)
+		r.outBytes += int64(len(b))
+		return
+	}
 	if _, err := r.w.Write(b); err != nil {
 		r.err = err
 	}
 	r.outBytes += int64(len(b))
+}
+
+// flushVec writes the queued spans with one gathered write (writev on a TCP
+// connection). net.Buffers.WriteTo consumes the slice it is given, so the
+// queue is handed over and re-armed over the same backing array.
+func (r *StreamRewriter) flushVec() {
+	if len(r.vec) == 0 {
+		return
+	}
+	if r.err == nil {
+		r.vecW = r.vec
+		if _, err := r.vecW.WriteTo(r.w); err != nil {
+			r.err = err
+		}
+	}
+	r.vec = r.vec[:0]
 }
 
 func (r *StreamRewriter) emitRange(buf []byte, from, to int) {

@@ -2,6 +2,8 @@ package htmlmod
 
 import (
 	"bytes"
+	"io"
+	"net"
 	"strings"
 	"testing"
 )
@@ -121,6 +123,116 @@ func TestStreamMatchesBufferedRewrite(t *testing.T) {
 	}
 }
 
+// streamChunkedVec is streamChunked with vectored (gathered-write) output.
+func streamChunkedVec(t testing.TB, doc []byte, p *Prepared, size int) ([]byte, StreamResult) {
+	var out bytes.Buffer
+	r := NewStreamRewriter(&out, p)
+	r.SetVectored(true)
+	for off := 0; off < len(doc); off += size {
+		end := off + size
+		if end > len(doc) {
+			end = len(doc)
+		}
+		if _, err := r.Write(doc[off:end]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	res := r.Result()
+	r.Release()
+	return out.Bytes(), res
+}
+
+// TestStreamVectoredMatchesBuffered is the vectored differential guarantee:
+// gathered-write output must be byte-identical to the buffered reference on
+// every corpus document, injection shape and chunking — including the
+// chunkings that force carry-buffer rebasing, which is exactly where a
+// mis-ordered flush would emit overwritten spans.
+func TestStreamVectoredMatchesBuffered(t *testing.T) {
+	chunkSizes := []int{1, 2, 3, 7, 16, 64, 1 << 20}
+	for _, tc := range diffCorpus {
+		for ij, inj := range diffInjections() {
+			want := Rewrite([]byte(tc.doc), inj)
+			prep := PrepareInjection(inj)
+			for _, size := range chunkSizes {
+				got, res := streamChunkedVec(t, []byte(tc.doc), prep, size)
+				if !bytes.Equal(got, want.HTML) {
+					t.Errorf("%s/inj%d/chunk%d: vectored output diverged\n  buffered: %q\n  vectored: %q",
+						tc.name, ij, size, want.HTML, got)
+					break
+				}
+				if res.AddedBytes != want.AddedBytes {
+					t.Errorf("%s/inj%d/chunk%d: AddedBytes = %d, buffered %d", tc.name, ij, size, res.AddedBytes, want.AddedBytes)
+				}
+			}
+			prep.Release()
+		}
+	}
+}
+
+// TestStreamVectoredOverTCP proves the writev path over a real TCP socket
+// (net.Buffers only takes the gathered-write syscall on a net.Conn): the
+// bytes arriving at the peer must equal the buffered rewrite.
+func TestStreamVectoredOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+
+	doc := []byte(samplePage)
+	want := Rewrite(doc, stdInjection())
+
+	type recv struct {
+		data []byte
+		err  error
+	}
+	got := make(chan recv, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			got <- recv{nil, err}
+			return
+		}
+		defer conn.Close()
+		data, err := io.ReadAll(conn)
+		got <- recv{data, err}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	prep := PrepareInjection(stdInjection())
+	r := NewStreamRewriter(conn, prep)
+	r.SetVectored(true)
+	for off := 0; off < len(doc); off += 512 {
+		end := off + 512
+		if end > len(doc) {
+			end = len(doc)
+		}
+		if _, err := r.Write(doc[off:end]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r.Release()
+	prep.Release()
+	conn.Close()
+
+	rx := <-got
+	if rx.err != nil {
+		t.Fatalf("peer read: %v", rx.err)
+	}
+	if !bytes.Equal(rx.data, want.HTML) {
+		t.Fatalf("bytes over TCP differ from buffered rewrite:\n  want %d bytes\n  got  %d bytes", len(want.HTML), len(rx.data))
+	}
+}
+
 // TestStreamEmitsHeadFragmentEarly verifies the time-to-first-byte property:
 // once the bytes through <head> have been written, the head fragment is
 // already on the wire even though the rest of the document never arrives.
@@ -232,6 +344,14 @@ func FuzzStreamVsBuffered(f *testing.F) {
 		}
 		if res.AddedBytes != want.AddedBytes {
 			t.Fatalf("AddedBytes %d != %d for %q", res.AddedBytes, want.AddedBytes, doc)
+		}
+		// The vectored path must agree bit for bit as well.
+		gotVec, resVec := streamChunkedVec(t, doc, PrepareInjection(inj), chunk)
+		if !bytes.Equal(gotVec, want.HTML) {
+			t.Fatalf("vectored diverged for %q chunk=%d:\n  buffered: %q\n  vectored: %q", doc, chunk, want.HTML, gotVec)
+		}
+		if resVec.AddedBytes != want.AddedBytes {
+			t.Fatalf("vectored AddedBytes %d != %d for %q", resVec.AddedBytes, want.AddedBytes, doc)
 		}
 	})
 }

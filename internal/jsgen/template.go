@@ -48,6 +48,10 @@ func (c TemplateConfig) withDefaults() TemplateConfig {
 	return c
 }
 
+// MaxTokenDigits is the widest numeric key RenderKeys accepts: 19 decimal
+// digits, the uint64 limit (mirrors keystore.MaxKeyDigits).
+const MaxTokenDigits = 19
+
 // Splice sources: which per-page key fills a splice point. Non-negative
 // values index the decoy slice.
 const (
@@ -102,6 +106,41 @@ func (v *Variant) Render(dst []byte, realKey, uaKey string, decoys []string) []b
 	return append(dst, v.tmpl[prev:]...)
 }
 
+// RenderKeys is Render over numeric keys: each key is spliced as exactly
+// digits decimal digits (leading zeros preserved), the wire format
+// keystore.PageKeys carries. It produces byte-identical output to Render
+// with the equivalent fixed-width strings and allocates nothing when dst
+// has capacity >= Size.
+func (v *Variant) RenderKeys(dst []byte, realKey, uaKey uint64, decoys []uint64, digits int) []byte {
+	prev := 0
+	for _, sp := range v.splices {
+		dst = append(dst, v.tmpl[prev:sp.off]...)
+		var key uint64
+		ok := true
+		switch sp.src {
+		case spliceReal:
+			key = realKey
+		case spliceUA:
+			key = uaKey
+		default:
+			if sp.src < len(decoys) {
+				key = decoys[sp.src]
+			} else {
+				ok = false
+			}
+		}
+		if ok {
+			if sp.charEnc {
+				dst = appendCharCodesValue(dst, key, digits)
+			} else {
+				dst = rng.AppendFixedDigits(dst, key, digits)
+			}
+		}
+		prev = sp.off + sp.n
+	}
+	return append(dst, v.tmpl[prev:]...)
+}
+
 // appendCharCodes appends the String.fromCharCode argument run for s: each
 // byte's decimal code followed by a comma (the template always continues with
 // at least the URL suffix after a key, so the trailing comma is correct).
@@ -109,6 +148,22 @@ func appendCharCodes(dst []byte, s string) []byte {
 	for i := 0; i < len(s); i++ {
 		dst = strconv.AppendInt(dst, int64(s[i]), 10)
 		dst = append(dst, ',')
+	}
+	return dst
+}
+
+// appendCharCodesValue is appendCharCodes for a fixed-width numeric key:
+// digit d has character code 48+d, always two decimal digits, so no
+// strconv round trip is needed.
+func appendCharCodesValue(dst []byte, v uint64, digits int) []byte {
+	var buf [MaxTokenDigits]byte
+	for i := digits - 1; i >= 0; i-- {
+		buf[i] = byte(v % 10)
+		v /= 10
+	}
+	for i := 0; i < digits; i++ {
+		c := 48 + buf[i] // '0'..'9' => codes 48..57
+		dst = append(dst, '0'+c/10, '0'+c%10, ',')
 	}
 	return dst
 }

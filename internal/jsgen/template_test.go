@@ -84,6 +84,57 @@ func TestVariantRenderSplicesAllKeys(t *testing.T) {
 	}
 }
 
+// TestRenderKeysMatchesRender pins the numeric splice path to the string
+// one: for every variant shape, RenderKeys over uint64 keys must produce
+// byte-identical output to Render over the equivalent fixed-width strings,
+// leading zeros included.
+func TestRenderKeysMatchesRender(t *testing.T) {
+	g := NewGenerator()
+	realV, uaV := uint64(42), uint64(9876543210)
+	decoyV := []uint64{1, 2222222222, 303, 4444444444}
+	const digits = 10
+	pad := func(v uint64) string {
+		s := strconv.FormatUint(v, 10)
+		return strings.Repeat("0", digits-len(s)) + s
+	}
+	realS, uaS := pad(realV), pad(uaV)
+	decoyS := make([]string, len(decoyV))
+	for i, d := range decoyV {
+		decoyS[i] = pad(d)
+	}
+	for _, obf := range []bool{false, true} {
+		for _, ua := range []bool{false, true} {
+			cfg := testTemplateConfig()
+			cfg.Obfuscate = obf
+			cfg.UAReport = ua
+			v := g.Compile(cfg, 99)
+			want := v.Render(nil, realS, uaS, decoyS)
+			got := v.RenderKeys(nil, realV, uaV, decoyV, digits)
+			if string(got) != string(want) {
+				t.Fatalf("obf=%v ua=%v: RenderKeys differs from Render", obf, ua)
+			}
+		}
+	}
+}
+
+// TestRenderKeysZeroAlloc pins the numeric render at zero allocations when
+// the destination buffer is reused at the variant's size.
+func TestRenderKeysZeroAlloc(t *testing.T) {
+	g := NewGenerator()
+	v := g.Compile(testTemplateConfig(), 11)
+	dst := make([]byte, 0, v.Size())
+	decoys := []uint64{1, 2, 3, 4}
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = v.RenderKeys(dst[:0], 123, 456, decoys, 10)
+	})
+	if raceEnabled {
+		t.Skipf("paths exercised; skipping the ceiling (%.1f allocs/op measured) — allocation accounting differs under -race", allocs)
+	}
+	if allocs != 0 {
+		t.Fatalf("RenderKeys allocated %.1f/op, want 0", allocs)
+	}
+}
+
 func TestVariantRenderFixedWidthSize(t *testing.T) {
 	g := NewGenerator()
 	v := g.Compile(testTemplateConfig(), 7)

@@ -150,3 +150,60 @@ func TestIssueAllocCeiling(t *testing.T) {
 		t.Fatalf("Issue allocated %.1f/op, ceiling %d", allocs, ceiling)
 	}
 }
+
+// TestIssuePageZeroAlloc pins the numeric issue path at zero allocations
+// per page at steady state: keys are drawn straight into the caller-owned
+// PageKeys, records are map values, the eviction queue and decoy arena are
+// compacted in place, and client states are recycled.
+func TestIssuePageZeroAlloc(t *testing.T) {
+	s := New(Config{Decoys: 4, KeyDigits: 10})
+	var pk PageKeys
+	// Warm until the per-client cap (64 batches) cycles and every backing
+	// array has reached its steady-state capacity.
+	for i := 0; i < 300; i++ {
+		s.IssuePage("10.4.0.1", "/warm.html", &pk)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.IssuePage("10.4.0.1", "/hot.html", &pk)
+	})
+	if raceEnabled {
+		t.Skipf("paths exercised; skipping the ceiling (%.1f allocs/op measured) — allocation accounting differs under -race", allocs)
+	}
+	if allocs != 0 {
+		t.Fatalf("IssuePage allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// TestIssuePageMatchesIssue pins the string wrappers to the numeric path:
+// same seed, same sequence, Issue must format exactly the digits IssuePage
+// draws.
+func TestIssuePageMatchesIssue(t *testing.T) {
+	a := New(Config{Seed: 9, Decoys: 3, KeyDigits: 12})
+	b := New(Config{Seed: 9, Decoys: 3, KeyDigits: 12})
+	var pk PageKeys
+	for i := 0; i < 10; i++ {
+		iss := a.Issue("10.5.0.1", "/p.html")
+		b.IssuePage("10.5.0.1", "/p.html", &pk)
+		got := pk.Issued()
+		if got.Key != iss.Key || got.CSSToken != iss.CSSToken ||
+			got.ScriptToken != iss.ScriptToken || got.HiddenToken != iss.HiddenToken {
+			t.Fatalf("issue %d: numeric path differs from string path:\n%+v\n%+v", i, got, iss)
+		}
+		for j := range iss.Decoys {
+			if got.Decoys[j] != iss.Decoys[j] {
+				t.Fatalf("issue %d decoy %d differs: %q vs %q", i, j, got.Decoys[j], iss.Decoys[j])
+			}
+		}
+		if len(iss.Key) != 12 {
+			t.Fatalf("key %q not 12 digits", iss.Key)
+		}
+		// Both stores must agree on validation, including leading zeros.
+		if va, vb := a.Validate("10.5.0.1", iss.Key), b.Validate("10.5.0.1", iss.Key); va != Human || vb != Human {
+			t.Fatalf("issue %d: verdicts %v/%v, want Human", i, va, vb)
+		}
+	}
+	// Wrong-width keys never validate, so "007" and "7" cannot collide.
+	if v := a.Validate("10.5.0.1", "7"); v != Unknown {
+		t.Fatalf("short key = %v, want Unknown", v)
+	}
+}

@@ -19,12 +19,14 @@
 // and validating keys for different clients proceeds in parallel. Counters
 // are atomic and never serialise the hot path.
 //
-// Issue is allocation-lean: key records are map values (no per-key boxing),
-// candidate keys are formatted into a fixed stack buffer and only the
-// accepted draw is materialised as a string, evicted per-client states are
-// recycled through a per-shard free list (their maps and queues keep their
-// capacity), and IssueN amortises the shard lock and the expiry scan over a
-// whole batch of page views for one client.
+// Keys are decimal digit strings on the wire but uint64 values internally:
+// a key of up to MaxKeyDigits digits packs into one machine word, so the
+// per-client table is a map[uint64]keyRecord with no string storage at all,
+// and IssuePage fills a caller-owned PageKeys without allocating. The
+// eviction queue keeps each page's decoys in a per-client flat arena
+// (compacted in place, never reallocated at steady state). Issue/IssueN
+// remain as string-typed wrappers that format the same draws, byte for
+// byte, for callers that want materialised keys.
 package keystore
 
 import (
@@ -69,16 +71,21 @@ func (v Verdict) String() string {
 	}
 }
 
-// Issued is the set of keys generated for one rewritten page.
+// MaxKeyDigits is the largest supported key width: 19 decimal digits still
+// fit a uint64 (10^19-1 < 2^64), which is what lets the store hold keys as
+// machine words instead of strings. Configurations asking for more are
+// clamped; the ~2^63 space is far beyond guessable either way.
+const MaxKeyDigits = 19
+
+// Issued is the set of keys generated for one rewritten page, materialised
+// as strings. It is the compatibility surface over PageKeys: Issue and
+// IssueN format the exact digit sequences the numeric path draws.
 type Issued struct {
 	// Page is the page path the keys were issued for.
 	Page string
 	// Key is the real key carried by the genuine event-handler beacon.
 	Key string
-	// Decoys are the m decoy keys embedded in obfuscation functions. The
-	// slice is shared with the store's eviction bookkeeping: treat it as
-	// read-only (overwriting elements would desynchronise per-client
-	// eviction from the keys actually issued).
+	// Decoys are the m decoy keys embedded in obfuscation functions.
 	Decoys []string
 	// CSSToken names the uniquely generated empty stylesheet for the page.
 	CSSToken string
@@ -90,13 +97,72 @@ type Issued struct {
 	IssuedAt time.Time
 }
 
+// PageKeys is the allocation-free form of one page view's issued keys: the
+// real key, the per-page object tokens and the decoys as fixed-width digit
+// values. A caller that reuses one PageKeys per connection issues keys with
+// zero allocations at steady state (the Decoys slice is recycled in place).
+type PageKeys struct {
+	// Page is the page path the keys were issued for.
+	Page string
+	// Key is the real key's digit value.
+	Key uint64
+	// CSSToken, ScriptToken and HiddenToken name the per-page objects.
+	CSSToken    uint64
+	ScriptToken uint64
+	HiddenToken uint64
+	// Decoys are the decoy key values; the slice is owned by the PageKeys
+	// and overwritten by the next IssuePage into it.
+	Decoys []uint64
+	// Digits is the fixed key width in decimal digits (leading zeros are
+	// significant on the wire).
+	Digits int
+	// IssuedAt is when the keys were generated.
+	IssuedAt time.Time
+}
+
+// AppendKey appends v in the page's fixed-width digit format.
+func (pk *PageKeys) AppendKey(dst []byte, v uint64) []byte {
+	return rng.AppendFixedDigits(dst, v, pk.Digits)
+}
+
+// KeyString formats v in the page's fixed-width digit format. The digit
+// loop runs on a stack buffer so the only allocation is the string itself.
+func (pk *PageKeys) KeyString(v uint64) string {
+	var buf [MaxKeyDigits]byte
+	n := pk.Digits
+	for i := n - 1; i >= 0; i-- {
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[:n])
+}
+
+// Issued materialises the page keys as strings, formatting exactly the
+// digit sequences the store drew.
+func (pk *PageKeys) Issued() Issued {
+	iss := Issued{
+		Page:        pk.Page,
+		Key:         pk.KeyString(pk.Key),
+		CSSToken:    pk.KeyString(pk.CSSToken),
+		ScriptToken: pk.KeyString(pk.ScriptToken),
+		HiddenToken: pk.KeyString(pk.HiddenToken),
+		IssuedAt:    pk.IssuedAt,
+		Decoys:      make([]string, len(pk.Decoys)),
+	}
+	for i, d := range pk.Decoys {
+		iss.Decoys[i] = pk.KeyString(d)
+	}
+	return iss
+}
+
 // Config controls Store behaviour.
 type Config struct {
 	// Decoys is the number of decoy keys per page (m in the paper). A blind
 	// fetcher is caught with probability Decoys/(Decoys+1).
 	Decoys int
 	// KeyDigits is the length of each key in decimal digits (the paper's
-	// example beacons carry 10-digit numbers; 30 digits ≈ the 2^128 space).
+	// example beacons carry 10-digit numbers). Values above MaxKeyDigits
+	// (19, the uint64 limit) are clamped.
 	KeyDigits int
 	// TTL is how long issued keys stay valid.
 	TTL time.Duration
@@ -124,6 +190,9 @@ func (c Config) withDefaults() Config {
 	if c.KeyDigits <= 0 {
 		c.KeyDigits = 10
 	}
+	if c.KeyDigits > MaxKeyDigits {
+		c.KeyDigits = MaxKeyDigits
+	}
 	if c.TTL <= 0 {
 		c.TTL = time.Hour
 	}
@@ -148,7 +217,7 @@ const (
 )
 
 // keyRecord is stored by value in the client's key map, so issuing a page's
-// keys boxes nothing on the heap beyond the key strings themselves.
+// keys boxes nothing on the heap.
 type keyRecord struct {
 	kind     keyKind
 	consumed bool
@@ -156,23 +225,25 @@ type keyRecord struct {
 	issuedAt time.Time
 }
 
-// clientState is the per-client key table. States are linked into their
-// shard's intrusive LRU list and recycled through the shard free list on
-// eviction, so a stable working set of clients reaches a steady state where
-// Issue allocates only the key strings it hands out.
-// issueBatch records one page view's real key and its decoys; the decoy
-// slice is shared with the Issued handed to the caller (both sides only
-// read). Keeping the association explicit makes per-client eviction O(m)
-// instead of a scan over every outstanding key.
+// issueBatch records one page view's real key and where its decoys live in
+// the client's decoy arena. Keeping the association explicit makes
+// per-client eviction O(m) instead of a scan over every outstanding key.
 type issueBatch struct {
-	key    string
-	decoys []string
+	key uint64
+	off int32 // offset into clientState.decoys
+	n   int32 // decoy count
 }
 
+// clientState is the per-client key table. States are linked into their
+// shard's intrusive LRU list and recycled through the shard free list on
+// eviction. The queue and decoy arena are compacted in place (copy-down)
+// when batches are dropped, so a stable working set reaches a steady state
+// where IssuePage allocates nothing at all.
 type clientState struct {
-	ip    string
-	keys  map[string]keyRecord // key string -> record
-	queue []issueBatch         // issue order, for per-client eviction
+	ip     string
+	keys   map[uint64]keyRecord // key value -> record
+	queue  []issueBatch         // issue order, for per-client eviction
+	decoys []uint64             // flat arena backing queue[i]'s decoy runs
 	// oldest is a lower bound on the issuedAt of every live key: expiry scans
 	// are skipped entirely while now-oldest <= TTL, because no key can have
 	// expired yet. It is exact after the first issue and after every scan
@@ -301,7 +372,7 @@ func (sh *storeShard) client(ip string) *clientState {
 			sh.free = cs.next
 			cs.next = nil
 		} else {
-			cs = &clientState{keys: make(map[string]keyRecord)}
+			cs = &clientState{keys: make(map[uint64]keyRecord)}
 		}
 		cs.ip = ip
 		sh.pushFront(cs)
@@ -311,22 +382,25 @@ func (sh *storeShard) client(ip string) *clientState {
 	return cs
 }
 
-// release recycles an evicted state: the key map and queue keep their
-// capacity so the next client on this shard issues without rebuilding them.
+// release recycles an evicted state: the key map, queue and decoy arena keep
+// their capacity so the next client on this shard issues without rebuilding
+// them.
 func (sh *storeShard) release(cs *clientState) {
 	clear(cs.keys)
 	cs.queue = cs.queue[:0]
+	cs.decoys = cs.decoys[:0]
 	cs.ip = ""
 	cs.prev = nil
 	cs.next = sh.free
 	sh.free = cs
 }
 
-// Issue generates a real key, decoys and the per-page object tokens for the
-// given client and page, recording the real key and decoys for later
-// validation. Only the client's shard is locked.
-func (s *Store) Issue(clientIP, page string) Issued {
-	var iss Issued
+// IssuePage generates a real key, decoys and the per-page object tokens for
+// the given client and page, filling the caller-owned pk in place. The
+// draws land directly in pk's reusable storage, so a caller that keeps one
+// PageKeys per connection issues with zero allocations at steady state.
+// Only the client's shard is locked.
+func (s *Store) IssuePage(clientIP, page string, pk *PageKeys) {
 	sh := s.shard(clientIP)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -335,16 +409,49 @@ func (s *Store) Issue(clientIP, page string) Issued {
 	cs := sh.client(clientIP)
 	sh.moveToFront(cs)
 	s.expireClientLocked(cs, now)
-	s.issueLocked(sh, cs, page, now, &iss)
+	s.issuePageLocked(sh, cs, page, now, pk)
 	s.enforcePerClientLocked(cs)
 	s.enforceClientCapLocked(sh)
-	return iss
 }
 
-// IssueN issues keys for a batch of page views by one client — the shape the
-// CDN driver produces when a robot or a prefetching browser pulls many pages
-// back to back. The shard lock, the LRU touch and the TTL expiry scan are
-// paid once for the whole batch instead of once per page. Results are
+// IssuePagesInto issues keys for a batch of page views by one client — the
+// shape the CDN driver produces when a robot or a prefetching browser pulls
+// many pages back to back. The shard lock, the LRU touch and the TTL expiry
+// scan are paid once for the whole batch. pks must have len(pages) entries;
+// each is filled in place like IssuePage.
+func (s *Store) IssuePagesInto(clientIP string, pages []string, pks []*PageKeys) {
+	if len(pages) == 0 {
+		return
+	}
+	if len(pks) != len(pages) {
+		panic("keystore: IssuePagesInto requires len(pks) == len(pages)")
+	}
+	sh := s.shard(clientIP)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	now := s.cfg.Clock.Now()
+	cs := sh.client(clientIP)
+	sh.moveToFront(cs)
+	s.expireClientLocked(cs, now)
+	for i, page := range pages {
+		s.issuePageLocked(sh, cs, page, now, pks[i])
+	}
+	s.enforcePerClientLocked(cs)
+	s.enforceClientCapLocked(sh)
+}
+
+// Issue generates and materialises one page view's keys as strings. It is
+// the compatibility wrapper over IssuePage: the digit sequences are
+// identical to the numeric draws, byte for byte.
+func (s *Store) Issue(clientIP, page string) Issued {
+	var pk PageKeys
+	s.IssuePage(clientIP, page, &pk)
+	return pk.Issued()
+}
+
+// IssueN issues keys for a batch of page views by one client, materialised
+// as strings (see IssuePagesInto for the allocation-free form). Results are
 // appended to out (which may be nil) and returned.
 func (s *Store) IssueN(clientIP string, pages []string, out []Issued) []Issued {
 	if len(pages) == 0 {
@@ -358,71 +465,82 @@ func (s *Store) IssueN(clientIP string, pages []string, out []Issued) []Issued {
 	cs := sh.client(clientIP)
 	sh.moveToFront(cs)
 	s.expireClientLocked(cs, now)
+	var pk PageKeys
 	for _, page := range pages {
-		var iss Issued
-		s.issueLocked(sh, cs, page, now, &iss)
-		out = append(out, iss)
+		s.issuePageLocked(sh, cs, page, now, &pk)
+		out = append(out, pk.Issued())
 	}
 	s.enforcePerClientLocked(cs)
 	s.enforceClientCapLocked(sh)
 	return out
 }
 
-// issueLocked draws one page's keys and tokens and records them. The draw
-// order (real key, CSS/script/hidden tokens, then decoys) is part of the
-// store's deterministic surface: fixed-seed runs replay it byte for byte.
-func (s *Store) issueLocked(sh *storeShard, cs *clientState, page string, now time.Time, iss *Issued) {
+// issuePageLocked draws one page's keys and tokens and records them. The
+// draw order (real key, CSS/script/hidden tokens, then decoys) is part of
+// the store's deterministic surface: fixed-seed runs replay it byte for
+// byte, and the string wrappers format exactly these draws.
+func (s *Store) issuePageLocked(sh *storeShard, cs *clientState, page string, now time.Time, pk *PageKeys) {
 	if len(cs.keys) == 0 {
 		cs.oldest = now
 	}
-	iss.Page = page
-	iss.Key = s.uniqueKeyLocked(sh, cs)
-	iss.CSSToken = sh.tokenLocked(s.cfg.KeyDigits)
-	iss.ScriptToken = sh.tokenLocked(s.cfg.KeyDigits)
-	iss.HiddenToken = sh.tokenLocked(s.cfg.KeyDigits)
-	iss.IssuedAt = now
-	cs.keys[iss.Key] = keyRecord{kind: kindReal, page: page, issuedAt: now}
-	iss.Decoys = make([]string, 0, s.cfg.Decoys)
+	digits := s.cfg.KeyDigits
+	pk.Page = page
+	pk.Digits = digits
+	pk.Key = s.uniqueKeyLocked(sh, cs)
+	pk.CSSToken = sh.src.DigitKeyValue(digits)
+	pk.ScriptToken = sh.src.DigitKeyValue(digits)
+	pk.HiddenToken = sh.src.DigitKeyValue(digits)
+	pk.IssuedAt = now
+	cs.keys[pk.Key] = keyRecord{kind: kindReal, page: page, issuedAt: now}
+	pk.Decoys = pk.Decoys[:0]
+	off := int32(len(cs.decoys))
 	for i := 0; i < s.cfg.Decoys; i++ {
 		d := s.uniqueKeyLocked(sh, cs)
-		iss.Decoys = append(iss.Decoys, d)
+		pk.Decoys = append(pk.Decoys, d)
+		cs.decoys = append(cs.decoys, d)
 		cs.keys[d] = keyRecord{kind: kindDecoy, page: page, issuedAt: now}
 	}
-	cs.queue = append(cs.queue, issueBatch{key: iss.Key, decoys: iss.Decoys})
+	cs.queue = append(cs.queue, issueBatch{key: pk.Key, off: off, n: int32(s.cfg.Decoys)})
 	s.stats.issued.Add(1)
 }
 
-// keyBufSize covers the paper's 30-digit (≈2^128) keys with room to spare;
-// longer configurations fall back to a heap buffer.
-const keyBufSize = 40
-
-// uniqueKeyLocked draws a key not already present for the client. Candidates
-// are formatted into a stack buffer — the map probe on a string conversion in
-// the index expression does not allocate — and only the accepted draw is
-// materialised as a string.
-func (s *Store) uniqueKeyLocked(sh *storeShard, cs *clientState) string {
-	var arr [keyBufSize]byte
-	buf := arr[:0]
-	if s.cfg.KeyDigits > keyBufSize {
-		buf = make([]byte, 0, s.cfg.KeyDigits)
-	}
+// uniqueKeyLocked draws a key value not already present for the client.
+func (s *Store) uniqueKeyLocked(sh *storeShard, cs *clientState) uint64 {
 	for {
-		b := sh.src.AppendDigitKey(buf, s.cfg.KeyDigits)
-		if _, exists := cs.keys[string(b)]; !exists {
-			return string(b)
+		v := sh.src.DigitKeyValue(s.cfg.KeyDigits)
+		if _, exists := cs.keys[v]; !exists {
+			return v
 		}
 	}
 }
 
-// tokenLocked draws one per-page object token (digit key) through the same
-// stack-buffer path as uniqueKeyLocked.
-func (sh *storeShard) tokenLocked(digits int) string {
-	var arr [keyBufSize]byte
-	buf := arr[:0]
-	if digits > keyBufSize {
-		buf = make([]byte, 0, digits)
+// dropBatchesLocked removes the first n batches from the client's queue,
+// deleting their keys, then compacts the queue and the decoy arena in place
+// (copy-down, no reallocation) so the backing arrays never creep.
+func (cs *clientState) dropBatchesLocked(n int) {
+	if n <= 0 {
+		return
 	}
-	return string(sh.src.AppendDigitKey(buf, digits))
+	var decoysDropped int32
+	for i := 0; i < n; i++ {
+		b := cs.queue[i]
+		delete(cs.keys, b.key)
+		for _, d := range cs.decoys[b.off : b.off+b.n] {
+			delete(cs.keys, d)
+		}
+		decoysDropped += b.n
+	}
+	// Copy-down compaction: surviving batches slide to the front of both
+	// arrays and their offsets are rebased. O(live) per eviction wave, but
+	// allocation-free forever (a ring would save the copies at the cost of
+	// offset arithmetic everywhere; live sizes are MaxPerClient-bounded).
+	copy(cs.decoys, cs.decoys[decoysDropped:])
+	cs.decoys = cs.decoys[:int32(len(cs.decoys))-decoysDropped]
+	copy(cs.queue, cs.queue[n:])
+	cs.queue = cs.queue[:len(cs.queue)-n]
+	for i := range cs.queue {
+		cs.queue[i].off -= decoysDropped
+	}
 }
 
 // expireClientLocked drops keys older than the TTL for one client. The
@@ -442,31 +560,34 @@ func (s *Store) expireClientLocked(cs *clientState, now time.Time) {
 			minSurvivor = rec.issuedAt
 		}
 	}
-	// Compact the issue queue lazily.
+	// Compact the issue queue and decoy arena over the survivors. Batches
+	// whose real key expired are dropped whole (real key and decoys share
+	// one issuedAt, so they expire together).
 	if len(cs.queue) > 0 {
-		keep := cs.queue[:0]
+		keepQ := cs.queue[:0]
+		keepD := cs.decoys[:0]
 		for _, b := range cs.queue {
-			if _, ok := cs.keys[b.key]; ok {
-				keep = append(keep, b)
+			if _, ok := cs.keys[b.key]; !ok {
+				continue
 			}
+			off := int32(len(keepD))
+			keepD = append(keepD, cs.decoys[b.off:b.off+b.n]...)
+			b.off = off
+			keepQ = append(keepQ, b)
 		}
-		cs.queue = keep
+		cs.queue = keepQ
+		cs.decoys = keepD
 	}
 	cs.oldest = minSurvivor
 }
 
 // enforcePerClientLocked bounds the number of outstanding real keys for one
 // client by discarding the oldest issues together with their decoys. The
-// queue remembers each issue's decoys, so eviction deletes exactly that
+// queue remembers each issue's decoy run, so eviction deletes exactly that
 // batch's keys — no scan over the client's whole table.
 func (s *Store) enforcePerClientLocked(cs *clientState) {
-	for len(cs.queue) > s.cfg.MaxPerClient {
-		oldest := cs.queue[0]
-		cs.queue = cs.queue[1:]
-		delete(cs.keys, oldest.key)
-		for _, d := range oldest.decoys {
-			delete(cs.keys, d)
-		}
+	if over := len(cs.queue) - s.cfg.MaxPerClient; over > 0 {
+		cs.dropBatchesLocked(over)
 	}
 }
 
@@ -487,8 +608,19 @@ func (s *Store) enforceClientCapLocked(sh *storeShard) {
 
 // Validate checks a beacon key presented by the given client. Real keys are
 // consumed on first use so replays are detected. Only the client's shard is
-// locked.
+// locked. Keys must be exactly KeyDigits digits: length or character
+// mismatches are Unknown (so "007" and "7" never collide).
 func (s *Store) Validate(clientIP, key string) Verdict {
+	v, ok := rng.ParseFixedDigits(key, s.cfg.KeyDigits)
+	if !ok {
+		s.stats.unknownHits.Add(1)
+		return Unknown
+	}
+	return s.ValidateValue(clientIP, v)
+}
+
+// ValidateValue is Validate over an already parsed key value.
+func (s *Store) ValidateValue(clientIP string, key uint64) Verdict {
 	sh := s.shard(clientIP)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -551,6 +683,9 @@ func (s *Store) Clients() int {
 	}
 	return total
 }
+
+// KeyDigits returns the effective (clamped) key width in decimal digits.
+func (s *Store) KeyDigits() int { return s.cfg.KeyDigits }
 
 // Stats returns a copy of the cumulative counters.
 func (s *Store) Stats() Stats {

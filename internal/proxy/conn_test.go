@@ -1,0 +1,191 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"botdetect/internal/core"
+	"botdetect/internal/htmlmod"
+)
+
+const connTestPage = "<html><head><title>t</title></head><body><p>content</p></body></html>"
+
+// connTestPageBytes and htmlCT keep the test origin itself allocation-free
+// (shared header value slice, no string→[]byte copy per request), so the
+// zero-alloc gate below measures the middleware alone.
+var (
+	connTestPageBytes = []byte(connTestPage)
+	htmlCT            = []string{"text/html; charset=utf-8"}
+)
+
+func htmlOrigin() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header()["Content-Type"] = htmlCT
+		_, _ = w.Write(connTestPageBytes)
+	})
+}
+
+// TestKeepAliveConnectionReuse serves many pages over one real keep-alive
+// connection with ConnContext installed and checks every response is a
+// correctly instrumented page with fresh per-view keys, and that the script
+// each page references is downloadable over the same connection.
+func TestKeepAliveConnectionReuse(t *testing.T) {
+	det := core.New(core.Config{Seed: 31, ObfuscateJS: true})
+	mw := New(htmlOrigin(), Config{Engine: det})
+	srv := httptest.NewUnstartedServer(mw)
+	srv.Config.ConnContext = ConnContext
+	srv.Start()
+	defer srv.Close()
+
+	tr := &http.Transport{MaxIdleConns: 1, MaxIdleConnsPerHost: 1}
+	client := &http.Client{Transport: tr}
+	defer tr.CloseIdleConnections()
+
+	seen := map[string]bool{}
+	for i := 0; i < 12; i++ {
+		resp, err := client.Get(srv.URL + "/page.html")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("page %d: status=%d err=%v", i, resp.StatusCode, err)
+		}
+		sum := htmlmod.Extract(body)
+		if len(sum.Scripts) != 1 || !sum.BodyMouseHandler || len(sum.HiddenLinks) != 1 {
+			t.Fatalf("page %d: incomplete instrumentation:\n%s", i, body)
+		}
+		scriptSrc := sum.Scripts[0]
+		if seen[scriptSrc] {
+			t.Fatalf("page %d: script token %q reused across page views", i, scriptSrc)
+		}
+		seen[scriptSrc] = true
+
+		sresp, err := client.Get(srv.URL + scriptSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		script, _ := io.ReadAll(sresp.Body)
+		sresp.Body.Close()
+		if sresp.StatusCode != http.StatusOK || !bytes.Contains(script, []byte("function __bd_f()")) {
+			t.Fatalf("page %d: script download broken (status=%d)", i, sresp.StatusCode)
+		}
+	}
+	if got := det.Stats().PagesInstrumented; got != 12 {
+		t.Fatalf("PagesInstrumented = %d, want 12", got)
+	}
+}
+
+// TestConnPathMatchesPerRequestPath proves the per-connection vectored
+// serve path produces byte-identical pages to the per-request pooled path:
+// two engines with the same seed, one middleware driven with a connState in
+// the request context and one without.
+func TestConnPathMatchesPerRequestPath(t *testing.T) {
+	detA := core.New(core.Config{Seed: 37, ObfuscateJS: true})
+	detB := core.New(core.Config{Seed: 37, ObfuscateJS: true})
+	mwA := New(htmlOrigin(), Config{Engine: detA})
+	mwB := New(htmlOrigin(), Config{Engine: detB})
+
+	ctx := ConnContext(context.Background(), nil)
+	for i := 0; i < 8; i++ {
+		reqA := httptest.NewRequest(http.MethodGet, "/p.html", nil).WithContext(ctx)
+		reqA.RemoteAddr = "10.12.0.1:1000"
+		reqA.Header.Set("User-Agent", "Firefox/1.5")
+		recA := httptest.NewRecorder()
+		mwA.ServeHTTP(recA, reqA)
+
+		reqB := httptest.NewRequest(http.MethodGet, "/p.html", nil)
+		reqB.RemoteAddr = "10.12.0.1:1000"
+		reqB.Header.Set("User-Agent", "Firefox/1.5")
+		recB := httptest.NewRecorder()
+		mwB.ServeHTTP(recB, reqB)
+
+		if !bytes.Equal(recA.Body.Bytes(), recB.Body.Bytes()) {
+			t.Fatalf("page %d: conn path diverged from per-request path:\n%q\nvs\n%q",
+				i, recA.Body.Bytes(), recB.Body.Bytes())
+		}
+		if cc := recA.Header().Get("Cache-Control"); !strings.Contains(cc, "no-store") {
+			t.Fatalf("page %d: Cache-Control = %q", i, cc)
+		}
+	}
+}
+
+// nopResponseWriter is a header-reusing discard writer for the alloc gate:
+// a real keep-alive connection reuses its header map the same way.
+type nopResponseWriter struct {
+	h http.Header
+}
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) WriteHeader(int)             {}
+func (w *nopResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestServePageZeroAlloc gates the full middleware page serve — claim the
+// connection state, observe, prepare, rewrite with vectored output, finish —
+// at zero allocations per request once the connection is warm.
+func TestServePageZeroAlloc(t *testing.T) {
+	det := core.New(core.Config{Seed: 41, ObfuscateJS: true, Shards: 1, MaxScripts: 64})
+	mw := New(htmlOrigin(), Config{Engine: det})
+
+	ctx := ConnContext(context.Background(), nil)
+	req := httptest.NewRequest(http.MethodGet, "/hot.html", nil).WithContext(ctx)
+	req.RemoteAddr = "10.13.0.1:2000"
+	req.Header.Set("User-Agent", "Firefox/1.5")
+	w := &nopResponseWriter{h: make(http.Header)}
+
+	serve := func() {
+		mw.ServeHTTP(w, req)
+	}
+	// Warm: keystore client state, script cache to its eviction steady
+	// state, fragment/scratch buffers, session snapshot republication.
+	for i := 0; i < 600; i++ {
+		serve()
+	}
+	allocs := testing.AllocsPerRun(400, serve)
+	if raceEnabled {
+		t.Skipf("paths exercised; skipping the ceiling (%.1f allocs/op measured) — allocation accounting differs under -race", allocs)
+	}
+	if allocs != 0 {
+		t.Fatalf("keep-alive page serve allocated %.2f/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentStreamsFallBack drives concurrent requests through one
+// connState (the HTTP/2 stream scenario): exactly one claims the state, the
+// rest fall back to per-request streamers, and every response is correct.
+func TestConcurrentStreamsFallBack(t *testing.T) {
+	det := core.New(core.Config{Seed: 43, ObfuscateJS: true})
+	mw := New(htmlOrigin(), Config{Engine: det})
+	ctx := ConnContext(context.Background(), nil)
+
+	const streams = 8
+	errs := make(chan error, streams)
+	for g := 0; g < streams; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				req := httptest.NewRequest(http.MethodGet, "/s.html", nil).WithContext(ctx)
+				req.RemoteAddr = fmt.Sprintf("10.14.0.%d:3000", g)
+				req.Header.Set("User-Agent", "Firefox/1.5")
+				rec := httptest.NewRecorder()
+				mw.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "/__bd/") {
+					errs <- fmt.Errorf("stream %d page %d: status=%d", g, i, rec.Code)
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < streams; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -99,7 +99,7 @@ func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Instrumentation traffic: beacons, generated objects, hidden links.
-	if resp, ok := d.HandleBeacon(clientIP, ua, r.URL.RequestURI()); ok {
+	if resp, ok := d.HandleBeacon(clientIP, ua, requestURI(r)); ok {
 		writeDetectorResponse(w, resp)
 		tel.RequestsBeacon.Inc()
 		tel.ProxyRequest.ObserveSince(start)
@@ -135,18 +135,30 @@ func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// Serve from origin, streaming the response through: HTML bodies pass
 	// through the streaming injector as they are produced, everything else
 	// is forwarded verbatim. Status and size are observed for session
-	// tracking once the response completes.
-	st := &responseStreamer{m: m, w: w, req: r, clientIP: clientIP, ua: ua}
+	// tracking once the response completes. A connection accepted through
+	// proxy.ConnContext carries its own streamer/rewriter/page state, reused
+	// across keep-alive requests; otherwise (or when HTTP/2 streams race for
+	// it) the state is allocated per request.
+	var st *responseStreamer
+	if cs := claimConn(r); cs != nil {
+		st = &cs.st
+		st.reset(m, w, r, clientIP, ua)
+		st.conn = cs
+	} else {
+		st = &responseStreamer{m: m, w: w, req: r, clientIP: clientIP, ua: ua}
+	}
 	m.origin.ServeHTTP(st, r)
 	st.finish()
 	tel.RequestsOrigin.Inc()
 	tel.ProxyRequest.ObserveSince(start)
 
-	d.ObserveRequest(logfmt.Entry{
+	// The snapshot a plain Observe returns would be discarded here — the
+	// policy check above reads the published one — so record quietly.
+	d.ObserveRequestQuiet(logfmt.Entry{
 		Time:        time.Now(),
 		ClientIP:    clientIP,
 		Method:      r.Method,
-		Path:        r.URL.RequestURI(),
+		Path:        requestURI(r),
 		Protocol:    r.Proto,
 		Status:      st.status,
 		Bytes:       st.originBytes,
@@ -154,6 +166,21 @@ func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		UserAgent:   ua,
 		ContentType: st.contentType,
 	})
+	if cs := st.conn; cs != nil {
+		st.conn = nil
+		st.w, st.req = nil, nil
+		cs.inUse.Store(false)
+	}
+}
+
+// requestURI returns the request-line URI without reassembling it: the raw
+// string net/http captured, falling back to reconstruction for synthetic
+// requests (tests, client-side values) that lack it.
+func requestURI(r *http.Request) string {
+	if r.RequestURI != "" {
+		return r.RequestURI
+	}
+	return r.URL.RequestURI()
 }
 
 // handleCaptcha serves GET <prefix>/captcha/new and POST <prefix>/captcha/verify.
@@ -212,7 +239,11 @@ func (m *Middleware) writeChallenge(w http.ResponseWriter, d policy.Decision) {
 func (m *Middleware) clientIP(r *http.Request) string {
 	if m.cfg.TrustForwardedFor {
 		if fwd := r.Header.Get("X-Forwarded-For"); fwd != "" {
-			first := strings.TrimSpace(strings.Split(fwd, ",")[0])
+			first := fwd
+			if i := strings.IndexByte(fwd, ','); i >= 0 {
+				first = fwd[:i]
+			}
+			first = strings.TrimSpace(first)
 			if first != "" {
 				return first
 			}
@@ -225,15 +256,22 @@ func (m *Middleware) clientIP(r *http.Request) string {
 	return host
 }
 
-// writeDetectorResponse writes a core.Response to the client.
+// noStoreHeader is the preallocated Cache-Control value for instrumented
+// responses; assigning the shared slice avoids the per-request []string
+// header.Set allocates. Nothing downstream appends to Cache-Control.
+var noStoreHeader = []string{"no-cache, no-store"}
+
+// writeDetectorResponse writes a core.Response to the client and releases
+// the resources its body pins (the refcounted script buffer for downloads).
 func writeDetectorResponse(w http.ResponseWriter, resp core.Response) {
 	w.Header().Set("Content-Type", resp.ContentType)
 	if resp.NoCache {
-		w.Header().Set("Cache-Control", "no-cache, no-store")
+		w.Header()["Cache-Control"] = noStoreHeader
 	}
 	w.Header().Set("Content-Length", strconv.Itoa(len(resp.Body)))
 	w.WriteHeader(resp.Status)
 	_, _ = w.Write(resp.Body)
+	resp.Done()
 }
 
 // responseStreamer forwards the origin's response to the client as it is
@@ -253,9 +291,18 @@ type responseStreamer struct {
 	originBytes int64
 
 	rewriter     *htmlmod.StreamRewriter
-	prep         *htmlmod.Prepared // pooled injection fragments, released in finish
+	prep         *htmlmod.Prepared // injection fragments, released in finish
 	discard      bool              // HEAD responses carry no body
 	rewriteNanos int64             // time spent inside the stream rewriter
+	conn         *connState        // per-connection reuse; nil for per-request state
+}
+
+// reset rearms a connection-owned streamer for its next request.
+func (s *responseStreamer) reset(m *Middleware, w http.ResponseWriter, r *http.Request, clientIP, ua string) {
+	s.m, s.w, s.req, s.clientIP, s.ua = m, w, r, clientIP, ua
+	s.started, s.status, s.contentType, s.originBytes = false, 0, "", 0
+	s.rewriter, s.prep, s.discard, s.rewriteNanos = nil, nil, false, 0
+	s.conn = nil
 }
 
 func (s *responseStreamer) Header() http.Header { return s.w.Header() }
@@ -269,21 +316,54 @@ func (s *responseStreamer) WriteHeader(code int) {
 	h := s.w.Header()
 	s.contentType = h.Get("Content-Type")
 	s.discard = s.req.Method == http.MethodHead
-	isHTML := strings.Contains(strings.ToLower(s.contentType), "text/html")
+	isHTML := containsFold(s.contentType, "text/html")
 	if isHTML {
 		// Instrumented pages carry per-view keys and must not be cached.
-		h.Set("Cache-Control", "no-cache, no-store")
+		h["Cache-Control"] = noStoreHeader
 	}
 	if isHTML && code == http.StatusOK && s.req.Method == http.MethodGet {
-		prep, _ := s.m.cfg.Engine.PrepareInstrumentation(s.clientIP, s.ua, s.req.URL.Path)
-		s.prep = prep
+		if s.conn != nil {
+			// Zero-copy path: keys issued numerically into the connection's
+			// PageState, fragments composed in place, and the connection's
+			// rewriter armed for vectored writes — injection fragments and
+			// origin chunks splice into the socket via one writev per chunk.
+			s.prep = s.m.cfg.Engine.PreparePage(s.clientIP, s.ua, s.req.URL.Path, &s.conn.ps)
+			s.rewriter = &s.conn.rw
+			s.rewriter.Reset(s.w, s.prep)
+			s.rewriter.SetVectored(true)
+		} else {
+			s.prep, _ = s.m.cfg.Engine.PrepareInstrumentation(s.clientIP, s.ua, s.req.URL.Path)
+			s.rewriter = htmlmod.NewStreamRewriter(s.w, s.prep)
+		}
 		// The rewritten length is unknown until the document ends; drop the
 		// origin's Content-Length and let net/http pick the framing.
 		h.Del("Content-Length")
-		s.rewriter = htmlmod.NewStreamRewriter(s.w, prep)
 		s.rewriter.SetHoldLimit(s.m.cfg.MaxRewriteBytes)
 	}
 	s.w.WriteHeader(code)
+}
+
+// containsFold reports whether s contains t case-insensitively; t must be
+// lowercase ASCII. It replaces strings.Contains(strings.ToLower(s), t) on
+// the per-request path, which allocates for any uppercase content type.
+func containsFold(s, t string) bool {
+	for i := 0; i+len(t) <= len(s); i++ {
+		j := 0
+		for j < len(t) {
+			c := s[i+j]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != t[j] {
+				break
+			}
+			j++
+		}
+		if j == len(t) {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *responseStreamer) Write(p []byte) (int, error) {
@@ -336,12 +416,16 @@ func (s *responseStreamer) finish() {
 			// only recorded fully rewritten, fully delivered pages.
 			s.m.cfg.Engine.RecordInstrumented(int(s.originBytes), res.AddedBytes)
 		}
-		s.rewriter.Release()
+		if s.conn == nil {
+			s.rewriter.Release()
+		}
 		s.rewriter = nil
 	}
 	if s.prep != nil {
-		// Write completion: the injection fragments go back to their pool so
-		// the next page view composes them allocation-free.
+		// Write completion: engine-pooled fragments go back to their pool so
+		// the next page view composes them allocation-free. For the
+		// connection-owned Prepared this is a no-op — the connection keeps
+		// its state across keep-alive requests.
 		s.prep.Release()
 		s.prep = nil
 	}

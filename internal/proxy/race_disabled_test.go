@@ -1,0 +1,5 @@
+//go:build !race
+
+package proxy
+
+const raceEnabled = false

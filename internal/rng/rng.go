@@ -373,3 +373,47 @@ func (r *Source) AppendDigitKey(dst []byte, n int) []byte {
 	}
 	return dst
 }
+
+// DigitKeyValue draws n decimal digits and packs them into a uint64
+// (most-significant digit first, leading zeros preserved by the fixed
+// width). It consumes the stream exactly like DigitKey and AppendDigitKey —
+// one Intn(10) per digit — so numeric and string key consumers seeded alike
+// draw identical keys. n must be at most 19 (10^19-1 fits a uint64).
+func (r *Source) DigitKeyValue(n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v*10 + uint64(r.Intn(10))
+	}
+	return v
+}
+
+// AppendFixedDigits appends v formatted as exactly n decimal digits (zero
+// padded) to dst and returns the extended slice. It is the inverse of
+// DigitKeyValue: AppendFixedDigits(nil, DigitKeyValue(n), n) equals the
+// AppendDigitKey output for the same draw.
+func AppendFixedDigits(dst []byte, v uint64, n int) []byte {
+	var buf [20]byte
+	for i := n - 1; i >= 0; i-- {
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(dst, buf[:n]...)
+}
+
+// ParseFixedDigits parses a string of exactly n decimal digits into the
+// uint64 DigitKeyValue would have produced. It reports false when s has the
+// wrong length or contains a non-digit, so "007" and "7" never collide.
+func ParseFixedDigits(s string, n int) (uint64, bool) {
+	if len(s) != n || n > 19 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, true
+}

@@ -39,6 +39,70 @@ func TestObserveCreatesAndCounts(t *testing.T) {
 	}
 }
 
+// TestObserveQuietStaysExactUnderLock verifies the dirty-republish
+// contract: quiet observes skip per-request publication, but every locked
+// reader (Get, Each, FlushAll) sees exact counts, and the lock-free Peek
+// snapshot catches up at every epoch-changing event.
+func TestObserveQuietStaysExactUnderLock(t *testing.T) {
+	tr, vc := newTestTracker(Config{DecisionMarks: []int64{10}})
+	now := vc.Now()
+	key := Key{IP: "9.9.9.9", UserAgent: "UA"}
+	for i := 0; i < 25; i++ {
+		tr.ObserveQuiet(entry(key.IP, key.UserAgent, "GET", "/a.html", 200, "", now))
+	}
+	if snap, ok := tr.Get(key); !ok || snap.Counts.Total != 25 {
+		t.Fatalf("Get after quiet observes: ok=%v counts=%+v, want Total=25", ok, snap.Counts)
+	}
+	// Peek may lag, but never past the last power-of-two epoch bump (16).
+	if snap, ok := tr.Peek(key); !ok || snap.Counts.Total < 16 {
+		t.Fatalf("Peek after quiet observes: ok=%v Total=%d, want >= 16", ok, snap.Counts.Total)
+	}
+	tr.ObserveQuiet(entry(key.IP, key.UserAgent, "GET", "/b.html", 200, "", now))
+	seen := false
+	tr.Each(func(s Snapshot) bool {
+		if s.Key == key {
+			seen = true
+			if s.Counts.Total != 26 {
+				t.Fatalf("Each snapshot Total = %d, want 26", s.Counts.Total)
+			}
+		}
+		return true
+	})
+	if !seen {
+		t.Fatal("session missing from Each")
+	}
+	snaps := tr.FlushAll()
+	if len(snaps) != 1 || snaps[0].Counts.Total != 26 {
+		t.Fatalf("FlushAll = %+v, want one session with Total=26", snaps)
+	}
+}
+
+// TestObserveQuietMatchesObserve pins quiet and loud observes to identical
+// session state: same entries, same final snapshot (modulo the cache slot).
+func TestObserveQuietMatchesObserve(t *testing.T) {
+	loud, vc := newTestTracker(Config{DecisionMarks: []int64{10}})
+	quiet, _ := newTestTracker(Config{DecisionMarks: []int64{10}, Clock: vc})
+	now := vc.Now()
+	key := Key{IP: "8.8.8.8", UserAgent: "UA"}
+	paths := []string{"/a.html", "/s.css", "/i.jpg", "/a.html", "/b.html"}
+	for round := 0; round < 4; round++ {
+		for _, p := range paths {
+			e := entry(key.IP, key.UserAgent, "GET", p, 200, "", now)
+			loud.Observe(e)
+			quiet.ObserveQuiet(e)
+		}
+	}
+	a, okA := loud.Get(key)
+	b, okB := quiet.Get(key)
+	if !okA || !okB {
+		t.Fatalf("sessions missing: %v %v", okA, okB)
+	}
+	if a.Counts != b.Counts || a.Epoch != b.Epoch || a.Features != b.Features {
+		t.Fatalf("quiet state diverged:\n loud: counts=%+v epoch=%d\n quiet: counts=%+v epoch=%d",
+			a.Counts, a.Epoch, b.Counts, b.Epoch)
+	}
+}
+
 func TestDistinctKeysDistinctSessions(t *testing.T) {
 	tr, vc := newTestTracker(Config{})
 	now := vc.Now()
