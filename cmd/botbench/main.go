@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	botbench [-exp all|table1|captcha|figure2|figure3|table2|figure4|overhead|decoys|baselines|telemetry|serve]
+//	botbench [-exp all|table1|captcha|figure2|figure3|table2|figure4|overhead|decoys|baselines|telemetry|serve|overload]
 //	         [-sessions N] [-seed S] [-bench-json BENCH_telemetry.json]
 //	         [-serve-clients N] [-serve-json BENCH_serve.json]
+//	         [-overload-json BENCH_overload.json]
 //
 // The -sessions flag scales the synthetic workload; larger values give more
 // stable percentages at higher runtime.
@@ -29,6 +30,7 @@ func main() {
 		benchJSON    = flag.String("bench-json", "", "write the telemetry experiment's result as JSON to this file")
 		serveClients = flag.Int("serve-clients", 0, "distinct clients for the serve experiment (0: the experiment's default of 100000)")
 		serveJSON    = flag.String("serve-json", "", "write the serve experiment's result as JSON to this file")
+		overloadJSON = flag.String("overload-json", "", "write the overload experiment's result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -88,6 +90,20 @@ func main() {
 			}
 		}
 		fmt.Printf("==> %s (%.1fs)\n\n%s\n", "serve", time.Since(start).Seconds(), res.Format())
+	}
+	// The overload experiment also stands up live localhost servers (reverse
+	// proxy + chaos origin) and floods them, so it too is explicit-only.
+	if explicit("overload") {
+		ran++
+		start := time.Now()
+		res := experiments.OverloadBench(experiments.OverloadConfig{Seed: *seed})
+		if *overloadJSON != "" {
+			if err := os.WriteFile(*overloadJSON, res.JSON(), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "botbench: writing %s: %v\n", *overloadJSON, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("==> %s (%.1fs)\n\n%s\n", "overload", time.Since(start).Seconds(), res.Format())
 	}
 
 	run("telemetry", func() string {

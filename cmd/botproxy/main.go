@@ -8,6 +8,10 @@
 //	botproxy [-addr :8080] [-origin http://upstream:9090] [-decoys 4]
 //	         [-obfuscate] [-policy] [-captcha] [-pprof]
 //	         [-admin-addr 127.0.0.1:8081] [-admin-token T] [-admin-public]
+//	         [-max-sessions N] [-memory-budget BYTES]
+//	         [-upstream-dial-timeout 5s] [-upstream-header-timeout 15s]
+//	         [-upstream-request-timeout 60s] [-upstream-retries 2]
+//	         [-breaker-failures 5] [-breaker-cooldown 10s]
 //
 // The /__bd/ path prefix is reserved for instrumentation (beacons, generated
 // stylesheets and scripts, hidden links, CAPTCHA endpoints). The admin
@@ -55,15 +59,38 @@ func main() {
 		adminAddr   = flag.String("admin-addr", "127.0.0.1:8081", "listen address for the admin surface (loopback by default; empty disables the admin listener)")
 		adminToken  = flag.String("admin-token", "", "bearer token required on every admin request (Authorization: Bearer <token>)")
 		adminPublic = flag.Bool("admin-public", false, "also mount the admin surface on the public listener; requires -admin-token")
+
+		maxSessions  = flag.Int("max-sessions", 0, "session-table capacity driving the overload ladder (0: engine default)")
+		memoryBudget = flag.Int64("memory-budget", 0, "estimated tracker+keystore memory budget in bytes; occupancy above it degrades service (0: unbudgeted)")
+
+		upDialTimeout    = flag.Duration("upstream-dial-timeout", 5*time.Second, "origin TCP dial timeout (with -origin)")
+		upHeaderTimeout  = flag.Duration("upstream-header-timeout", 15*time.Second, "origin response-header timeout (with -origin)")
+		upRequestTimeout = flag.Duration("upstream-request-timeout", 60*time.Second, "end-to-end origin request deadline, retries included (with -origin)")
+		upRetries        = flag.Int("upstream-retries", 2, "retries for failed idempotent origin requests (with -origin)")
+		brFailures       = flag.Int("breaker-failures", 5, "consecutive origin failures that open the circuit breaker (with -origin)")
+		brCooldown       = flag.Duration("breaker-cooldown", 10*time.Second, "how long the breaker stays open before a half-open probe (with -origin)")
 	)
 	flag.Parse()
 
 	det := core.New(core.Config{
-		Decoys:      *decoys,
-		ObfuscateJS: *obfuscate,
-		Seed:        *seed,
+		Decoys:       *decoys,
+		ObfuscateJS:  *obfuscate,
+		Seed:         *seed,
+		MaxSessions:  *maxSessions,
+		MemoryBudget: *memoryBudget,
 	})
-	cfg := proxy.Config{Engine: det, TrustForwardedFor: true}
+	cfg := proxy.Config{
+		Engine:            det,
+		TrustForwardedFor: true,
+		Upstream: proxy.UpstreamConfig{
+			DialTimeout:           *upDialTimeout,
+			ResponseHeaderTimeout: *upHeaderTimeout,
+			RequestTimeout:        *upRequestTimeout,
+			Retries:               *upRetries,
+			BreakerFailures:       *brFailures,
+			BreakerCooldown:       *brCooldown,
+		},
+	}
 	if *withPol {
 		cfg.Policy = policy.NewEngine(policy.Config{})
 	}
@@ -119,6 +146,7 @@ func main() {
 		EnablePprof: *withPprof,
 		Retrain:     adaboost.Config{Rounds: 200},
 		AuthToken:   *adminToken,
+		Breaker:     mw.Breaker(),
 	})
 
 	mux := http.NewServeMux()

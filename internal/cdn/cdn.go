@@ -16,6 +16,7 @@ import (
 	"botdetect/internal/agents"
 	"botdetect/internal/captcha"
 	"botdetect/internal/core"
+	"botdetect/internal/htmlmod"
 	"botdetect/internal/logfmt"
 	"botdetect/internal/policy"
 	"botdetect/internal/rng"
@@ -209,17 +210,40 @@ func (n *Node) Do(req agents.Request) agents.Response {
 
 	obj := n.cfg.Site.Lookup(req.Path)
 	body := obj.Body
-	if instrumentable(obj, req.Method) {
+	// Admission control mirrors the live proxy: under pressure anonymous
+	// arrivals get degraded instrumentation, and a saturated node serves
+	// brand-new clients uninstrumented pass-through without tracking them,
+	// so simulated flash crowds exercise the same degradation ladder the
+	// deployment runs.
+	adm := d.AdmitPage(req.IP, req.UserAgent)
+	if adm != core.AdmitPassThrough && instrumentable(obj, req.Method) {
 		// The same prepared-injection pipeline the proxy serves: pooled page
 		// state, composed fragments, streaming rewrite — not a bespoke
 		// buffered path.
-		prep, _ := d.PrepareInstrumentation(req.IP, req.UserAgent, req.Path)
+		var prep *htmlmod.Prepared
+		if adm == core.AdmitDegraded {
+			prep, _ = d.PrepareInstrumentationDegraded(req.IP, req.UserAgent, req.Path)
+		} else {
+			prep, _ = d.PrepareInstrumentation(req.IP, req.UserAgent, req.Path)
+		}
 		res := prep.Rewrite(obj.Body)
 		prep.Release()
 		d.RecordInstrumented(len(obj.Body), res.AddedBytes)
 		body = res.HTML
 	}
-	n.observe(req, obj.Status, obj.ContentType, int64(len(obj.Body)))
+	if adm == core.AdmitPassThrough {
+		// Shed: served but neither instrumented nor observed into the
+		// tracker. The access log still sees it, as a real proxy's would.
+		if n.cfg.LogWriter != nil || n.recording.Load() {
+			n.log(logfmt.Entry{
+				Time: req.Time, ClientIP: req.IP, UserAgent: req.UserAgent, Method: req.Method,
+				Path: req.Path, Status: obj.Status, Bytes: int64(len(obj.Body)),
+				Referer: req.Referer, ContentType: obj.ContentType,
+			})
+		}
+	} else {
+		n.observe(req, obj.Status, obj.ContentType, int64(len(obj.Body)))
+	}
 	n.stats.originBytes.Add(int64(len(obj.Body)))
 	return agents.Response{Status: obj.Status, ContentType: obj.ContentType, Body: body, RedirectTo: obj.RedirectTo}
 }
@@ -238,6 +262,11 @@ func instrumentable(obj webmodel.Object, method string) bool {
 func (n *Node) batchable(req agents.Request) bool {
 	if n.cfg.Policy != nil || req.Path == agents.CaptchaSolvePath ||
 		n.cfg.Engine.IsInstrumentationPath(req.Path) {
+		return false
+	}
+	// Batched runs always prepare full instrumentation; under load every
+	// request must go through per-request admission instead.
+	if n.cfg.Engine.LoadState() != core.LoadNormal {
 		return false
 	}
 	return instrumentable(n.cfg.Site.Lookup(req.Path), req.Method)

@@ -143,6 +143,27 @@ type Config struct {
 	SessionIdleTimeout time.Duration
 	// MaxSessions bounds concurrently tracked sessions.
 	MaxSessions int
+	// MemoryBudget, when > 0, bounds the engine's estimated live memory
+	// (session tracker + keystore, the attacker-controlled structures) in
+	// bytes. Estimated-memory occupancy feeds the load state exactly like
+	// session-count occupancy, so a budget of 256 MiB starts degrading
+	// service when the estimate passes ~192 MiB (PressuredAt) and shedding
+	// at ~230 MiB (SaturatedAt). 0 leaves memory unbudgeted.
+	MemoryBudget int64
+	// PressuredAt and SaturatedAt are the occupancy fractions at which the
+	// load state leaves Normal (default 0.75) and Pressured (default 0.90).
+	PressuredAt float64
+	SaturatedAt float64
+	// LoadHysteresis is how far occupancy must fall below a threshold before
+	// the state steps back down (default 0.10), so a load hovering at a
+	// boundary cannot flap the degradation ladder.
+	LoadHysteresis float64
+	// DegradedDecoys is the decoy count for degraded page views (default
+	// max(1, Decoys/4)).
+	DegradedDecoys int
+	// DegradedKeyTTL is the key lifetime for degraded page views (default
+	// SessionIdleTimeout/4).
+	DegradedKeyTTL time.Duration
 	// MaxScripts bounds retained generated scripts awaiting download.
 	MaxScripts int
 	// Shards is the shard count for the session table, the key store and the
@@ -207,6 +228,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 1 << 20
 	}
+	if c.PressuredAt <= 0 || c.PressuredAt > 1 {
+		c.PressuredAt = 0.75
+	}
+	if c.SaturatedAt <= 0 || c.SaturatedAt > 1 {
+		c.SaturatedAt = 0.90
+	}
+	if c.SaturatedAt < c.PressuredAt {
+		c.SaturatedAt = c.PressuredAt
+	}
+	if c.LoadHysteresis <= 0 {
+		c.LoadHysteresis = 0.10
+	}
+	if c.DegradedDecoys <= 0 {
+		c.DegradedDecoys = c.Decoys / 4
+		if c.DegradedDecoys < 1 {
+			c.DegradedDecoys = 1
+		}
+	}
+	if c.DegradedKeyTTL <= 0 {
+		c.DegradedKeyTTL = c.SessionIdleTimeout / 4
+	}
 	if c.MaxScripts <= 0 {
 		c.MaxScripts = 65536
 	}
@@ -246,6 +288,11 @@ type Stats struct {
 	HiddenHits     int64
 	UAReports      int64
 	UAMismatches   int64
+	// ShedPassThrough and ShedDegraded count below-full admission decisions
+	// (see AdmitPage): pages served uninstrumented while saturated, and
+	// pages served with degraded instrumentation under pressure.
+	ShedPassThrough int64
+	ShedDegraded    int64
 }
 
 // engineStats is the internal atomic mirror of Stats: every counter is an
@@ -264,6 +311,8 @@ type engineStats struct {
 	hiddenHits        atomic.Int64
 	uaReports         atomic.Int64
 	uaMismatches      atomic.Int64
+	shedPassThrough   atomic.Int64
+	shedDegraded      atomic.Int64
 }
 
 // scriptBuf is a refcounted script body. The cache holds one reference for
@@ -395,6 +444,15 @@ type Engine struct {
 
 	seedSeq atomic.Uint64
 	stats   engineStats
+
+	// Load-state machinery (see load.go): the computed state, the operator
+	// override (loadForcedAuto = none), the occupancy captured at the last
+	// recomputation (micro-units) and the serve-event counter amortising
+	// recomputation.
+	loadState  atomic.Int32
+	loadForced atomic.Int32
+	loadOcc    atomic.Uint64
+	loadEvents atomic.Uint64
 }
 
 // New creates an Engine.
@@ -471,6 +529,7 @@ func New(cfg Config) *Engine {
 	e.pageStates.New = func() any { return new(PageState) }
 	e.handlerName = []byte(e.gen.HandlerName)
 	e.transpImg = []byte(e.pre.transpImg)
+	e.loadForced.Store(loadForcedAuto)
 	e.registerTelemetry()
 	return e
 }
@@ -554,10 +613,17 @@ func (e *Engine) PreparePage(clientIP, userAgent, pagePath string, ps *PageState
 func (e *Engine) composePage(ps *PageState) {
 	// Per-page script generation is a pooled template copy plus key splices:
 	// the variant is picked off the engine's RNG stream, so consecutive page
-	// views still receive differing obfuscated bodies. The body buffer is
-	// refcounted; the cache holds one reference until eviction, downloads
-	// take their own.
-	v := e.pool.Pick(e.scriptSeed())
+	// views still receive differing obfuscated bodies.
+	e.composePageWith(ps, e.scriptSeed())
+}
+
+// composePageWith is composePage with an explicit variant pick: the full
+// path draws a fresh seed per page, the degraded path pins pick 0 so every
+// degraded page shares the epoch's first variant. The body buffer is
+// refcounted; the cache holds one reference until eviction, downloads take
+// their own.
+func (e *Engine) composePageWith(ps *PageState, pick uint64) {
+	v := e.pool.Pick(pick)
 	sb := e.acquireScriptBuf()
 	if cap(sb.b) < v.Size() {
 		// Size exactly (engine keys always have KeyDigits digits) so a fresh
@@ -1243,8 +1309,14 @@ func (e *Engine) ExpireIdle(now time.Time) int { return e.sessions.ExpireIdle(no
 // SweepStep amortises idle expiry: each call sweeps the next shard in
 // round-robin order (ShardCount calls make one full pass) and returns the
 // number of sessions ended. Live deployments call it from a ticker so no
-// single request ever pays for a full-table sweep.
-func (e *Engine) SweepStep(now time.Time) int { return e.sessions.SweepStep(now) }
+// single request ever pays for a full-table sweep. Each step also refreshes
+// the load state, so recovery from overload is observed even when traffic
+// (and with it the admission-path recomputation) has stopped entirely.
+func (e *Engine) SweepStep(now time.Time) int {
+	n := e.sessions.SweepStep(now)
+	e.RecomputeLoadState()
+	return n
+}
 
 // StartSweeper runs SweepStep every interval until the returned stop
 // function is called. A full pass over the table takes ShardCount intervals,
@@ -1310,6 +1382,8 @@ func (e *Engine) Stats() Stats {
 		HiddenHits:        e.stats.hiddenHits.Load(),
 		UAReports:         e.stats.uaReports.Load(),
 		UAMismatches:      e.stats.uaMismatches.Load(),
+		ShedPassThrough:   e.stats.shedPassThrough.Load(),
+		ShedDegraded:      e.stats.shedDegraded.Load(),
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"strconv"
 
+	"botdetect/internal/session"
 	"botdetect/internal/telemetry"
 )
 
@@ -49,6 +50,23 @@ func (e *Engine) registerTelemetry() {
 
 	counter("botdetect_sessions_ended_total", "", "Sessions ended (idle expiry, eviction, flush).",
 		e.sessions.Ended)
+	const evicted = "botdetect_sessions_evicted_total"
+	evictHelp := "Sessions ended by reason: idle expiry, capacity eviction of an " +
+		"anonymous (signal-free) session, capacity eviction of an evidence-bearing " +
+		"session (tracker undersized), or flush."
+	for _, r := range []session.EvictReason{
+		session.EvictIdle, session.EvictCapacityAnonymous,
+		session.EvictCapacityEvidence, session.EvictFlush,
+	} {
+		r := r
+		counter(evicted, telemetry.Label("reason", r.String()), evictHelp,
+			func() int64 { return e.sessions.EvictedByReason(r) })
+	}
+	const shed = "botdetect_load_shed_total"
+	shedHelp := "Below-full admission decisions: pages served uninstrumented " +
+		"pass-through while saturated, or with degraded instrumentation under pressure."
+	counter(shed, telemetry.Label("mode", "passthrough"), shedHelp, e.stats.shedPassThrough.Load)
+	counter(shed, telemetry.Label("mode", "degraded"), shedHelp, e.stats.shedDegraded.Load)
 	counter("botdetect_keystore_keys_issued_total", "", "Real keys issued for rewritten pages.",
 		func() int64 { return e.keys.Stats().Issued })
 	const validations = "botdetect_keystore_validations_total"
@@ -72,6 +90,16 @@ func (e *Engine) registerTelemetry() {
 		func(emit func(labels string, v float64)) { emit(nl, float64(e.OutcomeCount())) })
 	reg.GaugeFunc("botdetect_script_variants", "Precompiled script variants per rotation epoch.",
 		func(emit func(labels string, v float64)) { emit(nl, float64(e.pool.Variants())) })
+	reg.GaugeFunc("botdetect_load_state", "Engine load state: 0 normal, 1 pressured, 2 saturated.",
+		func(emit func(labels string, v float64)) { emit(nl, float64(e.LoadState())) })
+	reg.GaugeFunc("botdetect_load_occupancy", "Capacity fraction in use at the last load-state recomputation.",
+		func(emit func(labels string, v float64)) { emit(nl, e.LoadOccupancy()) })
+	reg.GaugeFunc("botdetect_memory_estimate_bytes", "Estimated live bytes in the session tracker and keystore.",
+		func(emit func(labels string, v float64)) { emit(nl, float64(e.MemoryEstimate())) })
+	if e.cfg.MemoryBudget > 0 {
+		reg.GaugeFunc("botdetect_memory_budget_bytes", "Configured memory budget (Config.MemoryBudget).",
+			func(emit func(labels string, v float64)) { emit(nl, float64(e.cfg.MemoryBudget)) })
+	}
 
 	// Per-shard occupancy gauges: the label strings are rendered once here so
 	// a scrape only walks the shards. Session shards and keystore shards

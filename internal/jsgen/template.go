@@ -92,8 +92,12 @@ func (v *Variant) Render(dst []byte, realKey, uaKey string, decoys []string) []b
 		case spliceUA:
 			key = uaKey
 		default:
-			if sp.src < len(decoys) {
-				key = decoys[sp.src]
+			// Fewer issued decoys than template slots (a degraded page
+			// view): cycle the issued set so every slot still carries a
+			// plausible beacon URL — an empty splice would render the
+			// fingerprintable literal '/__bd/.jpg'.
+			if len(decoys) > 0 {
+				key = decoys[sp.src%len(decoys)]
 			}
 		}
 		if sp.charEnc {
@@ -123,8 +127,9 @@ func (v *Variant) RenderKeys(dst []byte, realKey, uaKey uint64, decoys []uint64,
 		case spliceUA:
 			key = uaKey
 		default:
-			if sp.src < len(decoys) {
-				key = decoys[sp.src]
+			// Mirror Render: cycle a short decoy set over the slots.
+			if len(decoys) > 0 {
+				key = decoys[sp.src%len(decoys)]
 			} else {
 				ok = false
 			}

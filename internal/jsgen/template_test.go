@@ -218,3 +218,30 @@ func TestVariantRenderZeroAlloc(t *testing.T) {
 		t.Fatalf("pool render into a reused buffer allocated %.1f/op, want 0", allocs)
 	}
 }
+
+// TestRenderShortDecoysCycles: a degraded page issues fewer decoys than the
+// variant has slots. Every slot must still carry a plausible beacon URL —
+// the issued set cycles — and never the fingerprintable empty splice
+// ('/__bd/.jpg' would advertise that the page is degraded and which URLs
+// are worth avoiding).
+func TestRenderShortDecoysCycles(t *testing.T) {
+	g := NewGenerator()
+	cfg := testTemplateConfig()
+	cfg.Obfuscate = false // keep URLs greppable
+	v := g.Compile(cfg, 7)
+
+	out := string(v.RenderKeys(nil, 1111111111, 456, []uint64{2222222222}, 10))
+	if strings.Contains(out, "/.jpg") {
+		t.Fatal("short decoy set rendered an empty beacon URL")
+	}
+	if !strings.Contains(out, "2222222222") {
+		t.Fatal("issued decoy missing from rendered script")
+	}
+	// String and numeric paths must stay byte-identical in the short case too.
+	outS := string(v.Render(nil, "1111111111", "0000000456", []string{"2222222222"}))
+	if out != outS {
+		t.Fatal("RenderKeys differs from Render for a short decoy set")
+	}
+	// And an empty decoy set must not panic (mod-by-zero guard).
+	_ = v.RenderKeys(nil, 1111111111, 456, nil, 10)
+}

@@ -287,12 +287,29 @@ type storeShard struct {
 	max     int          // per-shard client cap
 }
 
+// Approximate per-entry memory costs backing Store.MemoryEstimate. Rounded
+// up on purpose: the estimate feeds admission control (see core.LoadState),
+// where an overestimate degrades service early and an underestimate OOMs.
+const (
+	// clientBaseBytes covers a clientState, its shard map entry and the IP
+	// string.
+	clientBaseBytes = 512
+	// keyEntryBytes covers one key map entry plus its share of the issue
+	// queue and decoy arena.
+	keyEntryBytes = 64
+)
+
 // Store is the key table. It is safe for concurrent use.
 type Store struct {
 	cfg    Config
 	shards []*storeShard
 	mask   uint64
 	stats  storeStats
+
+	// liveClients/liveKeys mirror the locked per-shard state so occupancy
+	// and memory estimates are lock-free reads on the serve path.
+	liveClients atomic.Int64
+	liveKeys    atomic.Int64
 }
 
 // New creates a Store with the given configuration.
@@ -382,6 +399,17 @@ func (sh *storeShard) client(ip string) *clientState {
 	return cs
 }
 
+// clientLocked returns (creating if needed) the state for ip on sh,
+// mirroring creations into the lock-free liveClients counter.
+func (s *Store) clientLocked(sh *storeShard, ip string) *clientState {
+	before := sh.count
+	cs := sh.client(ip)
+	if sh.count != before {
+		s.liveClients.Add(1)
+	}
+	return cs
+}
+
 // release recycles an evicted state: the key map, queue and decoy arena keep
 // their capacity so the next client on this shard issues without rebuilding
 // them.
@@ -406,10 +434,38 @@ func (s *Store) IssuePage(clientIP, page string, pk *PageKeys) {
 	defer sh.mu.Unlock()
 
 	now := s.cfg.Clock.Now()
-	cs := sh.client(clientIP)
+	cs := s.clientLocked(sh, clientIP)
 	sh.moveToFront(cs)
 	s.expireClientLocked(cs, now)
-	s.issuePageLocked(sh, cs, page, now, pk)
+	s.issuePageLocked(sh, cs, page, now, now, s.cfg.Decoys, pk)
+	s.enforcePerClientLocked(cs)
+	s.enforceClientCapLocked(sh)
+}
+
+// IssuePageDegraded is IssuePage for a load-shedding serving layer: it
+// issues decoys decoy keys (instead of the configured count) and backdates
+// the issue timestamps so the whole batch expires after ttl instead of the
+// configured TTL. Validation and expiry are untouched — a shorter-lived key
+// is simply an older one. Degraded pages stay fully verifiable (a real key
+// beacon still proves a human); they just pin less proxy memory per
+// anonymous client while the tracker is under pressure.
+func (s *Store) IssuePageDegraded(clientIP, page string, decoys int, ttl time.Duration, pk *PageKeys) {
+	sh := s.shard(clientIP)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	now := s.cfg.Clock.Now()
+	issuedAt := now
+	if ttl > 0 && ttl < s.cfg.TTL {
+		issuedAt = now.Add(ttl - s.cfg.TTL)
+	}
+	if decoys < 0 {
+		decoys = 0
+	}
+	cs := s.clientLocked(sh, clientIP)
+	sh.moveToFront(cs)
+	s.expireClientLocked(cs, now)
+	s.issuePageLocked(sh, cs, page, now, issuedAt, decoys, pk)
 	s.enforcePerClientLocked(cs)
 	s.enforceClientCapLocked(sh)
 }
@@ -431,11 +487,11 @@ func (s *Store) IssuePagesInto(clientIP string, pages []string, pks []*PageKeys)
 	defer sh.mu.Unlock()
 
 	now := s.cfg.Clock.Now()
-	cs := sh.client(clientIP)
+	cs := s.clientLocked(sh, clientIP)
 	sh.moveToFront(cs)
 	s.expireClientLocked(cs, now)
 	for i, page := range pages {
-		s.issuePageLocked(sh, cs, page, now, pks[i])
+		s.issuePageLocked(sh, cs, page, now, now, s.cfg.Decoys, pks[i])
 	}
 	s.enforcePerClientLocked(cs)
 	s.enforceClientCapLocked(sh)
@@ -462,12 +518,12 @@ func (s *Store) IssueN(clientIP string, pages []string, out []Issued) []Issued {
 	defer sh.mu.Unlock()
 
 	now := s.cfg.Clock.Now()
-	cs := sh.client(clientIP)
+	cs := s.clientLocked(sh, clientIP)
 	sh.moveToFront(cs)
 	s.expireClientLocked(cs, now)
 	var pk PageKeys
 	for _, page := range pages {
-		s.issuePageLocked(sh, cs, page, now, &pk)
+		s.issuePageLocked(sh, cs, page, now, now, s.cfg.Decoys, &pk)
 		out = append(out, pk.Issued())
 	}
 	s.enforcePerClientLocked(cs)
@@ -478,10 +534,12 @@ func (s *Store) IssueN(clientIP string, pages []string, out []Issued) []Issued {
 // issuePageLocked draws one page's keys and tokens and records them. The
 // draw order (real key, CSS/script/hidden tokens, then decoys) is part of
 // the store's deterministic surface: fixed-seed runs replay it byte for
-// byte, and the string wrappers format exactly these draws.
-func (s *Store) issuePageLocked(sh *storeShard, cs *clientState, page string, now time.Time, pk *PageKeys) {
-	if len(cs.keys) == 0 {
-		cs.oldest = now
+// byte, and the string wrappers format exactly these draws. issuedAt is the
+// recorded timestamp (normally now; the degraded path backdates it to
+// shorten the effective TTL) and decoys the decoy count for this page.
+func (s *Store) issuePageLocked(sh *storeShard, cs *clientState, page string, now, issuedAt time.Time, decoys int, pk *PageKeys) {
+	if len(cs.keys) == 0 || issuedAt.Before(cs.oldest) {
+		cs.oldest = issuedAt
 	}
 	digits := s.cfg.KeyDigits
 	pk.Page = page
@@ -491,17 +549,18 @@ func (s *Store) issuePageLocked(sh *storeShard, cs *clientState, page string, no
 	pk.ScriptToken = sh.src.DigitKeyValue(digits)
 	pk.HiddenToken = sh.src.DigitKeyValue(digits)
 	pk.IssuedAt = now
-	cs.keys[pk.Key] = keyRecord{kind: kindReal, page: page, issuedAt: now}
+	cs.keys[pk.Key] = keyRecord{kind: kindReal, page: page, issuedAt: issuedAt}
 	pk.Decoys = pk.Decoys[:0]
 	off := int32(len(cs.decoys))
-	for i := 0; i < s.cfg.Decoys; i++ {
+	for i := 0; i < decoys; i++ {
 		d := s.uniqueKeyLocked(sh, cs)
 		pk.Decoys = append(pk.Decoys, d)
 		cs.decoys = append(cs.decoys, d)
-		cs.keys[d] = keyRecord{kind: kindDecoy, page: page, issuedAt: now}
+		cs.keys[d] = keyRecord{kind: kindDecoy, page: page, issuedAt: issuedAt}
 	}
-	cs.queue = append(cs.queue, issueBatch{key: pk.Key, off: off, n: int32(s.cfg.Decoys)})
+	cs.queue = append(cs.queue, issueBatch{key: pk.Key, off: off, n: int32(decoys)})
 	s.stats.issued.Add(1)
+	s.liveKeys.Add(int64(1 + decoys))
 }
 
 // uniqueKeyLocked draws a key value not already present for the client.
@@ -516,10 +575,11 @@ func (s *Store) uniqueKeyLocked(sh *storeShard, cs *clientState) uint64 {
 
 // dropBatchesLocked removes the first n batches from the client's queue,
 // deleting their keys, then compacts the queue and the decoy arena in place
-// (copy-down, no reallocation) so the backing arrays never creep.
-func (cs *clientState) dropBatchesLocked(n int) {
+// (copy-down, no reallocation) so the backing arrays never creep. It returns
+// the number of keys deleted so the caller can settle the live-key counter.
+func (cs *clientState) dropBatchesLocked(n int) int64 {
 	if n <= 0 {
-		return
+		return 0
 	}
 	var decoysDropped int32
 	for i := 0; i < n; i++ {
@@ -541,6 +601,7 @@ func (cs *clientState) dropBatchesLocked(n int) {
 	for i := range cs.queue {
 		cs.queue[i].off -= decoysDropped
 	}
+	return int64(n) + int64(decoysDropped)
 }
 
 // expireClientLocked drops keys older than the TTL for one client. The
@@ -552,14 +613,17 @@ func (s *Store) expireClientLocked(cs *clientState, now time.Time) {
 		return
 	}
 	minSurvivor := now
+	var dropped int64
 	for k, rec := range cs.keys {
 		if now.Sub(rec.issuedAt) > s.cfg.TTL {
 			delete(cs.keys, k)
+			dropped++
 			s.stats.expiredDropped.Add(1)
 		} else if rec.issuedAt.Before(minSurvivor) {
 			minSurvivor = rec.issuedAt
 		}
 	}
+	s.liveKeys.Add(-dropped)
 	// Compact the issue queue and decoy arena over the survivors. Batches
 	// whose real key expired are dropped whole (real key and decoys share
 	// one issuedAt, so they expire together).
@@ -587,7 +651,7 @@ func (s *Store) expireClientLocked(cs *clientState, now time.Time) {
 // batch's keys — no scan over the client's whole table.
 func (s *Store) enforcePerClientLocked(cs *clientState) {
 	if over := len(cs.queue) - s.cfg.MaxPerClient; over > 0 {
-		cs.dropBatchesLocked(over)
+		s.liveKeys.Add(-cs.dropBatchesLocked(over))
 	}
 }
 
@@ -601,6 +665,8 @@ func (s *Store) enforceClientCapLocked(sh *storeShard) {
 		sh.unlink(victim)
 		delete(sh.clients, victim.ip)
 		sh.count--
+		s.liveClients.Add(-1)
+		s.liveKeys.Add(-int64(len(victim.keys)))
 		sh.release(victim)
 		s.stats.evictedClients.Add(1)
 	}
@@ -639,6 +705,7 @@ func (s *Store) ValidateValue(clientIP string, key uint64) Verdict {
 	}
 	if now.Sub(rec.issuedAt) > s.cfg.TTL {
 		delete(cs.keys, key)
+		s.liveKeys.Add(-1)
 		s.stats.expiredDropped.Add(1)
 		s.stats.unknownHits.Add(1)
 		return Unknown
@@ -682,6 +749,27 @@ func (s *Store) Clients() int {
 		sh.mu.Unlock()
 	}
 	return total
+}
+
+// LiveClients returns the number of distinct client IPs currently tracked,
+// from the lock-free mirror (equal to Clients() at quiescence; use it on the
+// serve path where Clients()'s per-shard locking is too heavy).
+func (s *Store) LiveClients() int64 { return s.liveClients.Load() }
+
+// LiveKeys returns the number of outstanding keys (real plus decoys) across
+// all clients, lock-free.
+func (s *Store) LiveKeys() int64 { return s.liveKeys.Load() }
+
+// Occupancy returns the fraction of the client capacity in use, lock-free.
+func (s *Store) Occupancy() float64 {
+	return float64(s.liveClients.Load()) / float64(s.cfg.MaxClients)
+}
+
+// MemoryEstimate returns the store's approximate live memory footprint in
+// bytes (rounded-up per-client and per-key costs). Lock-free and
+// allocation-free; the load-state recomputation reads it on the serve path.
+func (s *Store) MemoryEstimate() int64 {
+	return s.liveClients.Load()*clientBaseBytes + s.liveKeys.Load()*keyEntryBytes
 }
 
 // KeyDigits returns the effective (clamped) key width in decimal digits.

@@ -47,6 +47,9 @@ type AdminConfig struct {
 	// Retrain configures models built by the retrain endpoint. A zero value
 	// uses the online trainer's defaults.
 	Retrain adaboost.Config
+	// Breaker optionally exposes the reverse proxy's origin circuit breaker
+	// on the status page (Middleware.Breaker()).
+	Breaker *Breaker
 }
 
 // Admin bundles the proxy's operational endpoints — Prometheus metrics, the
@@ -84,6 +87,7 @@ func (a *Admin) Register(mux *http.ServeMux) {
 	mux.Handle(p+"/admin/rotate", a.guard(http.HandlerFunc(a.handleRotate)))
 	mux.Handle(p+"/admin/retrain", a.guard(http.HandlerFunc(a.handleRetrain)))
 	mux.Handle(p+"/admin/override", a.guard(http.HandlerFunc(a.handleOverride)))
+	mux.Handle(p+"/admin/load", a.guard(http.HandlerFunc(a.handleLoad)))
 	if a.cfg.EnablePprof {
 		// pprof.Index parses the profile name out of the URL assuming it is
 		// mounted at /debug/pprof/, so the admin prefix must be stripped
@@ -145,6 +149,25 @@ func (a *Admin) handleStatus(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "learned model: %s (%d labelled outcomes buffered)\n", m, det.OutcomeCount())
 	} else {
 		fmt.Fprintf(w, "learned model: none yet (%d labelled outcomes buffered)\n", det.OutcomeCount())
+	}
+	loadLine := fmt.Sprintf("load state: %s (occupancy %.1f%%", det.LoadState(), det.LoadOccupancy()*100)
+	if budget := det.MemoryBudget(); budget > 0 {
+		loadLine += fmt.Sprintf(", memory %d/%d bytes", det.MemoryEstimate(), budget)
+	} else {
+		loadLine += fmt.Sprintf(", memory %d bytes", det.MemoryEstimate())
+	}
+	if forced, ok := det.LoadForced(); ok {
+		loadLine += fmt.Sprintf(", FORCED to %s by operator drill", forced)
+	}
+	fmt.Fprintf(w, "%s)\n", loadLine)
+	fmt.Fprintf(w, "load shed: passthrough=%d degraded=%d\n", stats.ShedPassThrough, stats.ShedDegraded)
+	ev := det.EvictionStats()
+	fmt.Fprintf(w, "sessions evicted: idle=%d capacity-anonymous=%d capacity-evidence=%d flush=%d\n",
+		ev.Idle, ev.CapacityAnonymous, ev.CapacityEvidence, ev.Flush)
+	if a.cfg.Breaker != nil {
+		b := a.cfg.Breaker
+		fmt.Fprintf(w, "origin breaker: %s (opens=%d probes=%d recoveries=%d short-circuits=%d)\n",
+			b.State(), b.opens.Load(), b.probes.Load(), b.recoveries.Load(), b.shortCircuits.Load())
 	}
 	fmt.Fprintf(w, "pages instrumented: %d\n", stats.PagesInstrumented)
 	fmt.Fprintf(w, "beacons: mouse=%d decoy=%d replay=%d exec=%d css=%d hidden=%d ua-mismatch=%d\n",
@@ -294,6 +317,36 @@ func (a *Admin) handleOverride(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"ip": key.IP, "verdict": verdict})
+}
+
+// handleLoad runs operator degradation drills: POST with
+// mode=normal|pressured|saturated pins the engine's load state regardless of
+// occupancy ("what does my site look like degraded?"), and mode=auto clears
+// the pin, returning admission control to the occupancy-derived ladder.
+func (a *Admin) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	det := a.cfg.Engine
+	switch mode := r.FormValue("mode"); mode {
+	case "normal":
+		det.ForceLoadState(core.LoadNormal)
+	case "pressured":
+		det.ForceLoadState(core.LoadPressured)
+	case "saturated":
+		det.ForceLoadState(core.LoadSaturated)
+	case "auto":
+		det.ClearForcedLoadState()
+	default:
+		http.Error(w, "mode must be normal, pressured, saturated or auto", http.StatusBadRequest)
+		return
+	}
+	_, forced := det.LoadForced()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"state":     det.LoadState().String(),
+		"forced":    forced,
+		"occupancy": det.LoadOccupancy(),
+	})
 }
 
 // sessionKey extracts the session key from ip/ua parameters (query or form).

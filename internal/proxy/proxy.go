@@ -20,8 +20,6 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/httputil"
-	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -54,6 +52,10 @@ type Config struct {
 	// TrustForwardedFor uses the first X-Forwarded-For address as the client
 	// IP when present (for deployments behind another proxy).
 	TrustForwardedFor bool
+	// Upstream configures the origin transport, retries, per-request deadline
+	// and circuit breaker for middleware built with NewReverseProxy. Ignored
+	// for in-process origin handlers.
+	Upstream UpstreamConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +69,10 @@ func (c Config) withDefaults() Config {
 type Middleware struct {
 	cfg    Config
 	origin http.Handler
+
+	// breaker/upstream are set by NewReverseProxy; nil for in-process origins.
+	breaker  *Breaker
+	upstream *upstreamTripper
 }
 
 // New creates the middleware around the given origin handler. It panics if
@@ -147,30 +153,64 @@ func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	} else {
 		st = &responseStreamer{m: m, w: w, req: r, clientIP: clientIP, ua: ua}
 	}
-	m.origin.ServeHTTP(st, r)
+	// Admission control: under load the engine degrades instrumentation for
+	// anonymous arrivals and, when saturated, serves brand-new clients as
+	// uninstrumented pass-through (no session created) so a flash crowd
+	// cannot wash evidence-bearing sessions out of the tracker. At normal
+	// load this is a single atomic load — the zero-alloc serve path keeps
+	// its budget.
+	st.admission = d.AdmitPage(clientIP, ua)
+	m.serveOrigin(st, r)
 	st.finish()
 	tel.RequestsOrigin.Inc()
 	tel.ProxyRequest.ObserveSince(start)
 
 	// The snapshot a plain Observe returns would be discarded here — the
 	// policy check above reads the published one — so record quietly.
-	d.ObserveRequestQuiet(logfmt.Entry{
-		Time:        time.Now(),
-		ClientIP:    clientIP,
-		Method:      r.Method,
-		Path:        requestURI(r),
-		Protocol:    r.Proto,
-		Status:      st.status,
-		Bytes:       st.originBytes,
-		Referer:     r.Referer(),
-		UserAgent:   ua,
-		ContentType: st.contentType,
-	})
+	// Pass-through requests are deliberately not observed: admitting them to
+	// the tracker is exactly the load being shed.
+	if st.admission != core.AdmitPassThrough {
+		d.ObserveRequestQuiet(logfmt.Entry{
+			Time:        time.Now(),
+			ClientIP:    clientIP,
+			Method:      r.Method,
+			Path:        requestURI(r),
+			Protocol:    r.Proto,
+			Status:      st.status,
+			Bytes:       st.originBytes,
+			Referer:     r.Referer(),
+			UserAgent:   ua,
+			ContentType: st.contentType,
+		})
+	}
 	if cs := st.conn; cs != nil {
 		st.conn = nil
 		st.w, st.req = nil, nil
 		cs.inUse.Store(false)
 	}
+}
+
+// serveOrigin runs the origin handler with abort hygiene: when the handler
+// panics mid-response — httputil.ReverseProxy raises http.ErrAbortHandler
+// after the upstream dies with the headers already sent — the request's
+// pooled state is released and the connection claim dropped before the panic
+// continues to net/http, which tears the client connection down. The panic
+// must NOT be swallowed: recovering and returning normally would end the
+// response with a clean terminal chunk, presenting a truncated document as a
+// complete one.
+func (m *Middleware) serveOrigin(st *responseStreamer, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			st.abort()
+			if cs := st.conn; cs != nil {
+				st.conn = nil
+				st.w, st.req = nil, nil
+				cs.inUse.Store(false)
+			}
+			panic(p)
+		}
+	}()
+	m.origin.ServeHTTP(st, r)
 }
 
 // requestURI returns the request-line URI without reassembling it: the raw
@@ -289,6 +329,7 @@ type responseStreamer struct {
 	status      int
 	contentType string
 	originBytes int64
+	admission   core.Admission // how much instrumentation this view gets
 
 	rewriter     *htmlmod.StreamRewriter
 	prep         *htmlmod.Prepared // injection fragments, released in finish
@@ -301,6 +342,7 @@ type responseStreamer struct {
 func (s *responseStreamer) reset(m *Middleware, w http.ResponseWriter, r *http.Request, clientIP, ua string) {
 	s.m, s.w, s.req, s.clientIP, s.ua = m, w, r, clientIP, ua
 	s.started, s.status, s.contentType, s.originBytes = false, 0, "", 0
+	s.admission = core.AdmitFull
 	s.rewriter, s.prep, s.discard, s.rewriteNanos = nil, nil, false, 0
 	s.conn = nil
 }
@@ -321,18 +363,28 @@ func (s *responseStreamer) WriteHeader(code int) {
 		// Instrumented pages carry per-view keys and must not be cached.
 		h["Cache-Control"] = noStoreHeader
 	}
-	if isHTML && code == http.StatusOK && s.req.Method == http.MethodGet {
+	if isHTML && code == http.StatusOK && s.req.Method == http.MethodGet &&
+		s.admission != core.AdmitPassThrough {
+		eng := s.m.cfg.Engine
 		if s.conn != nil {
 			// Zero-copy path: keys issued numerically into the connection's
 			// PageState, fragments composed in place, and the connection's
 			// rewriter armed for vectored writes — injection fragments and
 			// origin chunks splice into the socket via one writev per chunk.
-			s.prep = s.m.cfg.Engine.PreparePage(s.clientIP, s.ua, s.req.URL.Path, &s.conn.ps)
+			if s.admission == core.AdmitDegraded {
+				s.prep = eng.PreparePageDegraded(s.clientIP, s.ua, s.req.URL.Path, &s.conn.ps)
+			} else {
+				s.prep = eng.PreparePage(s.clientIP, s.ua, s.req.URL.Path, &s.conn.ps)
+			}
 			s.rewriter = &s.conn.rw
 			s.rewriter.Reset(s.w, s.prep)
 			s.rewriter.SetVectored(true)
 		} else {
-			s.prep, _ = s.m.cfg.Engine.PrepareInstrumentation(s.clientIP, s.ua, s.req.URL.Path)
+			if s.admission == core.AdmitDegraded {
+				s.prep, _ = eng.PrepareInstrumentationDegraded(s.clientIP, s.ua, s.req.URL.Path)
+			} else {
+				s.prep, _ = eng.PrepareInstrumentation(s.clientIP, s.ua, s.req.URL.Path)
+			}
 			s.rewriter = htmlmod.NewStreamRewriter(s.w, s.prep)
 		}
 		// The rewritten length is unknown until the document ends; drop the
@@ -431,10 +483,20 @@ func (s *responseStreamer) finish() {
 	}
 }
 
-// NewReverseProxy builds a middleware that forwards to the given upstream
-// origin URL, protecting an existing site without modifying it (the
-// "protect an origin you do not control" deployment).
-func NewReverseProxy(upstream *url.URL, cfg Config) *Middleware {
-	rp := httputil.NewSingleHostReverseProxy(upstream)
-	return New(rp, cfg)
+// abort releases everything an aborted response pins without writing the
+// rewrite tail: the client connection is about to be torn down, so flushing
+// held bytes or injection fragments into it would only race the close. The
+// per-request rewriter goes back to its pool unclosed (Release does not
+// require Close); the connection-owned one dies with its connection.
+func (s *responseStreamer) abort() {
+	if s.rewriter != nil {
+		if s.conn == nil {
+			s.rewriter.Release()
+		}
+		s.rewriter = nil
+	}
+	if s.prep != nil {
+		s.prep.Release()
+		s.prep = nil
+	}
 }

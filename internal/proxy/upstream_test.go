@@ -1,0 +1,520 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"botdetect/internal/chaos"
+	"botdetect/internal/clock"
+	"botdetect/internal/core"
+)
+
+// TestBreakerLifecycle walks the full state machine on a virtual clock:
+// consecutive failures trip it, the cooldown short-circuits, exactly one
+// probe is admitted half-open, and a successful probe closes it again.
+func TestBreakerLifecycle(t *testing.T) {
+	vc := clock.NewVirtual(time.Time{})
+	br := NewBreaker(3, 10*time.Second, vc)
+
+	if br.State() != BreakerClosed || !br.Allow() {
+		t.Fatal("new breaker not closed/allowing")
+	}
+	br.Failure()
+	br.Failure()
+	if br.State() != BreakerClosed || !br.Allow() {
+		t.Fatal("breaker opened below the threshold")
+	}
+	br.Failure() // third consecutive failure: trip
+	if br.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", br.State())
+	}
+	if br.Allow() {
+		t.Fatal("open breaker admitted a request before the cooldown")
+	}
+	// A straggler failure while open must not extend the cooldown.
+	br.Failure()
+	vc.Advance(9 * time.Second)
+	if br.Allow() {
+		t.Fatal("breaker admitted a probe before the cooldown elapsed")
+	}
+	vc.Advance(2 * time.Second)
+	if !br.Allow() {
+		t.Fatal("breaker refused the half-open probe after the cooldown")
+	}
+	if br.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", br.State())
+	}
+	if br.Allow() {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+	br.Success()
+	if br.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", br.State())
+	}
+	st := br.Stats()
+	if st.Opens != 1 || st.Probes != 1 || st.Recoveries != 1 {
+		t.Fatalf("stats = %+v, want opens/probes/recoveries = 1", st)
+	}
+	if st.ShortCircuits < 3 {
+		t.Fatalf("ShortCircuits = %d, want >= 3", st.ShortCircuits)
+	}
+}
+
+// TestBreakerSuccessResetsStreak: the trip condition is *consecutive*
+// failures — an intervening success restarts the count.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	vc := clock.NewVirtual(time.Time{})
+	br := NewBreaker(3, time.Second, vc)
+	br.Failure()
+	br.Failure()
+	br.Success()
+	br.Failure()
+	br.Failure()
+	if br.State() != BreakerClosed {
+		t.Fatal("breaker opened on a non-consecutive failure streak")
+	}
+	br.Failure()
+	if br.State() != BreakerOpen {
+		t.Fatal("breaker did not open at three consecutive failures")
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens: a failed probe slams the breaker shut
+// for a fresh cooldown; the next probe can still recover it.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	vc := clock.NewVirtual(time.Time{})
+	br := NewBreaker(2, 5*time.Second, vc)
+	br.Failure()
+	br.Failure()
+	vc.Advance(5 * time.Second)
+	if !br.Allow() {
+		t.Fatal("probe refused")
+	}
+	br.Failure() // probe failed: re-open
+	if br.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", br.State())
+	}
+	if br.Allow() {
+		t.Fatal("re-opened breaker admitted a request immediately")
+	}
+	vc.Advance(5 * time.Second)
+	if !br.Allow() {
+		t.Fatal("second probe refused")
+	}
+	br.Success()
+	if br.State() != BreakerClosed {
+		t.Fatal("breaker did not recover on the second probe")
+	}
+	if st := br.Stats(); st.Opens != 2 || st.Recoveries != 1 {
+		t.Fatalf("stats = %+v, want 2 opens / 1 recovery", st)
+	}
+}
+
+// TestRetryAfterFloor: the advertised retry delay is the remaining
+// cooldown, never less than a second.
+func TestRetryAfterFloor(t *testing.T) {
+	vc := clock.NewVirtual(time.Time{})
+	br := NewBreaker(1, 10*time.Second, vc)
+	br.Failure()
+	if got := br.RetryAfter(); got != 10*time.Second {
+		t.Fatalf("RetryAfter just after trip = %v, want 10s", got)
+	}
+	vc.Advance(9500 * time.Millisecond)
+	if got := br.RetryAfter(); got != time.Second {
+		t.Fatalf("RetryAfter near cooldown end = %v, want the 1s floor", got)
+	}
+}
+
+func newTestTripper(retries int, failures int) *upstreamTripper {
+	cfg := UpstreamConfig{Retries: retries, RetryBackoff: time.Millisecond,
+		BreakerFailures: failures, BreakerCooldown: time.Second}.withDefaults()
+	return &upstreamTripper{
+		base: http.DefaultTransport,
+		br:   NewBreaker(cfg.BreakerFailures, cfg.BreakerCooldown, nil),
+		cfg:  cfg,
+	}
+}
+
+// TestTripperRetriesIdempotentOnly: a GET hit by a transient 5xx is retried
+// and succeeds; a POST never is — replaying a request the origin may have
+// half-applied is worse than failing it.
+func TestTripperRetriesIdempotentOnly(t *testing.T) {
+	var gets, posts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			posts.Add(1)
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		if gets.Add(1) == 1 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "recovered")
+	}))
+	defer srv.Close()
+
+	tr := newTestTripper(2, 10)
+	c := &http.Client{Transport: tr}
+
+	resp, err := c.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatalf("GET through tripper: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "recovered" {
+		t.Fatalf("GET = %d %q, want 200 recovered", resp.StatusCode, body)
+	}
+	if gets.Load() != 2 {
+		t.Fatalf("origin saw %d GETs, want 2 (one retry)", gets.Load())
+	}
+	if tr.retries.Load() != 1 {
+		t.Fatalf("tripper retries = %d, want 1", tr.retries.Load())
+	}
+
+	resp, err = c.Post(srv.URL+"/", "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatalf("POST through tripper: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("POST = %d, want the origin's own 500 forwarded", resp.StatusCode)
+	}
+	if posts.Load() != 1 {
+		t.Fatalf("origin saw %d POSTs, want exactly 1 (no replay)", posts.Load())
+	}
+}
+
+// TestTripperExhaustedRetriesWrapsError: when every attempt fails at the
+// transport level the caller gets one error carrying the attempt count and
+// the underlying cause, and the failure feeds the breaker.
+func TestTripperExhaustedRetriesWrapsError(t *testing.T) {
+	// A listener we immediately close: connection refused, deterministically.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + l.Addr().String()
+	l.Close()
+
+	tr := newTestTripper(1, 2)
+	c := &http.Client{Transport: tr}
+	_, err = c.Get(dead + "/")
+	if err == nil {
+		t.Fatal("GET against a dead origin succeeded")
+	}
+	if !strings.Contains(err.Error(), "after 2 attempt(s)") {
+		t.Fatalf("error lacks attempt context: %v", err)
+	}
+	if tr.failures.Load() != 1 {
+		t.Fatalf("failures = %d, want 1", tr.failures.Load())
+	}
+	// One more exhausted exchange reaches the 2-failure threshold.
+	if _, err := c.Get(dead + "/"); err == nil {
+		t.Fatal("second GET succeeded")
+	}
+	if tr.br.State() != BreakerOpen {
+		t.Fatalf("breaker after repeated exhaustion = %v, want open", tr.br.State())
+	}
+	// Short-circuited request: the client never touches the network.
+	_, err = c.Get(dead + "/")
+	var open *breakerOpenError
+	if err == nil || !errors.As(err, &open) {
+		t.Fatalf("short-circuit error = %v, want breakerOpenError", err)
+	}
+}
+
+type resetReader struct{}
+
+func (resetReader) Read([]byte) (int, error) {
+	return 0, errors.New("read tcp: connection reset by peer")
+}
+
+// TestTrackedBodyMidStreamContext: an origin dying after headers must reach
+// the log with byte-count context, count once, and feed the breaker.
+func TestTrackedBodyMidStreamContext(t *testing.T) {
+	tr := newTestTripper(0, 10)
+	tb := &trackedBody{
+		rc: io.NopCloser(io.MultiReader(strings.NewReader("abc"), resetReader{})),
+		t:  tr,
+	}
+	_, err := io.ReadAll(tb)
+	if err == nil {
+		t.Fatal("mid-stream death not surfaced")
+	}
+	if !strings.Contains(err.Error(), "upstream died mid-stream after 3 body bytes") {
+		t.Fatalf("error lacks mid-stream context: %v", err)
+	}
+	if !strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("error dropped the underlying cause: %v", err)
+	}
+	if tr.midstream.Load() != 1 {
+		t.Fatalf("midstream counter = %d, want 1", tr.midstream.Load())
+	}
+	// A second read on the same corpse must not double-count.
+	if _, err := tb.Read(make([]byte, 8)); err == nil {
+		t.Fatal("second read after death succeeded")
+	}
+	if tr.midstream.Load() != 1 {
+		t.Fatalf("midstream counter after re-read = %d, want still 1", tr.midstream.Load())
+	}
+}
+
+// TestUpstreamErrorHandlerMapping: breaker-open becomes a branded 503 with
+// Retry-After, a deadline becomes 504, anything else a 502 that keeps the
+// error text.
+func TestUpstreamErrorHandlerMapping(t *testing.T) {
+	m := &Middleware{}
+	req := httptest.NewRequest(http.MethodGet, "/x", nil)
+
+	rec := httptest.NewRecorder()
+	m.upstreamErrorHandler(rec, req, &breakerOpenError{retryAfter: 4500 * time.Millisecond})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("breaker-open status = %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "5" {
+		t.Fatalf("Retry-After = %q, want ceil(4.5s) = 5", got)
+	}
+	if !strings.Contains(rec.Body.String(), "temporarily unavailable") {
+		t.Fatalf("branded body missing: %q", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	m.upstreamErrorHandler(rec, req, fmt.Errorf("awaiting headers: %w", context.DeadlineExceeded))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline status = %d, want 504", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	m.upstreamErrorHandler(rec, req, errors.New("dial tcp 10.0.0.9:80: connection refused"))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("generic status = %d, want 502", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "connection refused") {
+		t.Fatalf("502 body dropped the cause: %q", rec.Body.String())
+	}
+}
+
+func chaosOriginPage(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<html><head><title>t</title></head><body><h1>ok %s</h1>"+
+		"<a href=\"/other.html\">other</a></body></html>", r.URL.Path)
+}
+
+// TestReverseProxyBreakerEndToEnd drives the full middleware against a
+// chaos origin: origin 5xx responses are forwarded while the breaker
+// counts, the trip short-circuits to the branded 503 with Retry-After, and
+// after the origin heals the half-open probe closes the breaker again.
+// Detection keeps running throughout — the dark-origin 503s still come from
+// the instrumenting middleware, not a dead socket.
+func TestReverseProxyBreakerEndToEnd(t *testing.T) {
+	origin := chaos.NewOrigin(http.HandlerFunc(chaosOriginPage))
+	backend := httptest.NewServer(origin)
+	defer backend.Close()
+	u, _ := url.Parse(backend.URL)
+
+	det := core.New(core.Config{Seed: 41})
+	mw := NewReverseProxy(u, Config{Engine: det, TrustForwardedFor: true, Upstream: UpstreamConfig{
+		Retries:         -1, // no retries: each request is one breaker sample
+		BreakerFailures: 2,
+		BreakerCooldown: 50 * time.Millisecond,
+		RequestTimeout:  5 * time.Second,
+	}})
+	front := httptest.NewServer(mw)
+	defer front.Close()
+
+	get := func() (int, string) {
+		resp, err := front.Client().Get(front.URL + "/page.html")
+		if err != nil {
+			t.Fatalf("GET through proxy: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get(); code != http.StatusOK || !strings.Contains(body, "/__bd/") {
+		t.Fatalf("healthy GET = %d (instrumented=%v), want instrumented 200",
+			code, strings.Contains(body, "/__bd/"))
+	}
+
+	origin.FailWith(http.StatusServiceUnavailable, -1)
+	for i := 0; i < 2; i++ {
+		if code, body := get(); code != http.StatusServiceUnavailable || strings.Contains(body, "botdetect:") {
+			t.Fatalf("dark-origin GET %d = %d (branded=%v), want the origin's own 503 forwarded",
+				i, code, strings.Contains(body, "botdetect:"))
+		}
+	}
+	if mw.Breaker().State() != BreakerOpen {
+		t.Fatalf("breaker = %v after %d origin failures, want open", mw.Breaker().State(), 2)
+	}
+	code, body := get()
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "temporarily unavailable") {
+		t.Fatalf("short-circuited GET = %d %q, want the branded 503", code, body)
+	}
+	served := origin.Served()
+
+	origin.Heal()
+	time.Sleep(60 * time.Millisecond) // let the cooldown elapse
+	if code, body := get(); code != http.StatusOK || !strings.Contains(body, "/__bd/") {
+		t.Fatalf("post-heal GET = %d, want instrumented 200 via the half-open probe", code)
+	}
+	if mw.Breaker().State() != BreakerClosed {
+		t.Fatalf("breaker after recovery = %v, want closed", mw.Breaker().State())
+	}
+	st := mw.Breaker().Stats()
+	if st.Opens != 1 || st.Recoveries != 1 || st.ShortCircuits == 0 {
+		t.Fatalf("breaker stats = %+v", st)
+	}
+	if origin.Served() <= served {
+		t.Fatal("recovery probe never reached the origin")
+	}
+}
+
+// TestChaosHammerConcurrentFaults is the -race stress: a flash crowd of new
+// clients floods the proxy while the origin flaps dark/healthy, injects
+// mid-stream connection resets, scripts rotate, and an operator drill
+// forces and clears degraded mode — all concurrently. The assertions are
+// deliberately coarse (the point is the race detector and "nothing
+// deadlocks or panics"); the final section proves the system came back:
+// breaker closed, instrumented 200s flowing.
+func TestChaosHammerConcurrentFaults(t *testing.T) {
+	origin := chaos.NewOrigin(http.HandlerFunc(chaosOriginPage))
+	backend := httptest.NewServer(origin)
+	defer backend.Close()
+	u, _ := url.Parse(backend.URL)
+
+	det := core.New(core.Config{Seed: 43, MaxSessions: 128, ObfuscateJS: true})
+	mw := NewReverseProxy(u, Config{Engine: det, TrustForwardedFor: true, Upstream: UpstreamConfig{
+		Retries:         1,
+		RetryBackoff:    time.Millisecond,
+		BreakerFailures: 3,
+		BreakerCooldown: 5 * time.Millisecond,
+		RequestTimeout:  5 * time.Second,
+	}})
+	front := httptest.NewUnstartedServer(mw)
+	front.Config.ConnContext = ConnContext
+	front.Start()
+	defer front.Close()
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 8}}
+	defer client.CloseIdleConnections()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Flash crowd: every request a brand-new client, far past MaxSessions.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req, _ := http.NewRequest(http.MethodGet, front.URL+"/page.html", nil)
+				req.Header.Set("X-Forwarded-For", fmt.Sprintf("10.%d.%d.%d", w, i/200%250, i%200+1))
+				req.Header.Set("User-Agent", "hammer")
+				resp, err := client.Do(req)
+				if err != nil {
+					continue // resets and dark phases are expected
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	// Origin flapper: dark bursts, latency spikes, mid-stream resets.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				origin.FailWith(http.StatusServiceUnavailable, 8)
+			case 1:
+				origin.ResetNext(4)
+			case 2:
+				origin.SetLatency(2 * time.Millisecond)
+			}
+			time.Sleep(4 * time.Millisecond)
+			origin.Heal()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	// Script rotation and the operator drill, racing the serve path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			det.RotateScripts()
+			if i%2 == 0 {
+				det.ForceLoadState(core.LoadSaturated)
+			} else {
+				det.ClearForcedLoadState()
+			}
+			det.RecomputeLoadState()
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Recovery: heal the origin, clear the drill, and drain the flood's
+	// sessions — the table is legitimately full (that is the ladder working),
+	// so without the drain a fresh client would correctly keep getting
+	// pass-through. Then require the breaker to close and instrumented pages
+	// to flow again.
+	origin.Heal()
+	det.ClearForcedLoadState()
+	det.FlushSessions()
+	det.RecomputeLoadState()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := client.Get(front.URL + "/page.html")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && strings.Contains(string(body), "/__bd/") {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("proxy did not recover instrumented 200s after the chaos stopped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := mw.Breaker().Stats(); st.Opens == 0 {
+		t.Errorf("breaker never tripped during the hammer: %+v", st)
+	}
+	if mw.Breaker().State() == BreakerOpen {
+		t.Error("breaker still open after recovery")
+	}
+}
