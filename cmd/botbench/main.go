@@ -5,7 +5,8 @@
 //
 //	botbench [-exp all|table1|captcha|figure2|figure3|table2|figure4|overhead|decoys|baselines|telemetry|serve|overload]
 //	         [-sessions N] [-seed S] [-bench-json BENCH_telemetry.json]
-//	         [-serve-clients N] [-serve-json BENCH_serve.json]
+//	         [-clients N] [-serve-clients N] [-serve-json BENCH_serve.json]
+//	         [-serve-heap heap.pprof]
 //	         [-overload-json BENCH_overload.json]
 //
 // The -sessions flag scales the synthetic workload; larger values give more
@@ -29,7 +30,9 @@ func main() {
 		seed         = flag.Uint64("seed", experiments.DefaultScale().Seed, "random seed")
 		benchJSON    = flag.String("bench-json", "", "write the telemetry experiment's result as JSON to this file")
 		serveClients = flag.Int("serve-clients", 0, "distinct clients for the serve experiment (0: the experiment's default of 100000)")
+		clients      = flag.Int("clients", 0, "alias for -serve-clients; supports the full 1M-client memory-engine run")
 		serveJSON    = flag.String("serve-json", "", "write the serve experiment's result as JSON to this file")
+		serveHeap    = flag.String("serve-heap", "", "write a pprof heap profile at the end of the serve experiment to this file")
 		overloadJSON = flag.String("overload-json", "", "write the overload experiment's result as JSON to this file")
 	)
 	flag.Parse()
@@ -82,7 +85,11 @@ func main() {
 	if explicit("serve") {
 		ran++
 		start := time.Now()
-		res := experiments.ServeBench(experiments.ServeConfig{Clients: *serveClients, Seed: *seed})
+		n := *serveClients
+		if *clients > 0 {
+			n = *clients
+		}
+		res := experiments.ServeBench(experiments.ServeConfig{Clients: n, Seed: *seed, HeapProfile: *serveHeap})
 		if *serveJSON != "" {
 			if err := os.WriteFile(*serveJSON, res.JSON(), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "botbench: writing %s: %v\n", *serveJSON, err)

@@ -92,7 +92,7 @@ func main() {
 	var cm metrics.ConfusionMatrix
 	var examples []features.Example
 	for _, s := range snaps {
-		if s.Counts.Total <= *minRequests {
+		if int64(s.Counts.Total) <= *minRequests {
 			continue
 		}
 		kind, ok := truth[s.Key]

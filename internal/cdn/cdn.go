@@ -193,6 +193,7 @@ func (n *Node) Do(req agents.Request) agents.Response {
 	if n.cfg.Policy != nil {
 		if snap, verdict, tracked := d.Decide(key); tracked {
 			decision := n.cfg.Policy.Evaluate(*snap, verdict)
+			snap.Release()
 			switch decision.Action {
 			case policy.Block:
 				n.stats.blockedRequests.Add(1)

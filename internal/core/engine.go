@@ -29,6 +29,7 @@ package core
 
 import (
 	"net/url"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,7 @@ import (
 	"botdetect/internal/detect/rules"
 	"botdetect/internal/features"
 	"botdetect/internal/htmlmod"
+	"botdetect/internal/intern"
 	"botdetect/internal/jsgen"
 	"botdetect/internal/keystore"
 	"botdetect/internal/logfmt"
@@ -167,9 +169,12 @@ type Config struct {
 	// MaxScripts bounds retained generated scripts awaiting download.
 	MaxScripts int
 	// Shards is the shard count for the session table, the key store and the
-	// script cache, rounded up to a power of two (default
-	// shard.DefaultShards). Use 1 to recover the strict global-LRU
-	// semantics of a single-lock engine at the cost of concurrency.
+	// script cache, rounded up to a power of two. When zero the engine
+	// autotunes it from GOMAXPROCS (shard.AutoShards: four shards per
+	// logical CPU, clamped to [8, 512]), so deployments track the machine
+	// they land on instead of a hardcoded default. Use 1 to recover the
+	// strict global-LRU semantics of a single-lock engine at the cost of
+	// concurrency.
 	Shards int
 	// Detector overrides the decision chain. When nil the engine composes
 	// the default serving chain (direct evidence → learned model →
@@ -261,7 +266,11 @@ func (c Config) withDefaults() Config {
 	if c.OutcomeMinRequests <= 0 {
 		c.OutcomeMinRequests = 5
 	}
-	c.Shards = shard.Normalize(c.Shards)
+	if c.Shards <= 0 {
+		c.Shards = shard.AutoShards(runtime.GOMAXPROCS(0))
+	} else {
+		c.Shards = shard.Normalize(c.Shards)
+	}
 	if c.Clock == nil {
 		c.Clock = clock.System
 	}
@@ -419,8 +428,9 @@ type pagePrecomp struct {
 // Engine is the robot-detection engine. It is safe for concurrent use; see
 // the package comment for the sharding design.
 type Engine struct {
-	cfg  Config
-	keys *keystore.Store
+	cfg      Config
+	keys     *keystore.Store
+	interner *intern.Interner // shared UA/page string table (tracker + keystore)
 	gen  *jsgen.Generator
 	pool *jsgen.Pool // precompiled script variants; see RotateScripts
 	pre  pagePrecomp
@@ -453,14 +463,20 @@ type Engine struct {
 	loadForced atomic.Int32
 	loadOcc    atomic.Uint64
 	loadEvents atomic.Uint64
+
+	// sweepSteps counts SweepStep calls; every full pass over the shards
+	// triggers a per-shard cap rebalance from the occupancy gauges.
+	sweepSteps atomic.Uint64
 }
 
 // New creates an Engine.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	interner := intern.New(0)
 	e := &Engine{
-		cfg: cfg,
-		gen: jsgen.NewGenerator(),
+		cfg:      cfg,
+		gen:      jsgen.NewGenerator(),
+		interner: interner,
 		keys: keystore.New(keystore.Config{
 			Decoys:    cfg.Decoys,
 			KeyDigits: cfg.KeyDigits,
@@ -468,6 +484,7 @@ func New(cfg Config) *Engine {
 			Shards:    cfg.Shards,
 			Seed:      cfg.Seed,
 			Clock:     cfg.Clock,
+			Interner:  interner,
 		}),
 	}
 	e.tel = cfg.Telemetry
@@ -510,6 +527,7 @@ func New(cfg Config) *Engine {
 		Shards:      cfg.Shards,
 		Clock:       cfg.Clock,
 		Evicted:     e.sessionEnded,
+		Interner:    interner,
 		// Bump the decision epoch when the classification threshold is
 		// crossed: the behavioural rules (and the learned model) first become
 		// decidable there, so cached verdicts must not outlive that point.
@@ -1032,6 +1050,7 @@ func (e *Engine) checkUAMismatch(key session.Key, headerUA, reported string) {
 	var want string
 	if snap, ok := e.sessions.Peek(key); ok {
 		want = snap.NormUA
+		snap.Release()
 	} else {
 		// The session raced away (eviction); fall back to normalising inline.
 		want = session.NormalizeUA(headerUA)
@@ -1081,8 +1100,11 @@ func (e *Engine) MarkCaptchaFailed(key session.Key) {
 	if e.outcomes == nil {
 		return
 	}
-	if snap, ok := e.sessions.Peek(key); ok && snap.Counts.Total >= e.cfg.OutcomeMinRequests {
-		e.outcomes.Add(snap.Features, false)
+	if snap, ok := e.sessions.Peek(key); ok {
+		if int64(snap.Counts.Total) >= e.cfg.OutcomeMinRequests {
+			e.outcomes.Add(snap.Features, false)
+		}
+		snap.Release()
 	}
 }
 
@@ -1097,13 +1119,17 @@ func (e *Engine) Classify(key session.Key) Verdict {
 	if !ok {
 		return Verdict{Class: ClassUndecided, Confidence: Tentative, Reason: "unknown session"}
 	}
-	return e.classify(snap)
+	v := e.classify(snap)
+	snap.Release()
+	return v
 }
 
 // Decide returns the session's published snapshot together with its (cached)
 // verdict, without copying the snapshot. The snapshot is shared with the
 // tracker and must be treated as read-only; enforcement layers (proxy, cdn)
-// use it to evaluate policy without per-request allocation.
+// use it to evaluate policy without per-request allocation. The snapshot is
+// pinned in its session's republish arena: the caller MUST call
+// snap.Release() when done reading it (one atomic add).
 func (e *Engine) Decide(key session.Key) (*session.Snapshot, Verdict, bool) {
 	snap, ok := e.sessions.Peek(key)
 	if !ok {
@@ -1183,10 +1209,13 @@ func (e *Engine) RecordOutcome(key session.Key, human bool) {
 		return
 	}
 	snap, ok := e.sessions.Peek(key)
-	if !ok || snap.Counts.Total < e.cfg.OutcomeMinRequests {
+	if !ok {
 		return
 	}
-	e.outcomes.Add(snap.Features, human)
+	if int64(snap.Counts.Total) >= e.cfg.OutcomeMinRequests {
+		e.outcomes.Add(snap.Features, human)
+	}
+	snap.Release()
 }
 
 // RecordOutcomeVector stores a labelled attribute vector directly, for
@@ -1204,7 +1233,7 @@ func (e *Engine) RecordOutcomeVector(x features.Vector, human bool) {
 // label robots). Sessions below OutcomeMinRequests are skipped — their
 // attribute vectors are noise.
 func (e *Engine) recordSignalOutcome(snap session.Snapshot, human bool) {
-	if e.outcomes == nil || snap.Counts.Total < e.cfg.OutcomeMinRequests {
+	if e.outcomes == nil || int64(snap.Counts.Total) < e.cfg.OutcomeMinRequests {
 		return
 	}
 	e.outcomes.Add(snap.Features, human)
@@ -1314,6 +1343,13 @@ func (e *Engine) ExpireIdle(now time.Time) int { return e.sessions.ExpireIdle(no
 // (and with it the admission-path recomputation) has stopped entirely.
 func (e *Engine) SweepStep(now time.Time) int {
 	n := e.sessions.SweepStep(now)
+	// Once per full pass over the shards, redistribute the per-shard session
+	// caps from the occupancy the pass just observed (see
+	// session.Tracker.RebalanceCaps) — the autotuning half of the occupancy
+	// signal the load ladder publishes.
+	if e.sweepSteps.Add(1)%uint64(e.sessions.ShardCount()) == 0 {
+		e.sessions.RebalanceCaps()
+	}
 	e.RecomputeLoadState()
 	return n
 }

@@ -106,7 +106,7 @@ func TestEngineConcurrentPipeline(t *testing.T) {
 	}
 	var total int64
 	e.StreamSessions(func(s session.Snapshot) bool {
-		total += s.Counts.Total
+		total += int64(s.Counts.Total)
 		return true
 	})
 	if total != workers*iters {

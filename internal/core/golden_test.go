@@ -24,9 +24,11 @@ var goldenPage = []byte(`<html>
 // sequence and compares every rewritten page (and the issued key/token
 // paths) against the checked-in capture. Any drift in the keystore's RNG
 // consumption, the injection composition or the rewriter shows up here as a
-// byte diff.
+// byte diff. Shards is pinned to the capture-time default: the shard count
+// now autotunes from GOMAXPROCS, and per-shard RNG streams (hence key
+// digits) depend on it, so a machine-portable golden must fix it.
 func TestInstrumentPageGoldenBytes(t *testing.T) {
-	e := New(Config{Seed: 7, ObfuscateJS: true})
+	e := New(Config{Seed: 7, ObfuscateJS: true, Shards: 32})
 	var got []byte
 	for _, c := range []struct{ ip, pagePath string }{
 		{"10.1.2.3", "/"},

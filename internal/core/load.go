@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"botdetect/internal/htmlmod"
+	"botdetect/internal/intern"
 	"botdetect/internal/session"
 )
 
@@ -138,10 +139,23 @@ func nextLoadState(prev LoadState, occ, pressuredAt, saturatedAt, hyst float64) 
 // and, when Config.MemoryBudget is set, estimated memory over budget. It is
 // a pure read over lock-free counters.
 func (e *Engine) Occupancy() float64 {
-	occ := float64(e.sessions.Active()) / float64(e.cfg.MaxSessions)
+	occ := e.trackingOccupancy()
 	if k := e.keys.Occupancy(); k > occ {
 		occ = k
 	}
+	return occ
+}
+
+// trackingOccupancy is the occupancy fraction of the resources that grow per
+// TRACKED session: the session table and (when budgeted) estimated memory.
+// The keystore is deliberately excluded: its client table is a bounded
+// rolling window (LRU-evicted at Config-capped size), so "keystore full" is
+// its steady state at scale, not an overload signal — a million-session node
+// runs for hours with the keystore window saturated. Keystore pressure is
+// relieved by degrading new-client issuance (fewer decoys, shorter TTLs),
+// never by refusing to track sessions; see RecomputeLoadState.
+func (e *Engine) trackingOccupancy() float64 {
+	occ := float64(e.sessions.Active()) / float64(e.cfg.MaxSessions)
 	if e.cfg.MemoryBudget > 0 {
 		if m := float64(e.MemoryEstimate()) / float64(e.cfg.MemoryBudget); m > occ {
 			occ = m
@@ -151,10 +165,22 @@ func (e *Engine) Occupancy() float64 {
 }
 
 // MemoryEstimate returns the engine's approximate live memory footprint in
-// bytes — the session tracker plus the keystore, the two structures whose
-// size is attacker-controlled. Lock-free and allocation-free.
+// bytes — the session tracker, the keystore, and the shared string interner,
+// the structures whose size is attacker-controlled. Lock-free and
+// allocation-free.
 func (e *Engine) MemoryEstimate() int64 {
-	return e.sessions.MemoryEstimate() + e.keys.MemoryEstimate()
+	return e.sessions.MemoryEstimate() + e.keys.MemoryEstimate() + e.interner.MemoryEstimate()
+}
+
+// MemoryBreakdown itemises MemoryEstimate by component, in bytes. Lock-free.
+func (e *Engine) MemoryBreakdown() (sessions, keys, interned int64) {
+	return e.sessions.MemoryEstimate(), e.keys.MemoryEstimate(), e.interner.MemoryEstimate()
+}
+
+// InternStats returns occupancy and hit-rate counters for the shared string
+// interner (normalized user agents and page paths).
+func (e *Engine) InternStats() intern.Stats {
+	return e.interner.Stats()
 }
 
 // MemoryBudget returns the configured budget in bytes (0 = unbudgeted).
@@ -169,7 +195,13 @@ func (e *Engine) RecomputeLoadState() LoadState {
 	occ := e.Occupancy()
 	e.loadOcc.Store(uint64(occ * 1e6))
 	prev := LoadState(e.loadState.Load())
-	next := nextLoadState(prev, occ, e.cfg.PressuredAt, e.cfg.SaturatedAt, e.cfg.LoadHysteresis)
+	// The full ladder (up to pass-through shedding) runs off the resources
+	// that grow per tracked session; a full keystore window only escalates
+	// to Pressured, where degraded issuance shrinks its per-client cost.
+	next := nextLoadState(prev, e.trackingOccupancy(), e.cfg.PressuredAt, e.cfg.SaturatedAt, e.cfg.LoadHysteresis)
+	if next == LoadNormal && e.keys.Occupancy() >= e.cfg.PressuredAt {
+		next = LoadPressured
+	}
 	if next != prev {
 		e.loadState.Store(int32(next))
 	}
@@ -240,6 +272,7 @@ func (e *Engine) AdmitPage(clientIP, userAgent string) Admission {
 	snap, tracked := e.sessions.Peek(session.Key{IP: clientIP, UserAgent: userAgent})
 	if state == LoadPressured {
 		if tracked {
+			snap.Release()
 			return AdmitFull
 		}
 		e.stats.shedDegraded.Add(1)
@@ -247,7 +280,9 @@ func (e *Engine) AdmitPage(clientIP, userAgent string) Admission {
 	}
 	// Saturated: only evidence keeps full service.
 	if tracked {
-		if len(snap.Signals) > 0 {
+		suspect := snap.Signals.Any()
+		snap.Release()
+		if suspect {
 			return AdmitFull
 		}
 		e.stats.shedDegraded.Add(1)

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"botdetect/internal/logfmt"
+)
+
+// TestMemoryCeilingPerSession is the e2e gate for the million-session memory
+// engine (ISSUE 9): after a realistic serve pattern — one instrumented page
+// issue plus a few observed requests per client — the engine's own
+// MemoryEstimate must come in at or under 2 KiB per tracked session. The
+// estimate is the same number admission control budgets against and the serve
+// benchmark reports as bytes_per_session, so this pins the plan's core
+// arithmetic: 1M clients fit in ~2 GB.
+func TestMemoryCeilingPerSession(t *testing.T) {
+	const clients = 20000
+	e := New(Config{Seed: 11, MaxSessions: clients * 2})
+	base := time.Unix(1136073600, 0)
+	ps := &PageState{}
+	for i := 0; i < clients; i++ {
+		ip := fmt.Sprintf("10.%d.%d.%d", i>>16, (i>>8)&0xff, i&0xff)
+		ua := fmt.Sprintf("Mozilla/5.0 (bench; rv:%d)", i%64) // 64 distinct UAs, like real traffic
+		e.PreparePage(ip, ua, "/index.html", ps)
+		for r := 0; r < 3; r++ {
+			e.ObserveRequestQuiet(logfmt.Entry{
+				Time: base.Add(time.Duration(r) * time.Second), ClientIP: ip, UserAgent: ua,
+				Method: "GET", Path: fmt.Sprintf("/doc/%d.html", r), Status: 200, Bytes: 1200,
+				ContentType: "text/html",
+			})
+		}
+	}
+
+	n := e.SessionCount()
+	if n < clients*99/100 {
+		t.Fatalf("tracked sessions = %d, want ~%d", n, clients)
+	}
+	perSession := e.MemoryEstimate() / int64(n)
+	t.Logf("engine estimate: %d sessions, %d B total, %d B/session", n, e.MemoryEstimate(), perSession)
+	sess, keys, interned := e.MemoryBreakdown()
+	t.Logf("breakdown: sessions=%d keys=%d interned=%d", sess, keys, interned)
+	if perSession > 2048 {
+		t.Fatalf("engine memory = %d B/session, exceeds the 2 KiB ceiling", perSession)
+	}
+}

@@ -94,8 +94,28 @@ func (e *Engine) registerTelemetry() {
 		func(emit func(labels string, v float64)) { emit(nl, float64(e.LoadState())) })
 	reg.GaugeFunc("botdetect_load_occupancy", "Capacity fraction in use at the last load-state recomputation.",
 		func(emit func(labels string, v float64)) { emit(nl, e.LoadOccupancy()) })
-	reg.GaugeFunc("botdetect_memory_estimate_bytes", "Estimated live bytes in the session tracker and keystore.",
+	reg.GaugeFunc("botdetect_memory_estimate_bytes", "Estimated live bytes in the session tracker, keystore and interner.",
 		func(emit func(labels string, v float64)) { emit(nl, float64(e.MemoryEstimate())) })
+	reg.GaugeFunc("botdetect_memory_bytes_per_session", "Estimated live engine bytes per tracked session.",
+		func(emit func(labels string, v float64)) {
+			if n := e.sessions.Active(); n > 0 {
+				emit(nl, float64(e.MemoryEstimate())/float64(n))
+			} else {
+				emit(nl, 0)
+			}
+		})
+	reg.GaugeFunc("botdetect_intern_entries", "Live canonical strings in the shared interner.",
+		func(emit func(labels string, v float64)) { emit(nl, float64(e.interner.Stats().Entries)) })
+	reg.GaugeFunc("botdetect_intern_bytes", "Estimated interner footprint in bytes (strings plus table overhead).",
+		func(emit func(labels string, v float64)) { emit(nl, float64(e.interner.MemoryEstimate())) })
+	counter("botdetect_intern_lookups_total", telemetry.Label("result", "hit"),
+		"Intern calls by result: hit (string already canonical) vs miss (new entry).",
+		func() int64 { return e.interner.Stats().Hits })
+	counter("botdetect_intern_lookups_total", telemetry.Label("result", "miss"),
+		"Intern calls by result: hit (string already canonical) vs miss (new entry).",
+		func() int64 { return e.interner.Stats().Misses })
+	reg.GaugeFunc("botdetect_intern_hit_rate", "Fraction of Intern calls served from the canonical table.",
+		func(emit func(labels string, v float64)) { emit(nl, e.interner.Stats().HitRate()) })
 	if e.cfg.MemoryBudget > 0 {
 		reg.GaugeFunc("botdetect_memory_budget_bytes", "Configured memory budget (Config.MemoryBudget).",
 			func(emit func(labels string, v float64)) { emit(nl, float64(e.cfg.MemoryBudget)) })
@@ -119,6 +139,12 @@ func (e *Engine) registerTelemetry() {
 		func(emit func(labels string, v float64)) {
 			for i, l := range shardLabels {
 				emit(l, float64(e.keys.ShardClients(i)))
+			}
+		})
+	reg.GaugeFunc("botdetect_shard_session_cap", "Per-shard session cap after occupancy rebalancing.",
+		func(emit func(labels string, v float64)) {
+			for i, l := range shardLabels {
+				emit(l, float64(e.sessions.ShardCap(i)))
 			}
 		})
 }

@@ -210,9 +210,9 @@ func (w *weighted) Detect(snap *session.Snapshot) (Verdict, bool) {
 	case sum > 0 && lead.Class == ClassHuman, sum < 0 && lead.Class == ClassRobot:
 		return lead, true
 	case sum > 0:
-		return Verdict{Class: ClassHuman, Confidence: Probable, Reason: "weighted vote favours human", AtRequest: snap.Counts.Total}, true
+		return Verdict{Class: ClassHuman, Confidence: Probable, Reason: "weighted vote favours human", AtRequest: int64(snap.Counts.Total)}, true
 	case sum < 0:
-		return Verdict{Class: ClassRobot, Confidence: Probable, Reason: "weighted vote favours robot", AtRequest: snap.Counts.Total}, true
+		return Verdict{Class: ClassRobot, Confidence: Probable, Reason: "weighted vote favours robot", AtRequest: int64(snap.Counts.Total)}, true
 	default:
 		return Undecided("weighted vote tied: " + lead.Reason), true
 	}

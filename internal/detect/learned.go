@@ -63,11 +63,11 @@ const (
 // request mix.
 func (l *Learned) Detect(snap *session.Snapshot) (Verdict, bool) {
 	m := l.model.Load()
-	if m == nil || snap.Counts.Total < l.MinRequests {
+	if m == nil || int64(snap.Counts.Total) < l.MinRequests {
 		return Verdict{}, false
 	}
 	if m.Predict(snap.Features) {
-		return Verdict{Class: ClassHuman, Confidence: Probable, Reason: reasonLearnedHuman, AtRequest: snap.Counts.Total}, true
+		return Verdict{Class: ClassHuman, Confidence: Probable, Reason: reasonLearnedHuman, AtRequest: int64(snap.Counts.Total)}, true
 	}
-	return Verdict{Class: ClassRobot, Confidence: Probable, Reason: reasonLearnedRobot, AtRequest: snap.Counts.Total}, true
+	return Verdict{Class: ClassRobot, Confidence: Probable, Reason: reasonLearnedRobot, AtRequest: int64(snap.Counts.Total)}, true
 }

@@ -65,7 +65,7 @@ func (BrowserTest) Name() string { return "browser-test" }
 
 // Detect implements detect.Detector.
 func (b BrowserTest) Detect(snap *session.Snapshot) (detect.Verdict, bool) {
-	if snap.Counts.Total < b.MinRequests {
+	if int64(snap.Counts.Total) < b.MinRequests {
 		return detect.Undecided("fewer requests than the classification threshold"), true
 	}
 	if jsAt, ok := snap.SignalAt(session.SignalJS); ok {

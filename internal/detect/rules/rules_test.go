@@ -8,7 +8,7 @@ import (
 )
 
 func sigSnap(total int64, sigs map[session.Signal]int64) *session.Snapshot {
-	return &session.Snapshot{Counts: session.Counts{Total: total}, Signals: sigs}
+	return &session.Snapshot{Counts: session.Counts{Total: uint32(total)}, Signals: session.MakeSignals(sigs)}
 }
 
 func TestDirectPriorityOrder(t *testing.T) {

@@ -95,7 +95,7 @@ func frac(n, total int) float64 {
 func Breakdown(sessions []session.Snapshot, minRequests int64) SetBreakdown {
 	var b SetBreakdown
 	for _, s := range sessions {
-		if s.Counts.Total <= minRequests {
+		if int64(s.Counts.Total) <= minRequests {
 			continue
 		}
 		b.Total++

@@ -14,8 +14,8 @@ import (
 func snapWith(total int64, sigs map[session.Signal]int64) session.Snapshot {
 	return session.Snapshot{
 		Key:     session.Key{IP: "10.0.0.1", UserAgent: "x"},
-		Counts:  session.Counts{Total: total},
-		Signals: sigs,
+		Counts:  session.Counts{Total: uint32(total)},
+		Signals: session.MakeSignals(sigs),
 	}
 }
 

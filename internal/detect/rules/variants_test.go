@@ -17,7 +17,7 @@ func variantSnap(css, mouse, js bool) session.Snapshot {
 	if js {
 		sigs[session.SignalJS] = 3
 	}
-	return session.Snapshot{Counts: session.Counts{Total: 20}, Signals: sigs}
+	return session.Snapshot{Counts: session.Counts{Total: 20}, Signals: session.MakeSignals(sigs)}
 }
 
 func TestFullRuleMatchesInHumanSet(t *testing.T) {

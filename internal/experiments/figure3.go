@@ -60,8 +60,8 @@ func Figure3(scale Scale) Figure3Result {
 			continue
 		}
 		totalRobotReqs += float64(s.Snapshot.Counts.Total)
-		if s.Verdict.Class == core.ClassRobot && s.Snapshot.Counts.Total > s.Verdict.AtRequest {
-			suppressedReqs += float64(s.Snapshot.Counts.Total - s.Verdict.AtRequest)
+		if s.Verdict.Class == core.ClassRobot && int64(s.Snapshot.Counts.Total) > s.Verdict.AtRequest {
+			suppressedReqs += float64(int64(s.Snapshot.Counts.Total) - s.Verdict.AtRequest)
 		}
 	}
 	blockedFraction := 0.0

@@ -308,8 +308,11 @@ func OverloadBench(cfg OverloadConfig) OverloadResult {
 	// be tracked and still carry its evidence.
 	survived := 0
 	for i := 0; i < cfg.Established; i++ {
-		if snap, _, ok := det.Decide(session.Key{IP: estIP(i), UserAgent: estUA}); ok && len(snap.Signals) > 0 {
-			survived++
+		if snap, _, ok := det.Decide(session.Key{IP: estIP(i), UserAgent: estUA}); ok {
+			if snap.Signals.Any() {
+				survived++
+			}
+			snap.Release()
 		}
 	}
 

@@ -48,3 +48,40 @@ func TestServeBenchSmall(t *testing.T) {
 		t.Fatalf("Format missing header:\n%s", res.Format())
 	}
 }
+
+// TestLatHistQuantiles checks the log-linear histogram against exact
+// order-statistics on a known distribution: every bucketed quantile must be
+// within the histogram's documented ~3% relative error.
+func TestLatHistQuantiles(t *testing.T) {
+	var h latHist
+	// 1..100000 ns, uniform: exact q-th quantile is q*100000.
+	for ns := int64(1); ns <= 100000; ns++ {
+		h.record(ns)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exactUs := q * 100000 / 1e3
+		got := h.quantile(q)
+		if rel := (got - exactUs) / exactUs; rel < -0.04 || rel > 0.04 {
+			t.Fatalf("q%.2f = %.3fus, exact %.3fus (rel err %.3f)", q, got, exactUs, rel)
+		}
+	}
+	if h.quantile(0) <= 0 {
+		t.Fatalf("q0 = %v, want > 0", h.quantile(0))
+	}
+}
+
+// TestLatHistBucketsRoundTrip pins the bucket layout: bucketing any value and
+// taking the bucket midpoint must stay within one sub-bucket width.
+func TestLatHistBucketsRoundTrip(t *testing.T) {
+	for _, ns := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 12345, 1 << 20, 1 << 40} {
+		b := latBucket(ns)
+		mid := latBucketMid(b)
+		width := float64(ns) / latSubBuckets
+		if width < 1 {
+			width = 1
+		}
+		if diff := mid - float64(ns); diff < -width || diff > width {
+			t.Fatalf("ns=%d bucket=%d mid=%.1f (off by %.1f, width %.1f)", ns, b, mid, diff, width)
+		}
+	}
+}

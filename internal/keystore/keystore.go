@@ -34,8 +34,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"botdetect/internal/clock"
+	"botdetect/internal/intern"
 	"botdetect/internal/rng"
 	"botdetect/internal/shard"
 )
@@ -181,6 +183,11 @@ type Config struct {
 	Seed uint64
 	// Clock supplies time; defaults to the wall clock.
 	Clock clock.Clock
+	// Interner, when non-nil, is the shared string table page paths are
+	// interned into (the engine passes one interner to the tracker and the
+	// keystore). When nil the store creates a private one. Interned bytes
+	// are accounted by the interner's own MemoryEstimate, not the store's.
+	Interner *intern.Interner
 }
 
 func (c Config) withDefaults() Config {
@@ -206,24 +213,34 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = clock.System
 	}
+	if c.Interner == nil {
+		c.Interner = intern.New(8)
+	}
 	return c
 }
 
-type keyKind int8
-
+// keyRecord flag bits.
 const (
-	kindReal keyKind = iota
-	kindDecoy
+	flagDecoy    uint8 = 1 << 0
+	flagConsumed uint8 = 1 << 1
 )
 
 // keyRecord is stored by value in the client's key map, so issuing a page's
-// keys boxes nothing on the heap.
+// keys boxes nothing on the heap. It packs to 16 bytes: the page is an
+// interned handle (real traffic concentrates on a small path set, so a
+// million outstanding keys share a few hundred canonical strings), the issue
+// time is a coarse tick (uint32, unit ≈ TTL/65536 — quantisation is ~0.003%
+// of the TTL) and kind/consumed are flag bits.
 type keyRecord struct {
-	kind     keyKind
-	consumed bool
-	page     string
-	issuedAt time.Time
+	page  intern.Handle // interned page path (0 = empty page)
+	tick  uint32        // coarse issue time; see Store.tick
+	flags uint8         // flagDecoy | flagConsumed
 }
+
+// tickResolution is the number of coarse ticks per TTL (so a tick unit is
+// TTL/65536, floored at 1ns). The uint32 tick space then covers 65536 TTLs
+// (~7.5 years at the default 1-hour TTL) before saturating.
+const tickResolution = 1 << 16
 
 // issueBatch records one page view's real key and where its decoys live in
 // the client's decoy arena. Keeping the association explicit makes
@@ -244,11 +261,11 @@ type clientState struct {
 	keys   map[uint64]keyRecord // key value -> record
 	queue  []issueBatch         // issue order, for per-client eviction
 	decoys []uint64             // flat arena backing queue[i]'s decoy runs
-	// oldest is a lower bound on the issuedAt of every live key: expiry scans
-	// are skipped entirely while now-oldest <= TTL, because no key can have
-	// expired yet. It is exact after the first issue and after every scan
-	// (the scan re-derives the minimum over the surviving records).
-	oldest time.Time
+	// oldestTick is a lower bound on the issue tick of every live key:
+	// expiry scans are skipped entirely while now-oldest <= TTL, because no
+	// key can have expired yet. It is exact after the first issue and after
+	// every scan (the scan re-derives the minimum over the survivors).
+	oldestTick uint32
 
 	prev, next *clientState // intrusive LRU: prev = towards front (most recent)
 }
@@ -287,24 +304,45 @@ type storeShard struct {
 	max     int          // per-shard client cap
 }
 
-// Approximate per-entry memory costs backing Store.MemoryEstimate. Rounded
-// up on purpose: the estimate feeds admission control (see core.LoadState),
-// where an overestimate degrades service early and an underestimate OOMs.
+// Per-entry memory costs backing Store.MemoryEstimate, derived from the
+// actual struct layouts via unsafe.Sizeof so they cannot silently rot when
+// fields change (TestKeystoreStructBudgets pins the layouts). The hand-tuned
+// overhead components round up on purpose: the estimate feeds admission
+// control (see core.LoadState), where an overestimate degrades service early
+// and an underestimate OOMs.
 const (
-	// clientBaseBytes covers a clientState, its shard map entry and the IP
-	// string.
-	clientBaseBytes = 512
-	// keyEntryBytes covers one key map entry plus its share of the issue
-	// queue and decoy arena.
-	keyEntryBytes = 64
+	// keyRecordBytes is the exact packed record size (16 B).
+	keyRecordBytes = int64(unsafe.Sizeof(keyRecord{}))
+	// keyOverheadBytes covers the record's map-bucket share (8 B key + load
+	// factor) plus its share of the issue queue and decoy arena.
+	keyOverheadBytes = 32
+	// keyEntryBytes is the total cost charged per outstanding key.
+	keyEntryBytes = keyRecordBytes + keyOverheadBytes
+	// clientStructBytes is the exact clientState size.
+	clientStructBytes = int64(unsafe.Sizeof(clientState{}))
+	// clientOverheadBytes covers the shard map entry, the IP string and the
+	// key-map header; queue/arena capacity is charged per key above.
+	clientOverheadBytes = 128
+	// clientBaseBytes is the total cost charged per tracked client.
+	clientBaseBytes = clientStructBytes + clientOverheadBytes
 )
 
 // Store is the key table. It is safe for concurrent use.
 type Store struct {
-	cfg    Config
-	shards []*storeShard
-	mask   uint64
-	stats  storeStats
+	cfg      Config
+	shards   []*storeShard
+	mask     uint64
+	stats    storeStats
+	interner *intern.Interner
+
+	// Coarse-tick time base (see Store.tick): epoch is set at construction
+	// far enough in the past that backdated (degraded) issues never go
+	// negative, tickUnit is TTL/tickResolution floored at 1ns, and ttlTicks
+	// is the TTL in ticks rounded up, so quantisation can only ever lengthen
+	// a key's life (by < 2 ticks ≈ TTL/32768), never expire it early.
+	epoch    time.Time
+	tickUnit time.Duration
+	ttlTicks uint32
 
 	// liveClients/liveKeys mirror the locked per-shard state so occupancy
 	// and memory estimates are lock-free reads on the serve path.
@@ -315,7 +353,13 @@ type Store struct {
 // New creates a Store with the given configuration.
 func New(cfg Config) *Store {
 	cfg = cfg.withDefaults()
-	s := &Store{cfg: cfg, mask: uint64(cfg.Shards - 1)}
+	s := &Store{cfg: cfg, mask: uint64(cfg.Shards - 1), interner: cfg.Interner}
+	s.tickUnit = cfg.TTL / tickResolution
+	if s.tickUnit <= 0 {
+		s.tickUnit = 1
+	}
+	s.ttlTicks = uint32((cfg.TTL + s.tickUnit - 1) / s.tickUnit)
+	s.epoch = cfg.Clock.Now().Add(-cfg.TTL - 4*s.tickUnit)
 	base := rng.New(cfg.Seed).Fork("keystore")
 	perShard := shard.PerShardCap(cfg.MaxClients, cfg.Shards)
 	s.shards = make([]*storeShard, cfg.Shards)
@@ -343,6 +387,26 @@ func (s *Store) ShardClients(i int) int {
 
 func (s *Store) shard(ip string) *storeShard {
 	return s.shards[shard.HashString(ip)&s.mask]
+}
+
+// tick converts a wall time to the store's coarse tick scale. Times before
+// the epoch clamp to 0 and the scale saturates at the uint32 ceiling; both
+// only lengthen apparent key life, never shorten it.
+func (s *Store) tick(t time.Time) uint32 {
+	d := t.Sub(s.epoch)
+	if d < 0 {
+		return 0
+	}
+	n := int64(d) / int64(s.tickUnit)
+	if n > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(n)
+}
+
+// expired reports whether a key issued at recTick is past the TTL at nowTick.
+func (s *Store) expired(nowTick, recTick uint32) bool {
+	return int64(nowTick)-int64(recTick) > int64(s.ttlTicks)
 }
 
 // --- intrusive LRU -----------------------------------------------------------
@@ -434,10 +498,11 @@ func (s *Store) IssuePage(clientIP, page string, pk *PageKeys) {
 	defer sh.mu.Unlock()
 
 	now := s.cfg.Clock.Now()
+	nowTick := s.tick(now)
 	cs := s.clientLocked(sh, clientIP)
 	sh.moveToFront(cs)
-	s.expireClientLocked(cs, now)
-	s.issuePageLocked(sh, cs, page, now, now, s.cfg.Decoys, pk)
+	s.expireClientLocked(cs, nowTick)
+	s.issuePageLocked(sh, cs, page, now, nowTick, s.cfg.Decoys, pk)
 	s.enforcePerClientLocked(cs)
 	s.enforceClientCapLocked(sh)
 }
@@ -464,8 +529,8 @@ func (s *Store) IssuePageDegraded(clientIP, page string, decoys int, ttl time.Du
 	}
 	cs := s.clientLocked(sh, clientIP)
 	sh.moveToFront(cs)
-	s.expireClientLocked(cs, now)
-	s.issuePageLocked(sh, cs, page, now, issuedAt, decoys, pk)
+	s.expireClientLocked(cs, s.tick(now))
+	s.issuePageLocked(sh, cs, page, now, s.tick(issuedAt), decoys, pk)
 	s.enforcePerClientLocked(cs)
 	s.enforceClientCapLocked(sh)
 }
@@ -487,11 +552,12 @@ func (s *Store) IssuePagesInto(clientIP string, pages []string, pks []*PageKeys)
 	defer sh.mu.Unlock()
 
 	now := s.cfg.Clock.Now()
+	nowTick := s.tick(now)
 	cs := s.clientLocked(sh, clientIP)
 	sh.moveToFront(cs)
-	s.expireClientLocked(cs, now)
+	s.expireClientLocked(cs, nowTick)
 	for i, page := range pages {
-		s.issuePageLocked(sh, cs, page, now, now, s.cfg.Decoys, pks[i])
+		s.issuePageLocked(sh, cs, page, now, nowTick, s.cfg.Decoys, pks[i])
 	}
 	s.enforcePerClientLocked(cs)
 	s.enforceClientCapLocked(sh)
@@ -518,12 +584,13 @@ func (s *Store) IssueN(clientIP string, pages []string, out []Issued) []Issued {
 	defer sh.mu.Unlock()
 
 	now := s.cfg.Clock.Now()
+	nowTick := s.tick(now)
 	cs := s.clientLocked(sh, clientIP)
 	sh.moveToFront(cs)
-	s.expireClientLocked(cs, now)
+	s.expireClientLocked(cs, nowTick)
 	var pk PageKeys
 	for _, page := range pages {
-		s.issuePageLocked(sh, cs, page, now, now, s.cfg.Decoys, &pk)
+		s.issuePageLocked(sh, cs, page, now, nowTick, s.cfg.Decoys, &pk)
 		out = append(out, pk.Issued())
 	}
 	s.enforcePerClientLocked(cs)
@@ -534,12 +601,14 @@ func (s *Store) IssueN(clientIP string, pages []string, out []Issued) []Issued {
 // issuePageLocked draws one page's keys and tokens and records them. The
 // draw order (real key, CSS/script/hidden tokens, then decoys) is part of
 // the store's deterministic surface: fixed-seed runs replay it byte for
-// byte, and the string wrappers format exactly these draws. issuedAt is the
-// recorded timestamp (normally now; the degraded path backdates it to
-// shorten the effective TTL) and decoys the decoy count for this page.
-func (s *Store) issuePageLocked(sh *storeShard, cs *clientState, page string, now, issuedAt time.Time, decoys int, pk *PageKeys) {
-	if len(cs.keys) == 0 || issuedAt.Before(cs.oldest) {
-		cs.oldest = issuedAt
+// byte, and the string wrappers format exactly these draws. issueTick is the
+// recorded coarse timestamp (normally now's tick; the degraded path
+// backdates it to shorten the effective TTL) and decoys the decoy count for
+// this page. The page path is interned once and the handle retained per
+// record, so a batch's records carry 8-byte handles into one shared string.
+func (s *Store) issuePageLocked(sh *storeShard, cs *clientState, page string, now time.Time, issueTick uint32, decoys int, pk *PageKeys) {
+	if len(cs.keys) == 0 || issueTick < cs.oldestTick {
+		cs.oldestTick = issueTick
 	}
 	digits := s.cfg.KeyDigits
 	pk.Page = page
@@ -549,14 +618,16 @@ func (s *Store) issuePageLocked(sh *storeShard, cs *clientState, page string, no
 	pk.ScriptToken = sh.src.DigitKeyValue(digits)
 	pk.HiddenToken = sh.src.DigitKeyValue(digits)
 	pk.IssuedAt = now
-	cs.keys[pk.Key] = keyRecord{kind: kindReal, page: page, issuedAt: issuedAt}
+	pageHandle, _ := s.interner.Intern(page)
+	cs.keys[pk.Key] = keyRecord{page: pageHandle, tick: issueTick}
 	pk.Decoys = pk.Decoys[:0]
 	off := int32(len(cs.decoys))
 	for i := 0; i < decoys; i++ {
 		d := s.uniqueKeyLocked(sh, cs)
 		pk.Decoys = append(pk.Decoys, d)
 		cs.decoys = append(cs.decoys, d)
-		cs.keys[d] = keyRecord{kind: kindDecoy, page: page, issuedAt: issuedAt}
+		s.interner.Retain(pageHandle)
+		cs.keys[d] = keyRecord{page: pageHandle, tick: issueTick, flags: flagDecoy}
 	}
 	cs.queue = append(cs.queue, issueBatch{key: pk.Key, off: off, n: int32(decoys)})
 	s.stats.issued.Add(1)
@@ -574,19 +645,29 @@ func (s *Store) uniqueKeyLocked(sh *storeShard, cs *clientState) uint64 {
 }
 
 // dropBatchesLocked removes the first n batches from the client's queue,
-// deleting their keys, then compacts the queue and the decoy arena in place
-// (copy-down, no reallocation) so the backing arrays never creep. It returns
-// the number of keys deleted so the caller can settle the live-key counter.
-func (cs *clientState) dropBatchesLocked(n int) int64 {
+// deleting their keys (and releasing their interned page handles), then
+// compacts the queue and the decoy arena in place (copy-down, no
+// reallocation) so the backing arrays never creep. It returns the number of
+// keys deleted so the caller can settle the live-key counter.
+func (s *Store) dropBatchesLocked(cs *clientState, n int) int64 {
 	if n <= 0 {
 		return 0
 	}
+	var dropped int64
 	var decoysDropped int32
 	for i := 0; i < n; i++ {
 		b := cs.queue[i]
-		delete(cs.keys, b.key)
+		if rec, ok := cs.keys[b.key]; ok {
+			s.interner.Release(rec.page)
+			delete(cs.keys, b.key)
+			dropped++
+		}
 		for _, d := range cs.decoys[b.off : b.off+b.n] {
-			delete(cs.keys, d)
+			if rec, ok := cs.keys[d]; ok {
+				s.interner.Release(rec.page)
+				delete(cs.keys, d)
+				dropped++
+			}
 		}
 		decoysDropped += b.n
 	}
@@ -601,26 +682,27 @@ func (cs *clientState) dropBatchesLocked(n int) int64 {
 	for i := range cs.queue {
 		cs.queue[i].off -= decoysDropped
 	}
-	return int64(n) + int64(decoysDropped)
+	return dropped
 }
 
 // expireClientLocked drops keys older than the TTL for one client. The
 // O(outstanding keys) map scan only runs when the oldest live key can
-// actually have expired (tracked via clientState.oldest, re-derived exactly
-// from the survivors on every scan), so hot-path issues skip it.
-func (s *Store) expireClientLocked(cs *clientState, now time.Time) {
-	if len(cs.keys) == 0 || now.Sub(cs.oldest) <= s.cfg.TTL {
+// actually have expired (tracked via clientState.oldestTick, re-derived
+// exactly from the survivors on every scan), so hot-path issues skip it.
+func (s *Store) expireClientLocked(cs *clientState, nowTick uint32) {
+	if len(cs.keys) == 0 || !s.expired(nowTick, cs.oldestTick) {
 		return
 	}
-	minSurvivor := now
+	minSurvivor := nowTick
 	var dropped int64
 	for k, rec := range cs.keys {
-		if now.Sub(rec.issuedAt) > s.cfg.TTL {
+		if s.expired(nowTick, rec.tick) {
+			s.interner.Release(rec.page)
 			delete(cs.keys, k)
 			dropped++
 			s.stats.expiredDropped.Add(1)
-		} else if rec.issuedAt.Before(minSurvivor) {
-			minSurvivor = rec.issuedAt
+		} else if rec.tick < minSurvivor {
+			minSurvivor = rec.tick
 		}
 	}
 	s.liveKeys.Add(-dropped)
@@ -642,7 +724,7 @@ func (s *Store) expireClientLocked(cs *clientState, now time.Time) {
 		cs.queue = keepQ
 		cs.decoys = keepD
 	}
-	cs.oldest = minSurvivor
+	cs.oldestTick = minSurvivor
 }
 
 // enforcePerClientLocked bounds the number of outstanding real keys for one
@@ -651,7 +733,7 @@ func (s *Store) expireClientLocked(cs *clientState, now time.Time) {
 // batch's keys — no scan over the client's whole table.
 func (s *Store) enforcePerClientLocked(cs *clientState) {
 	if over := len(cs.queue) - s.cfg.MaxPerClient; over > 0 {
-		s.liveKeys.Add(-cs.dropBatchesLocked(over))
+		s.liveKeys.Add(-s.dropBatchesLocked(cs, over))
 	}
 }
 
@@ -667,6 +749,9 @@ func (s *Store) enforceClientCapLocked(sh *storeShard) {
 		sh.count--
 		s.liveClients.Add(-1)
 		s.liveKeys.Add(-int64(len(victim.keys)))
+		for _, rec := range victim.keys {
+			s.interner.Release(rec.page)
+		}
 		sh.release(victim)
 		s.stats.evictedClients.Add(1)
 	}
@@ -697,33 +782,32 @@ func (s *Store) ValidateValue(clientIP string, key uint64) Verdict {
 		return Unknown
 	}
 	sh.moveToFront(cs)
-	now := s.cfg.Clock.Now()
+	nowTick := s.tick(s.cfg.Clock.Now())
 	rec, ok := cs.keys[key]
 	if !ok {
 		s.stats.unknownHits.Add(1)
 		return Unknown
 	}
-	if now.Sub(rec.issuedAt) > s.cfg.TTL {
+	if s.expired(nowTick, rec.tick) {
+		s.interner.Release(rec.page)
 		delete(cs.keys, key)
 		s.liveKeys.Add(-1)
 		s.stats.expiredDropped.Add(1)
 		s.stats.unknownHits.Add(1)
 		return Unknown
 	}
-	switch rec.kind {
-	case kindDecoy:
+	if rec.flags&flagDecoy != 0 {
 		s.stats.decoyHits.Add(1)
 		return Decoy
-	default:
-		if rec.consumed {
-			s.stats.replayHits.Add(1)
-			return Replayed
-		}
-		rec.consumed = true
-		cs.keys[key] = rec
-		s.stats.humanHits.Add(1)
-		return Human
 	}
+	if rec.flags&flagConsumed != 0 {
+		s.stats.replayHits.Add(1)
+		return Replayed
+	}
+	rec.flags |= flagConsumed
+	cs.keys[key] = rec
+	s.stats.humanHits.Add(1)
+	return Human
 }
 
 // OutstandingKeys returns the number of unexpired keys currently stored for
@@ -774,6 +858,10 @@ func (s *Store) MemoryEstimate() int64 {
 
 // KeyDigits returns the effective (clamped) key width in decimal digits.
 func (s *Store) KeyDigits() int { return s.cfg.KeyDigits }
+
+// Interner returns the string table page paths are interned into (the
+// configured one, or the private instance created by default).
+func (s *Store) Interner() *intern.Interner { return s.interner }
 
 // Stats returns a copy of the cumulative counters.
 func (s *Store) Stats() Stats {

@@ -334,7 +334,7 @@ func (e *Engine) Evaluate(snap session.Snapshot, verdict detect.Verdict) Decisio
 	// Robot verdict: monitor → challenge on the first one. The transition
 	// re-validates under the writer mutex; a concurrent block wins.
 	if !ok || st.stage != StageChallenge {
-		st2, transitioned := e.escalateChallenge(key, snap.Counts.Total)
+		st2, transitioned := e.escalateChallenge(key, int64(snap.Counts.Total))
 		if transitioned {
 			e.stats.challenged.Add(1)
 			return Decision{Action: Challenge, Stage: StageChallenge, Reason: "robot verdict (" + verdict.Reason + "): challenge issued"}
@@ -361,16 +361,16 @@ func (e *Engine) Evaluate(snap session.Snapshot, verdict detect.Verdict) Decisio
 			return Decision{Action: Block, Stage: StageBlock, Reason: fmt.Sprintf("challenged robot CGI rate %.2f/s exceeds %.2f/s", rate, th.MaxCGIRate)}
 		}
 	}
-	if th.MaxErrorShare > 0 && c.Total >= th.MinRequestsForShare {
+	if th.MaxErrorShare > 0 && int64(c.Total) >= th.MinRequestsForShare {
 		errShare := float64(c.Status4xx+c.Status5xx) / float64(c.Total)
 		if errShare > th.MaxErrorShare {
 			e.block(key, now)
 			return Decision{Action: Block, Stage: StageBlock, Reason: fmt.Sprintf("challenged robot error share %.0f%% exceeds %.0f%%", errShare*100, th.MaxErrorShare*100)}
 		}
 	}
-	if verdict.Confidence == detect.Definite && c.Total-st.enteredTotal >= e.cfg.ChallengeGraceRequests {
+	if verdict.Confidence == detect.Definite && int64(c.Total)-st.enteredTotal >= e.cfg.ChallengeGraceRequests {
 		e.block(key, now)
-		return Decision{Action: Block, Stage: StageBlock, Reason: fmt.Sprintf("definite robot ignored the challenge for %d requests", c.Total-st.enteredTotal)}
+		return Decision{Action: Block, Stage: StageBlock, Reason: fmt.Sprintf("definite robot ignored the challenge for %d requests", int64(c.Total)-st.enteredTotal)}
 	}
 	if th.MaxRequestRate > 0 {
 		if rate := float64(c.Total) / dur; rate > th.MaxRequestRate {

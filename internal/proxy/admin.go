@@ -160,6 +160,18 @@ func (a *Admin) handleStatus(w http.ResponseWriter, r *http.Request) {
 		loadLine += fmt.Sprintf(", FORCED to %s by operator drill", forced)
 	}
 	fmt.Fprintf(w, "%s)\n", loadLine)
+	// Heap dominators: where the attacker-controlled bytes actually live,
+	// itemised per component with a per-session quotient against the 2 KiB
+	// budget the million-session plan is built on.
+	sessBytes, keyBytes, internBytes := det.MemoryBreakdown()
+	ist := det.InternStats()
+	domLine := fmt.Sprintf("heap dominators: sessions=%d keystore=%d interned=%d bytes", sessBytes, keyBytes, internBytes)
+	if n := det.SessionCount(); n > 0 {
+		domLine += fmt.Sprintf(" (%d B/session over %d sessions)", det.MemoryEstimate()/int64(n), n)
+	}
+	fmt.Fprintf(w, "%s\n", domLine)
+	fmt.Fprintf(w, "interner: %d strings, %d bytes, hit rate %.1f%%\n",
+		ist.Entries, ist.Bytes, ist.HitRate()*100)
 	fmt.Fprintf(w, "load shed: passthrough=%d degraded=%d\n", stats.ShedPassThrough, stats.ShedDegraded)
 	ev := det.EvictionStats()
 	fmt.Fprintf(w, "sessions evicted: idle=%d capacity-anonymous=%d capacity-evidence=%d flush=%d\n",
@@ -233,7 +245,7 @@ func (a *Admin) handleSession(w http.ResponseWriter, r *http.Request) {
 		UserAgent: snap.Key.UserAgent,
 		FirstSeen: snap.FirstSeen,
 		LastSeen:  snap.LastSeen,
-		Requests:  snap.Counts.Total,
+		Requests:  int64(snap.Counts.Total),
 		Verdict: verdictView{
 			Class:      verdict.Class.String(),
 			Confidence: verdict.Confidence.String(),
@@ -245,12 +257,14 @@ func (a *Admin) handleSession(w http.ResponseWriter, r *http.Request) {
 	for i, name := range features.Names {
 		view.Features = append(view.Features, featureView{Name: name, Value: snap.Features[i]})
 	}
-	if len(snap.Signals) > 0 {
-		view.Signals = make(map[string]int64, len(snap.Signals))
-		for sig, at := range snap.Signals {
+	if snap.Signals.Any() {
+		view.Signals = make(map[string]int64, snap.Signals.Count())
+		snap.Signals.Each(func(sig session.Signal, at int64) bool {
 			view.Signals[sig.String()] = at
-		}
+			return true
+		})
 	}
+	snap.Release()
 	if a.cfg.Policy != nil {
 		view.Policy = &policyStageView{Stage: a.cfg.Policy.StageOf(key).String()}
 	}

@@ -118,6 +118,7 @@ func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if m.cfg.Policy != nil {
 		if snap, verdict, tracked := d.Decide(key); tracked {
 			decision := m.cfg.Policy.Evaluate(*snap, verdict)
+			snap.Release()
 			switch decision.Action {
 			case policy.Block:
 				http.Error(w, "blocked: "+decision.Reason, http.StatusForbidden)

@@ -15,28 +15,35 @@ type Accumulator struct {
 	// Limit caps the number of requests considered (0 = unlimited).
 	Limit int64
 
-	counts    Counts
-	seenPaths map[string]bool
+	counts Counts
+	paths  pathTable
 }
 
 // NewAccumulator creates an Accumulator considering at most limit requests
-// (0 for unlimited).
+// (0 for unlimited). It uses the tracker's compact hashed path set.
 func NewAccumulator(limit int64) *Accumulator {
-	return &Accumulator{Limit: limit, seenPaths: make(map[string]bool)}
+	return &Accumulator{Limit: limit}
+}
+
+// NewAccumulatorExact is NewAccumulator with exact path-string storage
+// instead of the hashed set — the reference implementation the differential
+// test compares the compact representation against.
+func NewAccumulatorExact(limit int64) *Accumulator {
+	return &Accumulator{Limit: limit, paths: pathTable{exact: make(map[string]bool)}}
 }
 
 // Observe adds one request if the limit has not been reached. It reports
 // whether the request was counted.
 func (a *Accumulator) Observe(e logfmt.Entry) bool {
-	if a.Limit > 0 && a.counts.Total >= a.Limit {
+	if a.Limit > 0 && int64(a.counts.Total) >= a.Limit {
 		return false
 	}
-	a.counts.observe(e, a.seenPaths, DefaultMaxTrackedPaths)
+	a.counts.observe(e, &a.paths, DefaultMaxTrackedPaths)
 	return true
 }
 
 // Requests returns the number of requests counted so far.
-func (a *Accumulator) Requests() int64 { return a.counts.Total }
+func (a *Accumulator) Requests() int64 { return int64(a.counts.Total) }
 
 // Counts returns the accumulated counters.
 func (a *Accumulator) Counts() Counts { return a.counts }

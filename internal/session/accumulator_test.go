@@ -132,9 +132,9 @@ func TestAccumulatorVsTrackerEquivalence(t *testing.T) {
 func TestCountsVectorBoundedProperty(t *testing.T) {
 	f := func(head, html, img, cgi, ref, unseen, emb, link, s2, s3, s4, fav uint8, extra uint8) bool {
 		// Build counts where each category is at most Total.
-		total := int64(head) + int64(html) + int64(img) + int64(extra) + 1
-		clamp := func(v uint8) int64 {
-			x := int64(v)
+		total := uint32(head) + uint32(html) + uint32(img) + uint32(extra) + 1
+		clamp := func(v uint8) uint32 {
+			x := uint32(v)
 			if x > total {
 				return total
 			}

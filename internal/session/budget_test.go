@@ -1,0 +1,56 @@
+package session
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestSessionStructBudgets pins the memory layout the million-session plan is
+// built on. The per-session ceiling (ISSUE 9) is 2 KiB including snapshot
+// arena and bookkeeping overhead; the struct budgets below leave headroom for
+// the shard-map entries and allocator rounding that MemoryEstimate charges via
+// sessionOverheadBytes. A failure here means a field was added (or widened)
+// without re-deriving the budget — grow the budget consciously or shrink the
+// struct, do not silently bump the number.
+func TestSessionStructBudgets(t *testing.T) {
+	budgets := []struct {
+		name string
+		size uintptr
+		max  uintptr
+	}{
+		// sessionState embeds the 2-slot snapshot arena; staying ≤ 1024 keeps
+		// it in the 1 KiB allocator size class (1.3 KiB/session all-in).
+		{"sessionState", unsafe.Sizeof(sessionState{}), 1024},
+		// Snapshot is copied on Get/Each and embedded twice in the arena.
+		{"Snapshot", unsafe.Sizeof(Snapshot{}), 344},
+		// Counts went int64 → uint32: 13 counters + Bytes in 72 bytes.
+		{"Counts", unsafe.Sizeof(Counts{}), 72},
+		// Signals is a flat first-observation array, one uint32 per signal.
+		{"Signals", unsafe.Sizeof(Signals{}), uintptr(4 * numSignals)},
+		{"pathTable", unsafe.Sizeof(pathTable{}), 40},
+	}
+	for _, b := range budgets {
+		if b.size > b.max {
+			t.Errorf("%s = %d bytes, exceeds the %d-byte budget", b.name, b.size, b.max)
+		}
+	}
+
+	// The MemoryEstimate constants must stay derived from the live layout.
+	if sessionStructBytes != int64(unsafe.Sizeof(sessionState{})) {
+		t.Errorf("sessionStructBytes = %d, want unsafe.Sizeof(sessionState{}) = %d",
+			sessionStructBytes, unsafe.Sizeof(sessionState{}))
+	}
+	if sessionBaseBytes != sessionStructBytes+sessionOverheadBytes {
+		t.Errorf("sessionBaseBytes = %d, want struct (%d) + overhead (%d)",
+			sessionBaseBytes, sessionStructBytes, sessionOverheadBytes)
+	}
+	// Worst-case per-session estimate at the tracker's defaults: base +
+	// a full path table (2048 entries → 4096 slots × 8 B would blow the
+	// budget, but DefaultMaxTrackedPaths caps insertions at 2048 →
+	// at most 4096 slots) is the documented ceiling case, not the steady
+	// state; the steady-state budget is base + minPathSlots.
+	steady := sessionBaseBytes + int64(minPathSlots)*8
+	if steady > 2048 {
+		t.Errorf("steady-state per-session estimate %d exceeds the 2 KiB ceiling", steady)
+	}
+}

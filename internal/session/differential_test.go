@@ -1,0 +1,135 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"botdetect/internal/logfmt"
+	"botdetect/internal/rng"
+)
+
+// synthCorpus generates a deterministic logfmt request stream shaped like the
+// CoDeeN traces the paper analyses: a skewed path popularity distribution,
+// link-following referrers (pointing at previously fetched pages), unseen
+// referrers, embedded objects, CGI hits and error statuses. Enough distinct
+// paths are generated to overflow DefaultMaxTrackedPaths, so the corpus
+// exercises the tracked-path cap as well as the open-addressed set's growth.
+func synthCorpus(seed uint64, n int) []logfmt.Entry {
+	src := rng.New(seed)
+	zipf := rng.NewZipf(src, 4096, 1.2)
+	start := time.Unix(1136073600, 0) // 2006-01-01, the paper's trace era
+	entries := make([]logfmt.Entry, 0, n)
+	var visited []string
+	for i := 0; i < n; i++ {
+		p := zipf.Next()
+		var path, ctype string
+		status := 200
+		switch {
+		case p%7 == 3:
+			path = fmt.Sprintf("/img/%d.jpg", p)
+			ctype = "image/jpeg"
+		case p%11 == 5:
+			path = fmt.Sprintf("/cgi-bin/q?id=%d", p)
+			ctype = "text/html"
+		default:
+			path = fmt.Sprintf("/doc/%d.html", p)
+			ctype = "text/html"
+		}
+		switch src.Uint64() % 16 {
+		case 0:
+			status = 404
+		case 1:
+			status = 304
+		}
+		ref := ""
+		switch src.Uint64() % 4 {
+		case 0, 1:
+			if len(visited) > 0 {
+				ref = "http://example.com" + visited[src.Uint64()%uint64(len(visited))]
+			}
+		case 2:
+			ref = fmt.Sprintf("http://elsewhere.example/%d.html", src.Uint64()%1000)
+		}
+		method := "GET"
+		if src.Uint64()%64 == 0 {
+			method = "HEAD"
+		}
+		entries = append(entries, logfmt.Entry{
+			Time: start.Add(time.Duration(i) * time.Second), ClientIP: "203.0.113.7",
+			UserAgent: "Mozilla/4.0 (compatible; MSIE 6.0)", Method: method, Path: path,
+			Status: status, Bytes: int64(1000 + p), Referer: ref, ContentType: ctype,
+		})
+		visited = append(visited, path)
+	}
+	return entries
+}
+
+// TestHashedPathsMatchExactAccumulator replays synthetic corpora through the
+// compact hashed path set and the exact string-set escape hatch and requires
+// bit-identical feature vectors — the differential proof (ISSUE 9) that the
+// 8-byte-per-path representation changes nothing the detector can observe.
+func TestHashedPathsMatchExactAccumulator(t *testing.T) {
+	for _, tc := range []struct {
+		seed uint64
+		n    int
+	}{
+		{1, 500},
+		{2, 5000},   // overflows DefaultMaxTrackedPaths' distinct-path cap
+		{3, 20000},  // deep stream, heavy path reuse
+		{99, 64},    // short session
+	} {
+		hashed := NewAccumulator(0)
+		exact := NewAccumulatorExact(0)
+		for _, e := range synthCorpus(tc.seed, tc.n) {
+			hashed.Observe(e)
+			exact.Observe(e)
+		}
+		if hashed.Counts() != exact.Counts() {
+			t.Errorf("seed %d: counts diverge\nhashed: %+v\nexact:  %+v",
+				tc.seed, hashed.Counts(), exact.Counts())
+		}
+		if hashed.Vector() != exact.Vector() {
+			t.Errorf("seed %d: feature vectors diverge\nhashed: %v\nexact:  %v",
+				tc.seed, hashed.Vector(), exact.Vector())
+		}
+	}
+}
+
+// TestHashedPathsMatchExactTracker is the same differential proof at the
+// tracker level: two trackers, one compact and one with Config.ExactPaths,
+// fed an identical multi-session stream must publish bit-identical snapshots
+// (features, counts, epochs).
+func TestHashedPathsMatchExactTracker(t *testing.T) {
+	compact, vc1 := newTestTracker(Config{})
+	exact, _ := newTestTracker(Config{ExactPaths: true})
+
+	base := vc1.Now()
+	for sess := 0; sess < 8; sess++ {
+		ip := fmt.Sprintf("198.51.100.%d", sess)
+		for i, e := range synthCorpus(uint64(sess+1), 600) {
+			e.ClientIP = ip
+			e.Time = base.Add(time.Duration(i) * time.Millisecond)
+			compact.Observe(e)
+			exact.Observe(e)
+		}
+	}
+
+	for sess := 0; sess < 8; sess++ {
+		key := Key{IP: fmt.Sprintf("198.51.100.%d", sess), UserAgent: "Mozilla/4.0 (compatible; MSIE 6.0)"}
+		a, okA := compact.Get(key)
+		b, okB := exact.Get(key)
+		if !okA || !okB {
+			t.Fatalf("session %d: tracked = %v/%v", sess, okA, okB)
+		}
+		if a.Counts != b.Counts {
+			t.Errorf("session %d: counts diverge\ncompact: %+v\nexact:   %+v", sess, a.Counts, b.Counts)
+		}
+		if a.Features != b.Features {
+			t.Errorf("session %d: features diverge\ncompact: %v\nexact:   %v", sess, a.Features, b.Features)
+		}
+		if a.Epoch != b.Epoch {
+			t.Errorf("session %d: epoch diverge %d vs %d", sess, a.Epoch, b.Epoch)
+		}
+	}
+}

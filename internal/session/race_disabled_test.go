@@ -1,0 +1,5 @@
+//go:build !race
+
+package session
+
+const raceEnabled = false

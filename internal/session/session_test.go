@@ -367,8 +367,9 @@ func TestDurationAndSnapshotIndependence(t *testing.T) {
 	if snap1.Duration() != 10*time.Minute {
 		t.Fatalf("Duration = %v", snap1.Duration())
 	}
-	// Mutating the returned snapshot's map must not affect the tracker.
-	snap1.Signals[SignalCSS] = 1
+	// Mutating the returned snapshot must not affect the tracker: Signals is
+	// a value type now, so overwriting the copy's field is purely local.
+	snap1.Signals = MakeSignals(map[Signal]int64{SignalCSS: 1})
 	snap2, _ := tr.Get(key)
 	if snap2.Has(SignalCSS) {
 		t.Fatal("snapshot mutation leaked into tracker state")
@@ -565,7 +566,7 @@ func TestConcurrentOverlappingKeysWithExpiry(t *testing.T) {
 		t.Fatalf("Active = %d, want %d", tr.Active(), len(keys))
 	}
 	total := int64(0)
-	tr.Each(func(s Snapshot) bool { total += s.Counts.Total; return true })
+	tr.Each(func(s Snapshot) bool { total += int64(s.Counts.Total); return true })
 	if total != 8*400 {
 		t.Fatalf("total observed requests = %d, want %d", total, 8*400)
 	}
@@ -595,7 +596,7 @@ func TestCountsConsistencyProperty(t *testing.T) {
 			snap = tr.Observe(entry(key.IP, key.UserAgent, "GET", path, status, "", now))
 		}
 		c := snap.Counts
-		if c.Total != int64(len(paths)) {
+		if int(c.Total) != len(paths) {
 			return false
 		}
 		if c.Head+c.Get+c.Post != c.Total {

@@ -24,6 +24,26 @@ func Normalize(n int) int {
 	return p
 }
 
+// AutoShards picks a shard count for p-way parallelism (typically
+// GOMAXPROCS): four shards per logical CPU — so even a perfectly balanced
+// load leaves most shards unlocked at any instant — rounded up to a power of
+// two and clamped to [8, 512]. The floor keeps small machines from
+// serialising on a couple of locks; the ceiling bounds fixed per-shard
+// overhead and full-table sweep time.
+func AutoShards(p int) int {
+	if p < 1 {
+		p = 1
+	}
+	n := Normalize(4 * p)
+	if n < 8 {
+		n = 8
+	}
+	if n > 512 {
+		n = 512
+	}
+	return n
+}
+
 // PerShardCap distributes a global capacity bound evenly over shards:
 // ceil(max/shards), at least 1. The effective global bound is therefore max
 // rounded up to a multiple of the shard count.
