@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	botbench [-exp all|table1|captcha|figure2|figure3|table2|figure4|overhead|decoys|baselines|telemetry|serve|overload]
+//	botbench [-exp all|table1|captcha|figure2|figure3|table2|figure4|overhead|decoys|baselines|telemetry|serve|overload|fleet]
 //	         [-sessions N] [-seed S] [-bench-json BENCH_telemetry.json]
 //	         [-clients N] [-serve-clients N] [-serve-json BENCH_serve.json]
 //	         [-serve-heap heap.pprof]
 //	         [-overload-json BENCH_overload.json]
+//	         [-fleet-json BENCH_fleet.json]
 //
 // The -sessions flag scales the synthetic workload; larger values give more
 // stable percentages at higher runtime.
@@ -34,6 +35,7 @@ func main() {
 		serveJSON    = flag.String("serve-json", "", "write the serve experiment's result as JSON to this file")
 		serveHeap    = flag.String("serve-heap", "", "write a pprof heap profile at the end of the serve experiment to this file")
 		overloadJSON = flag.String("overload-json", "", "write the overload experiment's result as JSON to this file")
+		fleetJSON    = flag.String("fleet-json", "", "write the fleet experiment's result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -111,6 +113,21 @@ func main() {
 			}
 		}
 		fmt.Printf("==> %s (%.1fs)\n\n%s\n", "overload", time.Since(start).Seconds(), res.Format())
+	}
+	// The fleet experiment stands up two in-process CDN networks (isolated and
+	// replicated arms) with live replication goroutines, node kills and a
+	// partition cycle, so it is explicit-only as well.
+	if explicit("fleet") {
+		ran++
+		start := time.Now()
+		res := experiments.FleetBench(experiments.FleetConfig{Seed: *seed})
+		if *fleetJSON != "" {
+			if err := os.WriteFile(*fleetJSON, res.JSON(), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "botbench: writing %s: %v\n", *fleetJSON, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("==> %s (%.1fs)\n\n%s\n", "fleet", time.Since(start).Seconds(), res.Format())
 	}
 
 	run("telemetry", func() string {

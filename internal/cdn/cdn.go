@@ -16,6 +16,7 @@ import (
 	"botdetect/internal/agents"
 	"botdetect/internal/captcha"
 	"botdetect/internal/core"
+	"botdetect/internal/fleet"
 	"botdetect/internal/htmlmod"
 	"botdetect/internal/logfmt"
 	"botdetect/internal/policy"
@@ -52,6 +53,29 @@ type NodeStats struct {
 	OriginBytes         int64
 	InstrumentationHits int64
 	CaptchaSolved       int64
+	// FleetBlocked counts requests rejected by the replicated block list's
+	// lock-free fast path (a subset of BlockedRequests).
+	FleetBlocked int64
+	// FailoverDegraded counts page views served degraded because the session
+	// belongs to another partition owner this node had never seen.
+	FailoverDegraded int64
+	// Unavailable counts requests refused because the node was down
+	// (crashed or draining).
+	Unavailable int64
+}
+
+// add accumulates s into the receiver (fleet rollups).
+func (t *NodeStats) add(s NodeStats) {
+	t.Requests += s.Requests
+	t.BlockedRequests += s.BlockedRequests
+	t.ChallengedRequests += s.ChallengedRequests
+	t.ThrottledRequests += s.ThrottledRequests
+	t.OriginBytes += s.OriginBytes
+	t.InstrumentationHits += s.InstrumentationHits
+	t.CaptchaSolved += s.CaptchaSolved
+	t.FleetBlocked += s.FleetBlocked
+	t.FailoverDegraded += s.FailoverDegraded
+	t.Unavailable += s.Unavailable
 }
 
 // nodeCounters is the internal atomic mirror of NodeStats: each counter is
@@ -65,6 +89,9 @@ type nodeCounters struct {
 	originBytes         atomic.Int64
 	instrumentationHits atomic.Int64
 	captchaSolved       atomic.Int64
+	fleetBlocked        atomic.Int64
+	failoverDegraded    atomic.Int64
+	unavailable         atomic.Int64
 }
 
 // Node is one proxy in the simulated CDN. It implements agents.Client and is
@@ -77,6 +104,18 @@ type Node struct {
 
 	mu      sync.Mutex // guards LogWriter writes and entries
 	entries []logfmt.Entry
+
+	// Fleet state (nil/zero when the node runs isolated; see fleet.go):
+	// the node's replicator, the shared partition ring, and the down flag a
+	// crash or drain sets. lastMu/lastStats cache the most recent good stats
+	// snapshot for stale-marked rollups while the node is down.
+	rep      *fleet.Replicator
+	ring     *fleet.Ring
+	replicas int
+	down     atomic.Bool
+
+	lastMu    sync.Mutex
+	lastStats NodeStats
 }
 
 // NewNode creates a Node. It panics when Site or Engine are missing since
@@ -96,6 +135,9 @@ func (n *Node) Name() string { return n.cfg.Name }
 // Engine returns the node's detection engine.
 func (n *Node) Engine() *core.Engine { return n.cfg.Engine }
 
+// Policy returns the node's policy engine, or nil when enforcement is off.
+func (n *Node) Policy() *policy.Engine { return n.cfg.Policy }
+
 // Stats returns a copy of the node's counters.
 func (n *Node) Stats() NodeStats {
 	return NodeStats{
@@ -106,6 +148,9 @@ func (n *Node) Stats() NodeStats {
 		OriginBytes:         n.stats.originBytes.Load(),
 		InstrumentationHits: n.stats.instrumentationHits.Load(),
 		CaptchaSolved:       n.stats.captchaSolved.Load(),
+		FleetBlocked:        n.stats.fleetBlocked.Load(),
+		FailoverDegraded:    n.stats.failoverDegraded.Load(),
+		Unavailable:         n.stats.unavailable.Load(),
 	}
 }
 
@@ -150,6 +195,13 @@ func (n *Node) Entries() []logfmt.Entry {
 // Do implements agents.Client: it plays the role the instrumented CoDeeN
 // proxy plays for a real client request.
 func (n *Node) Do(req agents.Request) agents.Response {
+	if n.down.Load() {
+		// Crashed or draining: a real dead proxy answers nothing; the
+		// simulator's closest honest equivalent is an immediate 503 so
+		// drivers can observe the outage and re-route.
+		n.stats.unavailable.Add(1)
+		return agents.Response{Status: 503, ContentType: "text/plain", Body: nodeDownBody}
+	}
 	n.stats.requests.Add(1)
 
 	key := session.Key{IP: req.IP, UserAgent: req.UserAgent}
@@ -187,6 +239,18 @@ func (n *Node) Do(req agents.Request) agents.Response {
 		return agents.Response{Status: resp.Status, ContentType: resp.ContentType, Body: resp.Body}
 	}
 
+	// Replicated block list, checked before local session state: a session
+	// blocked anywhere in the fleet is refused here even though this node
+	// may never have tracked it. The check is the policy engine's lock-free
+	// snapshot read, so the fast path costs one pointer load; it only runs
+	// in fleet mode so isolated-node behaviour is bit-identical to before.
+	if n.rep != nil && n.cfg.Policy != nil && n.cfg.Policy.IsBlocked(key) {
+		n.stats.blockedRequests.Add(1)
+		n.stats.fleetBlocked.Add(1)
+		n.observe(req, 403, "text/html", 0)
+		return agents.Response{Status: 403, ContentType: "text/html", Body: []byte("<html><body>blocked</body></html>")}
+	}
+
 	// Policy enforcement before serving origin content: the escalation
 	// ladder runs off the chain's cached verdict and the tracker's published
 	// snapshot (no copy).
@@ -217,6 +281,13 @@ func (n *Node) Do(req agents.Request) agents.Response {
 	// so simulated flash crowds exercise the same degradation ladder the
 	// deployment runs.
 	adm := d.AdmitPage(req.IP, req.UserAgent)
+	if n.rep != nil && adm == core.AdmitFull {
+		// Partition failover: a session this node has never seen but another
+		// node owns gets degraded instrumentation (the shared script variant
+		// still proves humanity) while a handoff backfills its evidence from
+		// the partition owner in the background. The serve path never waits.
+		adm = n.failoverAdmission(key, adm)
+	}
 	if adm != core.AdmitPassThrough && instrumentable(obj, req.Method) {
 		// The same prepared-injection pipeline the proxy serves: pooled page
 		// state, composed fragments, streaming rewrite — not a bespoke
@@ -330,6 +401,12 @@ func (n *Node) observe(req agents.Request, status int, contentType string, bytes
 	// The snapshot a plain Observe returns would be discarded here; record
 	// quietly and let the next Decide/Get republish it.
 	n.cfg.Engine.ObserveRequestQuiet(entry)
+	if n.rep != nil {
+		// Fleet mode: sessions are partitioned, and the partition owner must
+		// see every request so cross-node evidence aggregates somewhere. The
+		// forward is a bounded-outbox enqueue — never a wait.
+		n.forwardObservation(entry)
+	}
 	if n.cfg.LogWriter != nil || n.recording.Load() {
 		n.log(entry)
 	}
@@ -353,6 +430,15 @@ func (n *Node) log(entry logfmt.Entry) {
 type Network struct {
 	nodes []*Node
 	tel   *telemetry.ServeMetrics
+
+	// Fleet state (nil until EnableReplication): the partition ring and
+	// replica count that route clients, the in-process replication mesh, and
+	// name → node lookups.
+	ring     *fleet.Ring
+	mesh     *fleet.Mesh
+	byName   map[string]*Node
+	index    map[string]int
+	replicas int
 }
 
 // NewNetwork builds a network of numNodes nodes, each with its own detector
@@ -409,9 +495,12 @@ func nodeName(i int) string {
 // Nodes returns the network's nodes.
 func (n *Network) Nodes() []*Node { return n.nodes }
 
-// NodeFor returns the node serving the given client IP.
+// NodeFor returns the node serving the given client IP. In fleet mode the
+// client routes to its session partition's first live owner — so a client
+// whose node dies fails over to the replica that can serve it degraded and
+// recover its evidence.
 func (n *Network) NodeFor(ip string) *Node {
-	return n.nodes[n.nodeIndex(ip)]
+	return n.nodes[n.routeIndex(ip)]
 }
 
 // nodeIndex hashes a client IP onto a node (FNV-1a), pinning each client to
@@ -444,7 +533,7 @@ func (n *Network) DriveParallel(reqs []agents.Request) {
 	}
 	buckets := make([][]agents.Request, len(n.nodes))
 	for _, req := range reqs {
-		i := n.nodeIndex(req.IP)
+		i := n.routeIndex(req.IP)
 		buckets[i] = append(buckets[i], req)
 	}
 	var wg sync.WaitGroup
@@ -464,34 +553,37 @@ func (n *Network) DriveParallel(reqs []agents.Request) {
 // SetModel hot-swaps a (re)trained AdaBoost model onto every node's engine.
 // The swap is a single atomic store per node — serving continues uninterrupted,
 // which is how the online training loop publishes models to a live fleet.
+// In fleet mode the swap is also published through the replication plane, so
+// a node that is down right now backfills the model via anti-entropy when it
+// comes back.
 func (n *Network) SetModel(m *adaboost.Model) {
+	var publisher *Node
 	for _, node := range n.nodes {
+		if node.down.Load() {
+			continue
+		}
 		node.Engine().SetModel(m)
+		if publisher == nil {
+			publisher = node
+		}
+	}
+	if publisher != nil && publisher.rep != nil {
+		publisher.rep.PublishModel(m)
 	}
 }
 
-// FlushSessions ends all sessions on all nodes and returns them.
+// FlushSessions ends all sessions on all live nodes and returns them. A down
+// node is skipped rather than failing the flush; FlushSessionsDetail reports
+// which ones were.
 func (n *Network) FlushSessions() []core.ClassifiedSession {
-	var out []core.ClassifiedSession
-	for _, node := range n.nodes {
-		out = append(out, node.Engine().FlushSessions()...)
-	}
+	out, _ := n.FlushSessionsDetail()
 	return out
 }
 
-// TotalStats aggregates node counters.
+// TotalStats aggregates node counters. A down node contributes its last
+// known good snapshot (see CollectStats) instead of breaking the rollup.
 func (n *Network) TotalStats() NodeStats {
-	var total NodeStats
-	for _, node := range n.nodes {
-		s := node.Stats()
-		total.Requests += s.Requests
-		total.BlockedRequests += s.BlockedRequests
-		total.ChallengedRequests += s.ChallengedRequests
-		total.ThrottledRequests += s.ThrottledRequests
-		total.OriginBytes += s.OriginBytes
-		total.InstrumentationHits += s.InstrumentationHits
-		total.CaptchaSolved += s.CaptchaSolved
-	}
+	total, _ := n.CollectStats()
 	return total
 }
 

@@ -1,0 +1,498 @@
+// Fleet wiring: turns a Network of isolated detection nodes into one
+// fault-tolerant fleet. EnableReplication gives every node a
+// fleet.Replicator over an in-process mesh, partitions sessions across the
+// nodes with a consistent-hash ring (N-replica routing), and wires the
+// replication callbacks into each node's engines:
+//
+//   - locally derived Definite verdicts export through the engine's verdict
+//     hook and replicate fleet-wide (each peer installs them in its remote
+//     detector stage);
+//   - policy block escalations replicate into every peer's block list, so a
+//     session blocked anywhere is refused everywhere;
+//   - model publications reach every engine (single trainer, fleet-wide
+//     swap);
+//   - request observations forward to the session's partition owner, so a
+//     crawler spreading requests across many open proxies still accumulates
+//     one session's evidence on one node;
+//   - a node serving a session another node owns (partition failover) serves
+//     degraded instrumentation immediately and backfills the session's
+//     evidence with a handoff — the serve path never waits on a peer.
+//
+// Node.Crash/Restart/Drain simulate the failure modes the chaos harness
+// (internal/chaos) drives: a crash loses the node's memory (sessions,
+// replicated stores) and anti-entropy backfills it after Restart under a new
+// incarnation; Drain hands evidence-bearing sessions to the partition's
+// surviving replica before the node retires.
+package cdn
+
+import (
+	"time"
+
+	"botdetect/internal/adaboost"
+	"botdetect/internal/clock"
+	"botdetect/internal/core"
+	"botdetect/internal/fleet"
+	"botdetect/internal/logfmt"
+	"botdetect/internal/rng"
+	"botdetect/internal/session"
+	"botdetect/internal/shard"
+)
+
+// nodeDownBody is the 503 body a crashed or draining node returns.
+var nodeDownBody = []byte("node down")
+
+// FleetConfig controls Network.EnableReplication. The zero value is usable:
+// every field falls back to a sensible default.
+type FleetConfig struct {
+	// Replicas is how many ring owners each session has (default 2): the
+	// primary aggregates the session's evidence, the rest can serve it
+	// degraded and take over on failure.
+	Replicas int
+	// VNodes is the number of virtual ring points per node (default 64).
+	VNodes int
+	// Intercept, when non-nil, is installed on the mesh for fault injection
+	// (see internal/chaos.Links).
+	Intercept fleet.Intercept
+
+	// Replication tuning, passed through to fleet.Config (zero = that
+	// package's defaults).
+	OutboxCapacity      int
+	BatchSize           int
+	RetryBackoff        time.Duration
+	MaxBackoff          time.Duration
+	SendPatience        time.Duration
+	HeartbeatInterval   time.Duration
+	PhiThreshold        float64
+	AntiEntropyInterval time.Duration
+	AntiEntropyBatch    int
+	StallTimeout        time.Duration
+
+	// Clock supplies time for the replication layer; defaults to the wall
+	// clock (replication runs on real goroutines even when the workload is
+	// driven on a virtual clock).
+	Clock clock.Clock
+	// Seed drives backoff jitter.
+	Seed uint64
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	return c
+}
+
+// EnableReplication joins the network's nodes into one replicated fleet.
+// Call it once, after NewNetwork and before serving traffic.
+func (n *Network) EnableReplication(cfg FleetConfig) {
+	cfg = cfg.withDefaults()
+	names := make([]string, len(n.nodes))
+	for i, node := range n.nodes {
+		names[i] = node.cfg.Name
+	}
+	n.ring = fleet.NewRing(names, cfg.VNodes)
+	n.mesh = fleet.NewMesh()
+	if cfg.Intercept != nil {
+		n.mesh.SetIntercept(cfg.Intercept)
+	}
+	n.replicas = cfg.Replicas
+	n.byName = make(map[string]*Node, len(n.nodes))
+	n.index = make(map[string]int, len(n.nodes))
+	src := rng.New(cfg.Seed ^ 0x636f6465656e).Fork("cdn-fleet")
+	for i, node := range n.nodes {
+		n.byName[node.cfg.Name] = node
+		n.index[node.cfg.Name] = i
+		node.ring = n.ring
+		node.replicas = cfg.Replicas
+		node.rep = fleet.New(fleet.Config{
+			Name:      node.cfg.Name,
+			Peers:     names,
+			Transport: n.mesh.Bind(node.cfg.Name),
+			Callbacks: n.fleetCallbacks(node),
+
+			OutboxCapacity:      cfg.OutboxCapacity,
+			BatchSize:           cfg.BatchSize,
+			RetryBackoff:        cfg.RetryBackoff,
+			MaxBackoff:          cfg.MaxBackoff,
+			SendPatience:        cfg.SendPatience,
+			HeartbeatInterval:   cfg.HeartbeatInterval,
+			PhiThreshold:        cfg.PhiThreshold,
+			AntiEntropyInterval: cfg.AntiEntropyInterval,
+			AntiEntropyBatch:    cfg.AntiEntropyBatch,
+			StallTimeout:        cfg.StallTimeout,
+			Clock:               cfg.Clock,
+			Seed:                src.Uint64(),
+		})
+		n.mesh.Attach(node.rep)
+		node.rep.RegisterMetrics(n.tel.Registry(), node.cfg.Name)
+		n.wireExportHooks(node)
+	}
+	for _, node := range n.nodes {
+		node.rep.Start()
+	}
+}
+
+// wireExportHooks points the node's engines at its replicator: locally
+// derived Definite verdicts and policy block escalations publish fleet-wide.
+// Both hooks check the down flag — a crashed node must not publish epochs
+// while its engine flushes, or Wipe's epoch-counter reset would later reissue
+// them.
+func (n *Network) wireExportHooks(node *Node) {
+	node.cfg.Engine.SetVerdictExport(func(key session.Key, v core.Verdict) {
+		if node.down.Load() {
+			return
+		}
+		node.rep.PublishVerdict(key, v)
+	})
+	if node.cfg.Policy != nil {
+		node.cfg.Policy.SetOnBlock(func(key session.Key, until time.Time) {
+			if node.down.Load() {
+				return
+			}
+			node.rep.PublishBlock(key, until)
+		})
+	}
+}
+
+// fleetCallbacks builds the replication callbacks that apply peer updates to
+// one node's local engines. Every callback checks the down flag first: a
+// crashed node neither applies nor re-exports anything.
+func (n *Network) fleetCallbacks(node *Node) fleet.Callbacks {
+	eng := node.cfg.Engine
+	pol := node.cfg.Policy
+	return fleet.Callbacks{
+		OnVerdict: func(key session.Key, v core.Verdict, origin string) {
+			if node.down.Load() {
+				return
+			}
+			eng.ApplyRemoteVerdict(key, v, origin)
+		},
+		OnBlock: func(key session.Key, until time.Time) {
+			if node.down.Load() || pol == nil {
+				return
+			}
+			pol.BlockUntil(key, until)
+		},
+		OnModel: func(m *adaboost.Model, seq uint64) {
+			if node.down.Load() {
+				return
+			}
+			eng.SetModel(m)
+		},
+		OnObservation: func(u fleet.Update) {
+			if node.down.Load() {
+				return
+			}
+			// Fold the forwarded request into the owner's session exactly as a
+			// local request would be — non-quiet, so the published snapshot is
+			// exact and threshold checks below the quiet path's power-of-two
+			// publishing granularity still fire.
+			eng.ObserveRequest(logfmt.Entry{
+				Time: time.Unix(0, u.When), ClientIP: u.Key.IP, UserAgent: u.Key.UserAgent,
+				Method: u.Method, Path: u.Path, Status: u.Status, Bytes: u.Bytes,
+				Referer: u.Refer, ContentType: u.CT,
+			})
+			// Then classify and run the policy ladder, the same enforcement a
+			// local request gets: this is where a distributed crawler's
+			// aggregated evidence crosses a threshold, the verdict export hook
+			// fires and the resulting block replicates back out.
+			if snap, verdict, tracked := eng.Decide(u.Key); tracked {
+				if pol != nil {
+					pol.Evaluate(*snap, verdict)
+				}
+				snap.Release()
+			}
+		},
+		OnHandoff: func(key session.Key, sigs []fleet.SignalAt) {
+			if node.down.Load() || len(sigs) == 0 {
+				return
+			}
+			signals := make([]session.Signal, len(sigs))
+			for i, s := range sigs {
+				signals[i] = s.Signal
+			}
+			eng.AdoptSession(key, signals)
+		},
+		HandoffSource: func(key session.Key) ([]fleet.SignalAt, bool) {
+			if node.down.Load() {
+				return nil, false
+			}
+			snap, ok := eng.Session(key)
+			if !ok {
+				return nil, false
+			}
+			sigs := signalsOf(snap)
+			return sigs, len(sigs) > 0
+		},
+	}
+}
+
+// signalsOf extracts a snapshot's observed signals with their first-seen
+// request counts, in wire form.
+func signalsOf(snap session.Snapshot) []fleet.SignalAt {
+	var sigs []fleet.SignalAt
+	snap.Signals.Each(func(sig session.Signal, at int64) bool {
+		sigs = append(sigs, fleet.SignalAt{Signal: sig, At: at})
+		return true
+	})
+	return sigs
+}
+
+// Ring returns the fleet's partition ring (nil before EnableReplication).
+func (n *Network) Ring() *fleet.Ring { return n.ring }
+
+// Mesh returns the fleet's in-process transport (nil before
+// EnableReplication); chaos harnesses install intercepts on it.
+func (n *Network) Mesh() *fleet.Mesh { return n.mesh }
+
+// NodeByName returns the named node, or nil.
+func (n *Network) NodeByName(name string) *Node {
+	if n.byName == nil {
+		for _, node := range n.nodes {
+			if node.cfg.Name == name {
+				return node
+			}
+		}
+		return nil
+	}
+	return n.byName[name]
+}
+
+// routeIndex picks the node serving a client IP. Without a fleet it is the
+// legacy FNV pinning; with one it is the partition ring's first live owner,
+// so clients fail over to their session's replica when the primary dies, and
+// to any live node when every owner is down.
+func (n *Network) routeIndex(ip string) int {
+	if n.ring == nil {
+		return n.nodeIndex(ip)
+	}
+	var buf [4]string
+	owners := n.ring.OwnersAppend(shard.HashString(ip), n.replicas, buf[:0])
+	for _, o := range owners {
+		if node := n.byName[o]; node != nil && !node.down.Load() {
+			return n.index[o]
+		}
+	}
+	for i, node := range n.nodes {
+		if !node.down.Load() {
+			return i
+		}
+	}
+	return n.nodeIndex(ip)
+}
+
+// Replicator returns the node's fleet replicator (nil on an isolated node).
+func (n *Node) Replicator() *fleet.Replicator { return n.rep }
+
+// Down reports whether the node is refusing requests (crashed or draining).
+func (n *Node) Down() bool { return n.down.Load() }
+
+// failoverAdmission downgrades admission for a session this node has never
+// seen but another node owns: the degraded page still proves humanity
+// through the shared script variant, and a handoff request backfills the
+// session's evidence from the partition owner in the background. Sessions
+// this node tracks — or owns as ring primary — keep full admission.
+func (n *Node) failoverAdmission(key session.Key, adm core.Admission) core.Admission {
+	if _, ok := n.cfg.Engine.Session(key); ok {
+		return adm
+	}
+	primary := n.ring.Primary(shard.HashString(key.IP))
+	if primary == "" || primary == n.cfg.Name {
+		return adm
+	}
+	n.stats.failoverDegraded.Add(1)
+	if n.rep.PeerUp(primary) {
+		n.rep.RequestHandoff(primary, key)
+	}
+	return core.AdmitDegraded
+}
+
+// forwardObservation sends one observed request to the session's acting
+// partition owner — the first live ring owner — unless this node is it. The
+// enqueue is bounded and non-blocking; with no owner reachable the primary
+// gets it anyway and a dead primary's outbox drops it (evidence forwarding is
+// fire-and-forget).
+func (n *Node) forwardObservation(entry logfmt.Entry) {
+	var buf [4]string
+	owners := n.ring.OwnersAppend(shard.HashString(entry.ClientIP), n.replicas, buf[:0])
+	if len(owners) == 0 {
+		return
+	}
+	target := ""
+	for _, o := range owners {
+		if o == n.cfg.Name {
+			return // this node is the acting owner; the evidence is home
+		}
+		if n.rep.PeerUp(o) {
+			target = o
+			break
+		}
+	}
+	if target == "" {
+		target = owners[0]
+	}
+	n.rep.ForwardObservation(target, fleet.Update{
+		Key:    session.Key{IP: entry.ClientIP, UserAgent: entry.UserAgent},
+		Method: entry.Method, Path: entry.Path, Status: entry.Status,
+		Bytes: entry.Bytes, Refer: entry.Referer, CT: entry.ContentType,
+		When: entry.Time.UnixNano(),
+	})
+}
+
+// cacheStats snapshots the node's counters for stale-marked rollups while it
+// is down.
+func (n *Node) cacheStats() {
+	s := n.Stats()
+	n.lastMu.Lock()
+	n.lastStats = s
+	n.lastMu.Unlock()
+}
+
+// Crash simulates a node failure: the node stops serving and receiving,
+// its sessions die with it, and its replicated stores and epoch counters are
+// wiped. Restart brings it back under a new incarnation; anti-entropy
+// backfills everything it lost.
+func (n *Node) Crash() {
+	n.down.Store(true)
+	if n.rep != nil {
+		n.rep.Stop()
+	}
+	n.cacheStats()
+	// Sessions are process memory: a crash loses them. The export hooks see
+	// the down flag and stay silent during the flush, so no epochs are
+	// allocated between here and the wipe.
+	n.cfg.Engine.FlushSessions()
+	if n.rep != nil {
+		n.rep.Wipe()
+	}
+}
+
+// Restart brings a crashed or drained node back: the replicator restarts
+// under a bumped incarnation (so peers reset its watermark instead of
+// treating its fresh epochs as replays) and the node accepts requests again.
+func (n *Node) Restart() {
+	if n.rep != nil {
+		n.rep.Restart()
+	}
+	n.down.Store(false)
+}
+
+// Drain gracefully retires the node: it stops accepting requests, hands
+// every evidence-bearing session to the partition's surviving replica, lets
+// its outboxes flush for up to timeout, and stops the replicator. It returns
+// the number of sessions handed off.
+func (n *Node) Drain(timeout time.Duration) int {
+	n.down.Store(true)
+	handed := 0
+	if n.rep != nil && n.ring != nil {
+		n.cfg.Engine.StreamSessions(func(snap session.Snapshot) bool {
+			sigs := signalsOf(snap)
+			if len(sigs) == 0 {
+				return true
+			}
+			if to := n.drainTarget(snap.Key); to != "" && n.rep.SendHandoff(to, snap.Key, sigs) {
+				handed++
+			}
+			return true
+		})
+	}
+	n.cacheStats()
+	n.cfg.Engine.FlushSessions()
+	if n.rep != nil {
+		n.rep.Flush(timeout)
+		n.rep.Stop()
+	}
+	return handed
+}
+
+// drainTarget picks the live ring owner inheriting one of the draining
+// node's sessions: the first owner (beyond this node) that is up. Looking one
+// owner past the replica set covers the case where this node is itself an
+// owner.
+func (n *Node) drainTarget(key session.Key) string {
+	var buf [4]string
+	owners := n.ring.OwnersAppend(shard.HashString(key.IP), n.replicas+1, buf[:0])
+	for _, o := range owners {
+		if o != n.cfg.Name && n.rep.PeerUp(o) {
+			return o
+		}
+	}
+	return ""
+}
+
+// NodeRollup is one node's contribution to a fleet-wide stats rollup.
+type NodeRollup struct {
+	Node string
+	// Down marks a node that was crashed or draining at collection time;
+	// Stale marks a Stats snapshot carried over from before the node went
+	// down (or from before a failed read) rather than read live.
+	Down  bool
+	Stale bool
+	Stats NodeStats
+}
+
+// CollectStats aggregates node counters with per-node fault tolerance: a
+// down node contributes its last known good snapshot, stale-marked, instead
+// of failing the whole rollup — the fleet's statistics stay available
+// through any single node's failure.
+func (n *Network) CollectStats() (NodeStats, []NodeRollup) {
+	var total NodeStats
+	rollups := make([]NodeRollup, 0, len(n.nodes))
+	for _, node := range n.nodes {
+		r := NodeRollup{Node: node.cfg.Name}
+		if node.down.Load() {
+			r.Down, r.Stale = true, true
+			node.lastMu.Lock()
+			r.Stats = node.lastStats
+			node.lastMu.Unlock()
+		} else {
+			r.Stats = collectNodeStats(node, &r)
+		}
+		total.add(r.Stats)
+		rollups = append(rollups, r)
+	}
+	return total, rollups
+}
+
+// collectNodeStats reads one live node's counters, degrading to its cached
+// snapshot (stale-marked) if the read panics out from under us.
+func collectNodeStats(node *Node, r *NodeRollup) (s NodeStats) {
+	defer func() {
+		if recover() != nil {
+			r.Stale = true
+			node.lastMu.Lock()
+			s = node.lastStats
+			node.lastMu.Unlock()
+		}
+	}()
+	s = node.Stats()
+	node.lastMu.Lock()
+	node.lastStats = s
+	node.lastMu.Unlock()
+	return s
+}
+
+// FlushSessionsDetail ends all sessions on every live node and reports which
+// down nodes were skipped (a crashed node's sessions died with it; a drained
+// node's were handed off).
+func (n *Network) FlushSessionsDetail() ([]core.ClassifiedSession, []string) {
+	var out []core.ClassifiedSession
+	var skipped []string
+	for _, node := range n.nodes {
+		if node.down.Load() {
+			skipped = append(skipped, node.cfg.Name)
+			continue
+		}
+		out = append(out, node.Engine().FlushSessions()...)
+	}
+	return out, skipped
+}
+
+// StopReplication stops every node's replicator (test/experiment teardown).
+func (n *Network) StopReplication() {
+	for _, node := range n.nodes {
+		if node.rep != nil {
+			node.rep.Stop()
+		}
+	}
+}

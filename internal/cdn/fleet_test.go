@@ -1,0 +1,371 @@
+package cdn
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"botdetect/internal/adaboost"
+	"botdetect/internal/agents"
+	"botdetect/internal/chaos"
+	"botdetect/internal/clock"
+	"botdetect/internal/core"
+	"botdetect/internal/detect"
+	"botdetect/internal/rng"
+	"botdetect/internal/session"
+	"botdetect/internal/shard"
+	"botdetect/internal/webmodel"
+)
+
+// fleetNet builds a replicated network with fast replication intervals.
+func fleetNet(t *testing.T, numNodes int, intercept *chaos.Links) (*Network, *clock.Virtual) {
+	t.Helper()
+	vc := clock.NewVirtual(time.Time{})
+	site := webmodel.Generate(webmodel.SiteConfig{Seed: 11, NumPages: 20})
+	net := NewNetwork(numNodes, site, core.Config{Seed: 7, Clock: vc}, true, 99)
+	cfg := FleetConfig{
+		HeartbeatInterval:   2 * time.Millisecond,
+		AntiEntropyInterval: 5 * time.Millisecond,
+		RetryBackoff:        time.Millisecond,
+		MaxBackoff:          5 * time.Millisecond,
+		SendPatience:        50 * time.Millisecond,
+		Seed:                42,
+	}
+	if intercept != nil {
+		cfg.Intercept = intercept.Intercept
+	}
+	net.EnableReplication(cfg)
+	t.Cleanup(net.StopReplication)
+	waitCond(t, 5*time.Second, "fleet heartbeats to settle", func() bool {
+		for _, nd := range net.Nodes() {
+			if nd.Replicator().UpPeers() != numNodes-1 {
+				return false
+			}
+		}
+		return true
+	})
+	return net, vc
+}
+
+func waitCond(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFleetVerdictReplication: a Definite verdict derived on one node's
+// engine (CAPTCHA pass) lands in every peer's remote detector stage, tagged
+// with its origin.
+func TestFleetVerdictReplication(t *testing.T) {
+	net, vc := fleetNet(t, 3, nil)
+	ip, ua := "10.1.0.1", "Firefox"
+	key := session.Key{IP: ip, UserAgent: ua}
+	home := net.NodeFor(ip)
+
+	net.Do(agents.Request{Time: vc.Now(), IP: ip, UserAgent: ua, Method: "GET", Path: agents.CaptchaSolvePath})
+	net.Do(agents.Request{Time: vc.Now(), IP: ip, UserAgent: ua, Method: "GET", Path: "/"})
+
+	waitCond(t, 5*time.Second, "verdict to reach every peer", func() bool {
+		for _, nd := range net.Nodes() {
+			if nd == home {
+				continue
+			}
+			v, ok := nd.Engine().Remote().Get(key)
+			if !ok || v.Class != detect.ClassHuman || v.Confidence != detect.Definite {
+				return false
+			}
+			if v.Origin != home.Name() {
+				t.Fatalf("replicated verdict origin = %q, want %q", v.Origin, home.Name())
+			}
+		}
+		return true
+	})
+}
+
+// TestFleetBlockReplication: a session blocked by one node's policy ladder is
+// refused everywhere via the replicated block list's fast path.
+func TestFleetBlockReplication(t *testing.T) {
+	net, vc := fleetNet(t, 3, nil)
+	ip, ua := "10.2.0.2", "BadBot"
+	key := session.Key{IP: ip, UserAgent: ua}
+	abused := net.Nodes()[0]
+
+	blocked := false
+	for i := 0; i < 120 && !blocked; i++ {
+		resp := abused.Do(agents.Request{Time: vc.Now(), IP: ip, UserAgent: ua, Method: "GET",
+			Path: "/cgi-bin/app0.cgi?x=" + string(rune('a'+i%26))})
+		vc.Advance(100 * time.Millisecond)
+		blocked = resp.Status == 403
+	}
+	if !blocked {
+		t.Fatalf("abusive session never blocked at its node")
+	}
+	waitCond(t, 5*time.Second, "block to replicate", func() bool {
+		for _, nd := range net.Nodes() {
+			if nd.cfg.Policy == nil || !nd.cfg.Policy.IsBlocked(key) {
+				return false
+			}
+		}
+		return true
+	})
+	// Every node now refuses the session on the lock-free fast path, even the
+	// ones that never tracked it.
+	for _, nd := range net.Nodes() {
+		if nd == abused {
+			continue
+		}
+		resp := nd.Do(agents.Request{Time: vc.Now(), IP: ip, UserAgent: ua, Method: "GET", Path: "/"})
+		if resp.Status != 403 {
+			t.Fatalf("node %s served a fleet-blocked session: %d", nd.Name(), resp.Status)
+		}
+		if nd.Stats().FleetBlocked == 0 {
+			t.Fatalf("node %s fast-path counter not incremented", nd.Name())
+		}
+	}
+}
+
+// TestFleetModelPublication: SetModel reaches every live engine and backfills
+// a node that was down during the publish.
+func TestFleetModelPublication(t *testing.T) {
+	net, _ := fleetNet(t, 3, nil)
+	down := net.Nodes()[2]
+	down.Crash()
+	m := &adaboost.Model{TrainingError: 0.125}
+	net.SetModel(m)
+	for _, nd := range net.Nodes()[:2] {
+		if nd.Engine().Model() != m {
+			t.Fatalf("node %s did not get the model synchronously", nd.Name())
+		}
+	}
+	down.Restart()
+	waitCond(t, 5*time.Second, "restarted node to backfill the model", func() bool {
+		got := down.Engine().Model()
+		return got != nil && got.TrainingError == m.TrainingError
+	})
+}
+
+// TestFailoverDegradedServing: when a session's primary owner dies, the
+// network routes the client to the replica, which serves immediately —
+// degraded-instrumented, never blocking on the dead peer.
+func TestFailoverDegradedServing(t *testing.T) {
+	net, vc := fleetNet(t, 3, nil)
+	ip, ua := "10.3.0.3", "Firefox"
+	primary := net.NodeByName(net.Ring().Primary(shard.HashString(ip)))
+	if net.NodeFor(ip) != primary {
+		t.Fatalf("fleet routing should pick the ring primary while it is up")
+	}
+	primary.Crash()
+
+	if resp := primary.Do(agents.Request{Time: vc.Now(), IP: ip, UserAgent: ua, Method: "GET", Path: "/"}); resp.Status != 503 {
+		t.Fatalf("crashed node answered %d, want 503", resp.Status)
+	}
+	replica := net.NodeFor(ip)
+	if replica == primary {
+		t.Fatalf("routing still points at the dead primary")
+	}
+	start := time.Now()
+	resp := net.Do(agents.Request{Time: vc.Now(), IP: ip, UserAgent: ua, Method: "GET", Path: "/"})
+	if resp.Status != 200 {
+		t.Fatalf("failover serve status = %d", resp.Status)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("failover serve blocked for %v", elapsed)
+	}
+	if replica.Stats().FailoverDegraded == 0 {
+		t.Fatalf("replica did not record degraded failover serving; stats=%+v", replica.Stats())
+	}
+	if primary.Stats().Unavailable == 0 {
+		t.Fatalf("crashed node did not count the refused request")
+	}
+}
+
+// TestDrainHandsOffSessions: Drain pushes evidence-bearing sessions to a
+// surviving replica and the network routes the client there.
+func TestDrainHandsOffSessions(t *testing.T) {
+	net, vc := fleetNet(t, 3, nil)
+	ip, ua := "10.4.0.4", "Firefox"
+	key := session.Key{IP: ip, UserAgent: ua}
+	home := net.NodeFor(ip)
+
+	net.Do(agents.Request{Time: vc.Now(), IP: ip, UserAgent: ua, Method: "GET", Path: agents.CaptchaSolvePath})
+	if snap, ok := home.Engine().Session(key); !ok || !snap.Has(session.SignalCaptcha) {
+		t.Fatalf("session evidence missing before drain")
+	}
+
+	if handed := home.Drain(2 * time.Second); handed == 0 {
+		t.Fatalf("drain handed off no sessions")
+	}
+	waitCond(t, 5*time.Second, "a replica to adopt the session", func() bool {
+		for _, nd := range net.Nodes() {
+			if nd == home {
+				continue
+			}
+			if snap, ok := nd.Engine().Session(key); ok && snap.Has(session.SignalCaptcha) {
+				return true
+			}
+		}
+		return false
+	})
+	after := net.NodeFor(ip)
+	if after == home {
+		t.Fatalf("routing still points at the drained node")
+	}
+	if resp := net.Do(agents.Request{Time: vc.Now(), IP: ip, UserAgent: ua, Method: "GET", Path: "/"}); resp.Status != 200 {
+		t.Fatalf("post-drain serve status = %d", resp.Status)
+	}
+}
+
+// TestCollectStatsStaleRollup: a down node contributes its stale-marked last
+// snapshot instead of poisoning the fleet rollup.
+func TestCollectStatsStaleRollup(t *testing.T) {
+	net, vc := fleetNet(t, 3, nil)
+	victim := net.Nodes()[1]
+	for i := 0; i < 5; i++ {
+		victim.Do(agents.Request{Time: vc.Now(), IP: "10.5.0.5", UserAgent: "Firefox", Method: "GET", Path: "/"})
+	}
+	before := victim.Stats().Requests
+	victim.Crash()
+
+	total, rollups := net.CollectStats()
+	var vr *NodeRollup
+	for i := range rollups {
+		if rollups[i].Node == victim.Name() {
+			vr = &rollups[i]
+		}
+	}
+	if vr == nil || !vr.Down || !vr.Stale {
+		t.Fatalf("victim rollup = %+v, want down+stale", vr)
+	}
+	if vr.Stats.Requests != before {
+		t.Fatalf("stale snapshot requests = %d, want %d", vr.Stats.Requests, before)
+	}
+	if total.Requests < before {
+		t.Fatalf("total %d lost the down node's contribution %d", total.Requests, before)
+	}
+	// And flushing skips (only) the dead node.
+	_, skipped := net.FlushSessionsDetail()
+	if len(skipped) != 1 || skipped[0] != victim.Name() {
+		t.Fatalf("flush skipped %v, want [%s]", skipped, victim.Name())
+	}
+}
+
+// TestKillMidPublishLosesNothingAcked: every verdict a crashing node had
+// pushed to a peer survives on that peer — loss is bounded by the ack
+// watermark (the epoch-lag bound).
+func TestKillMidPublishLosesNothingAcked(t *testing.T) {
+	net, _ := fleetNet(t, 3, nil)
+	origin := net.Nodes()[0]
+	rep := origin.Replicator()
+	for i := 0; i < 50; i++ {
+		rep.PublishVerdict(session.Key{IP: "10.6.0.1", UserAgent: string(rune('a' + i))},
+			detect.Verdict{Class: detect.ClassRobot, Confidence: detect.Definite, Reason: "r"})
+	}
+	waitCond(t, 5*time.Second, "some acks", func() bool { return rep.MinAckedEpoch() > 0 })
+	minAcked := rep.MinAckedEpoch()
+	origin.Crash()
+
+	for _, nd := range net.Nodes()[1:] {
+		if wm := nd.Replicator().Watermark(origin.Name()); wm < minAcked {
+			t.Fatalf("node %s watermark %d < acked %d — acked verdicts lost", nd.Name(), wm, minAcked)
+		}
+	}
+}
+
+// TestFleetChaosHammer drives replication, classification, model rotation,
+// message-layer faults and node kills concurrently. Run with -race: the
+// assertion is that nothing deadlocks, panics or races, and the serve path
+// keeps answering.
+func TestFleetChaosHammer(t *testing.T) {
+	links := chaos.NewLinks()
+	net, vc := fleetNet(t, 3, links)
+	faults := chaos.NewNodeFaults()
+	for _, nd := range net.Nodes() {
+		faults.Register(nd)
+	}
+	links.SetDelay(200 * time.Microsecond)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Traffic: network-routed humans and direct-to-node bot floods.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(w) + 1).Fork("hammer")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ip := "10.9." + string(rune('0'+w)) + "." + string(rune('0'+i%10))
+				req := agents.Request{Time: vc.Now(), IP: ip, UserAgent: "UA", Method: "GET", Path: "/cgi-bin/app0.cgi"}
+				var resp agents.Response
+				if src.Uint64n(2) == 0 {
+					resp = net.Do(req)
+				} else {
+					resp = net.Nodes()[src.Uint64n(3)].Do(req)
+				}
+				switch resp.Status {
+				case 200, 403, 429, 503, 404, 302:
+				default:
+					t.Errorf("unexpected status %d", resp.Status)
+					return
+				}
+			}
+		}(w)
+	}
+	// Chaos: drops/dups/failures plus crash-restart cycles.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := rng.New(77).Fork("chaos")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			links.DropNext(3)
+			links.DupNext(2)
+			links.FailNext(2)
+			name := net.Nodes()[src.Uint64n(3)].Name()
+			if faults.Crash(name) {
+				time.Sleep(5 * time.Millisecond)
+				faults.Restart(name)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	// Model rotation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			net.SetModel(&adaboost.Model{})
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	faults.RestartAll()
+	if crashes, restarts := faults.Counts(); crashes == 0 || restarts == 0 {
+		t.Fatalf("hammer never exercised node kills (crashes=%d restarts=%d)", crashes, restarts)
+	}
+}

@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"botdetect/internal/fleet"
+)
+
+func TestLinksFates(t *testing.T) {
+	l := NewLinks()
+	msg := &fleet.Message{}
+	if fate, _ := l.Intercept("a", "b", msg); fate != fleet.FateDeliver {
+		t.Fatalf("transparent links delivered fate %v", fate)
+	}
+	l.PartitionOneWay("a", "b")
+	if fate, _ := l.Intercept("a", "b", msg); fate != fleet.FateDrop {
+		t.Fatalf("cut link fate %v, want drop", fate)
+	}
+	if fate, _ := l.Intercept("b", "a", msg); fate != fleet.FateDeliver {
+		t.Fatalf("one-way cut swallowed the reverse direction")
+	}
+	l.Heal()
+	l.DropNext(1)
+	l.FailNext(1)
+	l.DupNext(1)
+	fates := []fleet.Fate{}
+	for i := 0; i < 4; i++ {
+		f, _ := l.Intercept("a", "b", msg)
+		fates = append(fates, f)
+	}
+	want := []fleet.Fate{fleet.FateDrop, fleet.FateFail, fleet.FateDup, fleet.FateDeliver}
+	for i := range want {
+		if fates[i] != want[i] {
+			t.Fatalf("fates = %v, want %v", fates, want)
+		}
+	}
+	l.SetDelay(time.Millisecond)
+	if _, d := l.Intercept("a", "b", msg); d != time.Millisecond {
+		t.Fatalf("delay = %v", d)
+	}
+	st := l.Stats()
+	if st.Cut != 1 || st.Dropped != 1 || st.Failed != 1 || st.Duped != 1 || st.Delivered < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	l.Partition([]string{"a"}, []string{"b", "c"})
+	for _, pair := range [][2]string{{"a", "b"}, {"b", "a"}, {"a", "c"}, {"c", "a"}} {
+		if fate, _ := l.Intercept(pair[0], pair[1], msg); fate != fleet.FateDrop {
+			t.Fatalf("partition left %v connected", pair)
+		}
+	}
+}
+
+type fakeNode struct {
+	name string
+	down bool
+}
+
+func (f *fakeNode) Name() string { return f.name }
+func (f *fakeNode) Crash()       { f.down = true }
+func (f *fakeNode) Restart()     { f.down = false }
+func (f *fakeNode) Down() bool   { return f.down }
+
+func TestNodeFaults(t *testing.T) {
+	nf := NewNodeFaults()
+	a := &fakeNode{name: "a"}
+	nf.Register(a)
+	if nf.Crash("missing") {
+		t.Fatal("crashed an unknown node")
+	}
+	if !nf.Crash("a") || !a.down {
+		t.Fatal("crash did not land")
+	}
+	if nf.Crash("a") {
+		t.Fatal("double crash")
+	}
+	if !nf.Restart("a") || a.down {
+		t.Fatal("restart did not land")
+	}
+	nf.Crash("a")
+	if n := nf.RestartAll(); n != 1 || a.down {
+		t.Fatalf("RestartAll = %d", n)
+	}
+	if c, r := nf.Counts(); c != 2 || r != 2 {
+		t.Fatalf("counts = %d,%d", c, r)
+	}
+}

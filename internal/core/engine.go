@@ -439,8 +439,14 @@ type Engine struct {
 
 	det      detect.Detector  // the decision chain every verdict flows through
 	learned  *detect.Learned  // hot-swappable learned stage (SetModel)
+	remote   *detect.Remote   // fleet-replicated verdicts (ApplyRemoteVerdict)
 	outcomes *detect.Outcomes // labelled material for online retraining
 	tel      *telemetry.ServeMetrics
+
+	// verdictExport, when set, receives every locally derived Definite
+	// verdict at classification time (the fleet layer replicates them).
+	// Atomic so the classify path reads it lock-free.
+	verdictExport atomic.Pointer[func(session.Key, Verdict)]
 
 	scriptShards []*scriptShard
 	scriptMask   uint64
@@ -496,10 +502,17 @@ func New(cfg Config) *Engine {
 	if cfg.Model != nil {
 		e.learned.SetModel(cfg.Model)
 	}
+	e.remote = detect.NewRemote()
 	if cfg.Detector != nil {
 		e.det = cfg.Detector
 	} else {
-		e.det = rules.Serving(cfg.MinRequests, e.learned)
+		// rules.Serving with the fleet's remote-verdict stage spliced in
+		// after direct evidence: locally observed hard evidence still wins,
+		// but a peer's replicated verdict outranks the local statistical
+		// guess (which never saw the session's cross-node request history).
+		e.det = detect.Chain("serving",
+			rules.Direct{}, e.remote, e.learned,
+			rules.BrowserTest{MinRequests: cfg.MinRequests})
 	}
 	if cfg.OutcomeCapacity > 0 {
 		e.outcomes = detect.NewOutcomes(cfg.OutcomeCapacity)
@@ -1153,7 +1166,9 @@ func (e *Engine) classify(snap *session.Snapshot) Verdict {
 	cache := snap.Cache()
 	if cache == nil {
 		// Literal snapshots (tests, offline replay) have no cache slot.
-		return e.timedDetect(snap)
+		v := e.timedDetect(snap)
+		e.exportVerdict(snap.Key, v)
+		return v
 	}
 	modelEpoch := e.learned.Epoch()
 	if v, ok := cache.Load(snap.Epoch, modelEpoch); ok {
@@ -1162,7 +1177,24 @@ func (e *Engine) classify(snap *session.Snapshot) Verdict {
 	}
 	v := e.timedDetect(snap)
 	cache.Store(snap.Epoch, modelEpoch, v)
+	// Recompute means the session's evidence (or the model) changed: this is
+	// the one point where a fresh Definite verdict first exists, so the fleet
+	// export hook fires here — never on cache hits, so replication costs the
+	// steady-state serve path nothing.
+	e.exportVerdict(snap.Key, v)
 	return v
+}
+
+// exportVerdict hands a locally derived Definite verdict to the fleet layer.
+// Verdicts that arrived via replication carry their origin node and are
+// skipped — replication must not echo.
+func (e *Engine) exportVerdict(key session.Key, v Verdict) {
+	if v.Confidence != Definite || v.Origin != "" {
+		return
+	}
+	if fn := e.verdictExport.Load(); fn != nil {
+		(*fn)(key, v)
+	}
 }
 
 // timedDetect runs the chain uncached, recording the recompute under the
@@ -1200,6 +1232,49 @@ func (e *Engine) SetModel(m *adaboost.Model) { e.learned.SetModel(m) }
 
 // Model returns the currently published AdaBoost model, or nil.
 func (e *Engine) Model() *adaboost.Model { return e.learned.Model() }
+
+// SetVerdictExport installs (or clears, with nil) the fleet export hook: it
+// receives every locally derived Definite verdict exactly when it is first
+// computed (cache-miss classification), tagged with its session key. The
+// hook must be fast and non-blocking — it runs on the serving path's
+// classify recompute, so the fleet layer only enqueues into a bounded
+// outbox there.
+func (e *Engine) SetVerdictExport(fn func(session.Key, Verdict)) {
+	if fn == nil {
+		e.verdictExport.Store(nil)
+		return
+	}
+	e.verdictExport.Store(&fn)
+}
+
+// Remote returns the engine's fleet-replicated verdict stage.
+func (e *Engine) Remote() *detect.Remote { return e.remote }
+
+// ApplyRemoteVerdict installs a verdict replicated from another fleet node
+// (identified by origin) into the remote detector stage. If the stored
+// verdict changed and the session is tracked locally, its decision epoch is
+// bumped so the per-session verdict cache recomputes through the remote
+// stage on the next classification.
+func (e *Engine) ApplyRemoteVerdict(key session.Key, v Verdict, origin string) bool {
+	if !e.remote.Set(key, v, origin) {
+		return false
+	}
+	e.sessions.Bump(key)
+	return true
+}
+
+// AdoptSession replays another node's evidence for a session into the local
+// tracker — the receiving half of a partition-failover or drain handoff.
+// Signals are replayed through the tracker's normal Mark path (creating the
+// session when unknown), so every downstream consumer (classification,
+// policy, telemetry) sees them exactly as if observed locally. Request
+// counters are not transferred — the partition owner keeps the authoritative
+// counts — so adopted sessions cannot double-count.
+func (e *Engine) AdoptSession(key session.Key, signals []session.Signal) {
+	for _, sig := range signals {
+		e.sessions.Mark(key, sig)
+	}
+}
 
 // RecordOutcome stores a labelled outcome for a tracked session — external
 // ground truth such as a workload label, an operator decision or an abuse

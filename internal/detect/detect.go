@@ -84,6 +84,10 @@ type Verdict struct {
 	// AtRequest is the request count at which the dominant evidence was
 	// observed (0 when no evidence has been observed).
 	AtRequest int64
+	// Origin names the fleet node whose engine produced the verdict when it
+	// arrived via replication; it is empty for locally derived verdicts. The
+	// fleet layer uses it to suppress re-publishing echoes.
+	Origin string
 }
 
 // String renders a verdict compactly.

@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestFleetBenchHeadline runs a reduced fleet experiment end to end: the
+// coordinated crawler must evade every isolated engine yet be blocked
+// fleet-wide, the node kill must lose nothing acked, and humans must never be
+// refused.
+func TestFleetBenchHeadline(t *testing.T) {
+	res := FleetBench(FleetConfig{Crawlers: 8, Humans: 4, Seed: 7})
+	if res.IsolatedCrawlersBlocked != 0 || res.IsolatedRobotVerdicts != 0 {
+		t.Fatalf("isolated engines caught the distributed crawler: %+v", res)
+	}
+	if res.FleetCrawlersBlocked != res.Crawlers {
+		t.Fatalf("fleet blocked %d/%d crawlers", res.FleetCrawlersBlocked, res.Crawlers)
+	}
+	if res.FleetRobotVerdicts != res.Crawlers {
+		t.Fatalf("fleet derived %d/%d robot verdicts", res.FleetRobotVerdicts, res.Crawlers)
+	}
+	if res.HumansBlocked != 0 {
+		t.Fatalf("%d human requests refused", res.HumansBlocked)
+	}
+	if res.VerdictsLostBeyondBound != 0 {
+		t.Fatalf("node kill lost %d verdicts beyond the acked bound", res.VerdictsLostBeyondBound)
+	}
+	if !res.MinorityIsolated {
+		t.Fatal("partitioned minority never degraded to isolated mode")
+	}
+	if !res.ModelPublished {
+		t.Fatal("model publication did not reach the whole fleet")
+	}
+	if res.BlockedOnRestartedNode != res.Crawlers {
+		t.Fatalf("restarted node restored %d/%d blocks", res.BlockedOnRestartedNode, res.Crawlers)
+	}
+}

@@ -1,0 +1,112 @@
+// Mesh is the in-process transport used by cdn.Network, tests and the chaos
+// harness: it routes Messages straight into the target Replicator's Receive,
+// with a pluggable intercept hook where the chaos injectors (internal/chaos,
+// Links) decide each message's fate — deliver, duplicate, drop, fail or
+// delay. A process-external transport would implement fleet.Transport over
+// the wire; everything above this interface is transport-agnostic.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Fate is an intercept decision for one message.
+type Fate uint8
+
+const (
+	// FateDeliver passes the message through unchanged.
+	FateDeliver Fate = iota
+	// FateDup delivers the message twice (exercises merge idempotency).
+	FateDup
+	// FateDrop silently discards the message, reporting success to the
+	// sender (exercises anti-entropy repair).
+	FateDrop
+	// FateFail discards the message and reports an error, so the sender
+	// retries with backoff (exercises the retry/patience path).
+	FateFail
+)
+
+// Intercept inspects one in-flight message and decides its fate, optionally
+// imposing a delivery delay (slept on the sender's goroutine, like a slow
+// link). A nil Intercept delivers everything immediately.
+type Intercept func(from, to string, msg *Message) (Fate, time.Duration)
+
+// Mesh is an in-process Transport connecting a set of replicators.
+type Mesh struct {
+	mu    sync.RWMutex
+	nodes map[string]*Replicator
+
+	intercept Intercept
+	icMu      sync.RWMutex
+}
+
+// NewMesh creates an empty mesh.
+func NewMesh() *Mesh {
+	return &Mesh{nodes: make(map[string]*Replicator)}
+}
+
+// Attach registers a replicator under its node name.
+func (m *Mesh) Attach(r *Replicator) {
+	m.mu.Lock()
+	m.nodes[r.Name()] = r
+	m.mu.Unlock()
+}
+
+// SetIntercept installs (or clears, with nil) the fault-injection hook.
+func (m *Mesh) SetIntercept(ic Intercept) {
+	m.icMu.Lock()
+	m.intercept = ic
+	m.icMu.Unlock()
+}
+
+// Bind returns a Transport view of the mesh for one sender, so each
+// replicator's messages carry their true origin through the intercept hook.
+func (m *Mesh) Bind(from string) Transport {
+	return boundTransport{mesh: m, from: from}
+}
+
+type boundTransport struct {
+	mesh *Mesh
+	from string
+}
+
+func (b boundTransport) Send(to string, msg *Message) error {
+	return b.mesh.send(b.from, to, msg)
+}
+
+// send routes one message through the intercept to the target's Receive.
+func (m *Mesh) send(from, to string, msg *Message) error {
+	m.mu.RLock()
+	target := m.nodes[to]
+	m.mu.RUnlock()
+	if target == nil {
+		return fmt.Errorf("fleet: unknown node %q", to)
+	}
+
+	m.icMu.RLock()
+	ic := m.intercept
+	m.icMu.RUnlock()
+
+	fate, delay := FateDeliver, time.Duration(0)
+	if ic != nil {
+		fate, delay = ic(from, to, msg)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	switch fate {
+	case FateDrop:
+		return nil
+	case FateFail:
+		return fmt.Errorf("fleet: injected send failure %s->%s", from, to)
+	case FateDup:
+		if err := target.Receive(msg); err != nil {
+			return err
+		}
+		return target.Receive(msg)
+	default:
+		return target.Receive(msg)
+	}
+}

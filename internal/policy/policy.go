@@ -152,24 +152,26 @@ func (c Config) withDefaults() Config {
 
 // Stats are cumulative counters.
 type Stats struct {
-	Evaluations int64
-	Allowed     int64
-	Challenged  int64
-	Throttled   int64
-	Blocked     int64
-	Unblocked   int64
-	DeEscalated int64
+	Evaluations  int64
+	Allowed      int64
+	Challenged   int64
+	Throttled    int64
+	Blocked      int64
+	RemoteBlocks int64
+	Unblocked    int64
+	DeEscalated  int64
 }
 
 // engineStats is the atomic mirror of Stats.
 type engineStats struct {
-	evaluations atomic.Int64
-	allowed     atomic.Int64
-	challenged  atomic.Int64
-	throttled   atomic.Int64
-	blocked     atomic.Int64
-	unblocked   atomic.Int64
-	deescalated atomic.Int64
+	evaluations  atomic.Int64
+	allowed      atomic.Int64
+	challenged   atomic.Int64
+	throttled    atomic.Int64
+	blocked      atomic.Int64
+	remoteBlocks atomic.Int64
+	unblocked    atomic.Int64
+	deescalated  atomic.Int64
 }
 
 // stageState is one session's position on the ladder.
@@ -200,6 +202,11 @@ type Engine struct {
 	stages atomic.Pointer[stageSet]
 	mu     sync.Mutex // serialises stage writers
 	stats  engineStats
+
+	// onBlock, when set, receives every LOCALLY decided block (never one
+	// applied via BlockUntil) so the fleet layer can replicate it without
+	// echo loops. Atomic: the block path reads it lock-free.
+	onBlock atomic.Pointer[func(session.Key, time.Time)]
 }
 
 // NewEngine creates an Engine.
@@ -382,15 +389,68 @@ func (e *Engine) Evaluate(snap session.Snapshot, verdict detect.Verdict) Decisio
 	return Decision{Action: Allow, Stage: StageChallenge, Reason: "challenged robot within behavioural thresholds"}
 }
 
-// block promotes key to the block stage.
+// block promotes key to the block stage and reports the locally decided
+// block to the fleet hook.
 func (e *Engine) block(key session.Key, now time.Time) {
-	e.setStage(key, stageState{stage: StageBlock, until: now.Add(e.cfg.BlockDuration)})
+	until := now.Add(e.cfg.BlockDuration)
+	e.setStage(key, stageState{stage: StageBlock, until: until})
 	e.stats.blocked.Add(1)
+	if fn := e.onBlock.Load(); fn != nil {
+		(*fn)(key, until)
+	}
 }
 
 // BlockNow explicitly blocks a session (e.g. after an operator decision).
 func (e *Engine) BlockNow(key session.Key) {
 	e.block(key, e.cfg.Clock.Now())
+}
+
+// SetOnBlock installs (or clears, with nil) the fleet replication hook: it
+// fires on every locally decided block — Evaluate escalations and BlockNow —
+// with the block's expiry, and never on blocks applied via BlockUntil, so
+// replicated blocks cannot echo back into the mesh.
+func (e *Engine) SetOnBlock(fn func(session.Key, time.Time)) {
+	if fn == nil {
+		e.onBlock.Store(nil)
+		return
+	}
+	e.onBlock.Store(&fn)
+}
+
+// BlockUntil merges a replicated block-list entry: key is blocked until the
+// given time unless it already carries a block extending at least that far.
+// The merge is idempotent and commutative (later expiry wins), so replayed
+// or reordered replication deliveries converge. It reports whether the
+// ladder changed; applied entries count as remote blocks, not decisions.
+func (e *Engine) BlockUntil(key session.Key, until time.Time) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, ok := e.stages.Load().m[key]; ok && cur.stage == StageBlock && !cur.until.Before(until) {
+		return false
+	}
+	e.setStageLocked(key, stageState{stage: StageBlock, until: until})
+	e.stats.remoteBlocks.Add(1)
+	return true
+}
+
+// BlockEntry is one blocked session with its expiry, for replication and
+// drain snapshots.
+type BlockEntry struct {
+	Key   session.Key
+	Until time.Time
+}
+
+// BlockedSessions returns the sessions currently in the block stage with
+// their expiries (lock-free snapshot read).
+func (e *Engine) BlockedSessions() []BlockEntry {
+	m := e.stages.Load().m
+	out := make([]BlockEntry, 0, len(m))
+	for k, st := range m {
+		if st.stage == StageBlock {
+			out = append(out, BlockEntry{Key: k, Until: st.until})
+		}
+	}
+	return out
 }
 
 // IsBlocked reports whether a session is currently blocked. The check is
@@ -443,13 +503,14 @@ func (e *Engine) ChallengedCount() int {
 // Stats returns a copy of the counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Evaluations: e.stats.evaluations.Load(),
-		Allowed:     e.stats.allowed.Load(),
-		Challenged:  e.stats.challenged.Load(),
-		Throttled:   e.stats.throttled.Load(),
-		Blocked:     e.stats.blocked.Load(),
-		Unblocked:   e.stats.unblocked.Load(),
-		DeEscalated: e.stats.deescalated.Load(),
+		Evaluations:  e.stats.evaluations.Load(),
+		Allowed:      e.stats.allowed.Load(),
+		Challenged:   e.stats.challenged.Load(),
+		Throttled:    e.stats.throttled.Load(),
+		Blocked:      e.stats.blocked.Load(),
+		RemoteBlocks: e.stats.remoteBlocks.Load(),
+		Unblocked:    e.stats.unblocked.Load(),
+		DeEscalated:  e.stats.deescalated.Load(),
 	}
 }
 
@@ -477,6 +538,8 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry, node string) {
 	trHelp := "Escalation-ladder transitions by kind."
 	reg.CounterFunc(transitions, telemetry.Join(telemetry.Label("event", "unblocked"), nl), trHelp,
 		func() float64 { return float64(e.stats.unblocked.Load()) })
+	reg.CounterFunc(transitions, telemetry.Join(telemetry.Label("event", "remote_block"), nl), trHelp,
+		func() float64 { return float64(e.stats.remoteBlocks.Load()) })
 	reg.CounterFunc(transitions, telemetry.Join(telemetry.Label("event", "deescalated"), nl), trHelp,
 		func() float64 { return float64(e.stats.deescalated.Load()) })
 
